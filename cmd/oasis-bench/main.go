@@ -1,0 +1,81 @@
+// Command oasis-bench regenerates the paper's tables and figures.
+//
+//	oasis-bench -list
+//	oasis-bench -run all
+//	oasis-bench -run fig6,fig13 -scale 0.5
+//
+// Each experiment prints the same rows/series the paper reports plus the
+// paper's reference numbers; EXPERIMENTS.md records a full comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"oasis/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	scale := flag.Float64("scale", 1.0, "measurement scale in (0,1]: shrinks windows/loads")
+	values := flag.Bool("values", false, "also print machine-readable values")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := experiments.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "oasis-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "oasis-bench: nothing to run")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		runner, _ := experiments.Lookup(id)
+		start := time.Now()
+		report := runner(*scale)
+		fmt.Print(report.String())
+		if *values {
+			for _, k := range sortedKeys(report.Values) {
+				fmt.Printf("  value %s = %.4f\n", k, report.Values[k])
+			}
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

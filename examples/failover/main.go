@@ -1,0 +1,79 @@
+// Failover: a NIC dies mid-stream and the pod's reserved backup NIC takes
+// over in tens of milliseconds (§3.3.3, §5.3).
+//
+// The instance's packets are served by nic1 on host 1. At t = 200 ms the
+// switch port feeding nic1 is disabled. The backend driver notices the
+// link-status change, tells the pod-wide allocator, and the allocator (a)
+// repoints every affected frontend at the backup NIC — TX buffers are
+// already in shared CXL memory, so no copying — and (b) has the backup NIC
+// "borrow" the dead NIC's MAC so the ToR switch reroutes inbound traffic
+// instantly. The application never notices beyond a brief gap.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oasis"
+)
+
+func main() {
+	cfg := oasis.DefaultConfig()
+	cfg.Engine.IdleBackoff = 20 * time.Microsecond // speeds the long run
+	pod := oasis.NewPod(cfg)
+
+	host0 := pod.AddHost() // instance host
+	host1 := pod.AddHost() // primary NIC host
+	host2 := pod.AddHost() // backup NIC host
+	primary := pod.AddNIC(host1, false)
+	backup := pod.AddNIC(host2, true) // the pod's reserved backup (§3.3.3)
+
+	inst := pod.AddInstance(host0, oasis.IP(10, 0, 0, 10))
+	client := pod.AddClient(oasis.IP(10, 0, 99, 1))
+	pod.Start()
+	inst.RequestAllocation()
+
+	pod.Go("echo-server", func(p *oasis.Proc) {
+		conn, _ := inst.Stack.ListenUDP(7)
+		for {
+			dg := conn.Recv(p)
+			conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data)
+		}
+	})
+
+	failAt := 200 * time.Millisecond
+	pod.Eng.At(failAt, func() {
+		fmt.Printf("t=%-8v injecting failure: disabling %s's switch port\n", failAt, primary.Dev.Name())
+		pod.FailNICPort(primary.ID)
+	})
+
+	var sent, lost int
+	var gapStart, gapEnd time.Duration
+	pod.Go("client", func(p *oasis.Proc) {
+		conn, _ := client.Stack.ListenUDP(0)
+		p.Sleep(5 * time.Millisecond)
+		for p.Now() < 500*time.Millisecond {
+			at := p.Now()
+			conn.SendTo(p, inst.IPAddr(), 7, []byte("probe"))
+			sent++
+			if _, ok := conn.RecvTimeout(p, time.Millisecond); !ok {
+				lost++
+				if gapStart == 0 {
+					gapStart = at
+				}
+				gapEnd = at
+			}
+		}
+		pod.Shutdown()
+	})
+	pod.Run(10 * time.Second)
+
+	fmt.Printf("t=%-8v service restored on %s (borrowed MAC %v)\n",
+		gapEnd+time.Millisecond, backup.Dev.Name(), primary.Dev.MAC())
+	fmt.Printf("probes: %d sent, %d lost\n", sent, lost)
+	fmt.Printf("interruption: ~%v (paper: 38 ms)\n", gapEnd-gapStart+time.Millisecond)
+	fmt.Printf("allocator failovers: %d, backup NIC tx packets: %d\n",
+		pod.Alloc.Failovers, backup.Dev.TxPackets)
+}

@@ -1,0 +1,112 @@
+// Load balancing: the pod-wide allocator exploits its 100 ms telemetry to
+// migrate an instance off an overloaded NIC (§3.5 monitoring + the §6
+// "load balancing policies" extension).
+//
+// Three instances are initially served by nic1 while nic2 idles. A client
+// drives bulk traffic at all three; when nic1's telemetry-reported load
+// crosses the high-water mark, the allocator gracefully migrates the
+// heaviest instance to nic2 (registration, GARP, 5 s dual-RX grace window —
+// §3.3.4), with zero packet loss.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oasis"
+)
+
+func main() {
+	cfg := oasis.DefaultConfig()
+	// Rebalance thresholds are fractions of NIC capacity; the simulated
+	// single-core datapath moves ~0.5 GB/s, so the demo triggers at 0.1% of 12.5 GB/s.
+	cfg.Allocator.Rebalance = true
+	cfg.Allocator.RebalanceHigh = 0.001
+	cfg.Allocator.RebalanceLow = 0.0005
+	cfg.Allocator.RebalanceEvery = 300 * time.Millisecond
+	pod := oasis.NewPod(cfg)
+
+	host0 := pod.AddHost()
+	host1 := pod.AddHost()
+	host2 := pod.AddHost()
+	nic1 := pod.AddNIC(host1, false)
+	nic2 := pod.AddNIC(host2, false)
+
+	var insts []*oasis.Instance
+	for i := 0; i < 3; i++ {
+		insts = append(insts, pod.AddInstance(host0, oasis.IP(10, 0, 0, byte(10+i))))
+	}
+	client := pod.AddClient(oasis.IP(10, 0, 99, 1))
+	pod.Start()
+	// Declared demand is tiny, so the allocator spreads placements — but
+	// ACTUAL traffic won't match declarations, which is the §6 point.
+	for _, in := range insts {
+		pod.Alloc.SetInstanceDemand(in.IPAddr(), 1e6)
+	}
+	for _, in := range insts {
+		in.RequestAllocation()
+		in := in
+		pod.Go("echo", func(p *oasis.Proc) {
+			conn, _ := in.Stack.ListenUDP(7)
+			for {
+				dg := conn.Recv(p)
+				conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data)
+			}
+		})
+	}
+
+	lost, sent := 0, 0
+	pod.Go("client", func(p *oasis.Proc) {
+		conn, _ := client.Stack.ListenUDP(0)
+		p.Sleep(5 * time.Millisecond)
+		// Find the two instances sharing a NIC and flood only those: the
+		// declared-demand placement balanced 2/1, but the real load is
+		// lopsided.
+		var hot []*oasis.Instance
+		count := map[uint16]int{}
+		for _, in := range insts {
+			if id, ok := pod.Alloc.PrimaryOf(in.IPAddr()); ok {
+				count[id]++
+			}
+		}
+		var hotNIC uint16
+		for id, n := range count {
+			if n >= 2 {
+				hotNIC = id
+			}
+		}
+		for _, in := range insts {
+			if id, _ := pod.Alloc.PrimaryOf(in.IPAddr()); id == hotNIC {
+				hot = append(hot, in)
+			}
+		}
+		fmt.Printf("flooding the %d instances sharing nic%d; load telemetry will diverge\n",
+			len(hot), hotNIC)
+		payload := make([]byte, 1400)
+		for p.Now() < 1500*time.Millisecond {
+			for _, in := range hot {
+				sent++
+				conn.SendTo(p, in.IPAddr(), 7, payload)
+				if _, ok := conn.RecvTimeout(p, 5*time.Millisecond); !ok {
+					lost++
+				}
+				p.Sleep(40 * time.Microsecond) // stay below datapath saturation
+			}
+		}
+		pod.Shutdown()
+	})
+	pod.Run(10 * time.Second)
+
+	fmt.Printf("echo round trips : %d (%d lost)\n", sent-lost, lost)
+	fmt.Printf("rebalances       : %d\n", pod.Alloc.Rebalances)
+	fmt.Printf("nic1 served      : %.1f MB\n", float64(nic1.Dev.TxBytes+nic1.Dev.RxBytes)/1e6)
+	fmt.Printf("nic2 served      : %.1f MB (traffic after the graceful migration)\n",
+		float64(nic2.Dev.TxBytes+nic2.Dev.RxBytes)/1e6)
+	for _, in := range insts {
+		if nicID, ok := pod.Alloc.PrimaryOf(in.IPAddr()); ok {
+			fmt.Printf("instance %v now on nic%d\n", in.IPAddr(), nicID)
+		}
+	}
+}

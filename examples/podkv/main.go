@@ -1,0 +1,79 @@
+// podkv: a key-value store that uses BOTH Oasis engines at once.
+//
+// The KV instance runs on a host with neither a NIC nor an SSD. Its
+// network traffic flows through the pooled NIC on host 1 (network engine,
+// §3.3) and every SET writes through to a volume on the pooled SSD on
+// host 2 (storage engine, §3.4). After a simulated soft reboot, a fresh
+// store recovers its contents from the volume — the ephemeral-local-SSD
+// durability model the paper describes.
+//
+//	go run ./examples/podkv
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oasis"
+	"oasis/internal/instance"
+)
+
+func main() {
+	pod := oasis.NewPod(oasis.DefaultConfig())
+
+	host0 := pod.AddHost() // deviceless: runs the KV instance
+	host1 := pod.AddHost() // pooled NIC
+	host2 := pod.AddHost() // pooled SSD
+	pod.AddNIC(host1, false)
+	drive := pod.AddSSD(host2, 1<<18)
+
+	inst := pod.AddInstance(host0, oasis.IP(10, 0, 0, 10))
+	vol := pod.AddVolume(inst, drive.ID, 1<<14)
+	client := pod.AddClient(oasis.IP(10, 0, 99, 1))
+	pod.Start()
+	inst.RequestAllocation()
+
+	store := instance.NewStore(vol, 3*time.Microsecond)
+	pod.Go("kv-setup", func(p *oasis.Proc) {
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			panic("volume not granted")
+		}
+		if err := instance.ServeKV(pod.Eng, inst.Stack, 11211, store); err != nil {
+			panic(err)
+		}
+	})
+
+	pod.Go("client", func(p *oasis.Proc) {
+		inst.WaitReady(p, 100*time.Millisecond)
+		p.Sleep(5 * time.Millisecond)
+		kv, err := instance.DialKV(p, client.Stack, inst.IPAddr(), 11211)
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		for i := 0; i < 32; i++ {
+			key := fmt.Sprintf("user:%04d", i)
+			if err := kv.Set(p, key, []byte(fmt.Sprintf("profile-data-%d", i))); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Printf("32 persisted SETs in %v (NIC on host1, SSD on host2, app on host0)\n",
+			p.Now()-start)
+		v, found, _ := kv.Get(p, "user:0007")
+		fmt.Printf("GET user:0007 -> %q (found=%v)\n", v, found)
+
+		// Soft reboot: rebuild the table purely from the pooled SSD.
+		rebooted := instance.NewStore(vol, 3*time.Microsecond)
+		if err := rebooted.Recover(p); err != nil {
+			panic(err)
+		}
+		fmt.Printf("after soft reboot: recovered %d keys from the pooled volume\n", rebooted.Len())
+		if got, ok := rebooted.Get(p, "user:0007"); ok {
+			fmt.Printf("recovered user:0007 -> %q\n", got)
+		}
+		pod.Shutdown()
+	})
+	pod.Run(10 * time.Second)
+	fmt.Printf("SSD totals: %d writes, %d reads — all via 64 B NVMe-mirror messages\n",
+		drive.Dev.Writes, drive.Dev.Reads)
+}

@@ -1,0 +1,3 @@
+module oasis
+
+go 1.22

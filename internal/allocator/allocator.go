@@ -1,0 +1,551 @@
+// Package allocator implements Oasis's pod-wide allocator (§3.5): the
+// logically-centralized control plane that maps PCIe devices to instances,
+// ingests 100 ms telemetry from backend drivers, places new instances
+// (host-local first, then least-loaded), and orchestrates NIC failover and
+// graceful migration. It is never on the data path.
+//
+// The allocator converses with every frontend and backend driver over the
+// datapath's message channels. Host failures are inferred from missing
+// telemetry (lease expiry); NIC failures arrive as explicit link-down
+// reports. State can be replicated across peers with the raft package (see
+// Replicate), matching §3.5's "replicated with Raft" design.
+package allocator
+
+import (
+	"time"
+
+	"oasis/internal/core"
+	"oasis/internal/host"
+	"oasis/internal/netengine"
+	"oasis/internal/netstack"
+	"oasis/internal/sim"
+)
+
+// Config tunes the allocator.
+type Config struct {
+	// LeaseTimeout is how long a NIC may go silent (no telemetry) before
+	// its host is presumed dead and its instances are failed over.
+	LeaseTimeout sim.Duration
+	// PollCost is the allocator core's per-iteration cost.
+	PollCost sim.Duration
+	// Burst bounds messages drained per link per iteration.
+	Burst int
+
+	// Rebalance enables the §6 "load balancing policies" extension: when a
+	// NIC's telemetry-reported load exceeds RebalanceHigh (fraction of
+	// capacity) and another non-backup NIC sits below RebalanceLow, one
+	// instance is gracefully migrated from hot to cold. The paper only
+	// rebalances at instance start and failure; this policy exploits the
+	// fine-grained telemetry it already collects.
+	Rebalance      bool
+	RebalanceHigh  float64
+	RebalanceLow   float64
+	RebalanceEvery sim.Duration
+
+	// AERFailThreshold is the per-telemetry-window count of uncorrectable
+	// PCIe AER errors (§3.5's health metrics) above which a NIC is treated
+	// as failing and proactively failed over — before the link even drops.
+	// 0 disables the policy.
+	AERFailThreshold uint16
+}
+
+// DefaultConfig returns production-flavoured defaults (§3.5: telemetry
+// every 100 ms; three missed records expire the lease).
+func DefaultConfig() Config {
+	return Config{
+		LeaseTimeout:     300 * time.Millisecond,
+		PollCost:         200 * time.Nanosecond,
+		Burst:            32,
+		RebalanceHigh:    0.80,
+		RebalanceLow:     0.50,
+		RebalanceEvery:   500 * time.Millisecond,
+		AERFailThreshold: 16,
+	}
+}
+
+// NICInfo describes one pod NIC to the allocator.
+type NICInfo struct {
+	ID          uint16
+	HostID      int
+	CapacityBps float64
+	Backup      bool // §3.3.3: the reserved per-pod backup NIC
+}
+
+type nicState struct {
+	info     NICInfo
+	up       bool
+	lastSeen sim.Duration
+	loadBps  float64 // from telemetry
+	demand   float64 // sum of placed instances' demands
+}
+
+type instState struct {
+	ip      netstack.IP
+	hostID  int
+	demand  float64
+	primary uint16
+	backup  uint16
+}
+
+// Allocator is the control-plane service. Run it with Start on its host.
+type Allocator struct {
+	h   *host.Host
+	cfg Config
+
+	feLinks map[int]*core.LinkEnd // by host id
+	feOrder []int
+	beLinks map[uint16]*core.LinkEnd // by NIC id
+	beOrder []uint16
+	nics    map[uint16]*nicState
+	insts   map[netstack.IP]*instState
+
+	// instDemand lets the deployment declare expected per-instance NIC
+	// bandwidth (the "instance type", §3.1); default if absent.
+	instDemand    map[netstack.IP]float64
+	defaultDemand float64
+
+	cmds    *sim.Queue[func(p *sim.Proc)]
+	rep     replicator
+	started bool
+
+	// Stats.
+	Placements    int64
+	Failovers     int64
+	LeaseExpiries int64
+	Migrations    int64
+	Rebalances    int64
+	AERFailovers  int64
+}
+
+// replicator abstracts the Raft log: Propose blocks conceptually until the
+// command is committed, then the allocator applies it. The nullReplicator
+// commits immediately (single-node operation).
+type replicator interface {
+	Propose(p *sim.Proc, cmd []byte) bool
+}
+
+type nullReplicator struct{}
+
+func (nullReplicator) Propose(*sim.Proc, []byte) bool { return true }
+
+// New creates an allocator hosted on h.
+func New(h *host.Host, cfg Config) *Allocator {
+	return &Allocator{
+		h:             h,
+		cfg:           cfg,
+		feLinks:       make(map[int]*core.LinkEnd),
+		beLinks:       make(map[uint16]*core.LinkEnd),
+		nics:          make(map[uint16]*nicState),
+		insts:         make(map[netstack.IP]*instState),
+		instDemand:    make(map[netstack.IP]float64),
+		defaultDemand: 1e9, // 8 Gbit/s default ask
+		cmds:          sim.NewQueue[func(p *sim.Proc)](h.Eng),
+		rep:           nullReplicator{},
+	}
+}
+
+// Replicate installs a Raft-backed replicator (§3.5). Decisions are
+// proposed to the log before being applied and broadcast.
+func (a *Allocator) Replicate(r interface {
+	Propose(p *sim.Proc, cmd []byte) bool
+}) {
+	a.rep = r
+}
+
+// AddNIC registers a pod NIC and its control link to the backend driver.
+func (a *Allocator) AddNIC(info NICInfo, link *core.LinkEnd) {
+	a.nics[info.ID] = &nicState{info: info, up: true}
+	a.beLinks[info.ID] = link
+	a.beOrder = append(a.beOrder, info.ID)
+}
+
+// AddFrontend registers a pod host's frontend control link.
+func (a *Allocator) AddFrontend(hostID int, link *core.LinkEnd) {
+	a.feLinks[hostID] = link
+	a.feOrder = append(a.feOrder, hostID)
+}
+
+// SetInstanceDemand declares an instance type's expected NIC bandwidth in
+// bytes/s, used by placement (§3.5 "static policies such as instance types").
+func (a *Allocator) SetInstanceDemand(ip netstack.IP, bps float64) {
+	a.instDemand[ip] = bps
+}
+
+// BackupNIC returns the reserved backup NIC id (0 if none configured).
+func (a *Allocator) BackupNIC() uint16 {
+	for id, ns := range a.nics {
+		if ns.info.Backup {
+			return id
+		}
+	}
+	return 0
+}
+
+// Migrate asks the allocator to gracefully move an instance to a NIC
+// (§3.3.4); used by load-balancing policies and experiments.
+func (a *Allocator) Migrate(ip netstack.IP, newNIC uint16) {
+	a.cmds.Push(func(p *sim.Proc) {
+		st, ok := a.insts[ip]
+		if !ok {
+			return
+		}
+		if !a.rep.Propose(p, encodeCmd('M', uint32(ip), newNIC)) {
+			return
+		}
+		old := st.primary
+		st.primary = newNIC
+		a.shiftDemand(old, newNIC, st.demand)
+		a.sendToFE(p, st.hostID, ctlMsg{op: ctlMigrate, ip: ip, nic: newNIC})
+		a.Migrations++
+	})
+}
+
+// Start launches the allocator's core.
+func (a *Allocator) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	a.h.Eng.Go(a.h.Name+"/allocator", a.loop)
+}
+
+func (a *Allocator) loop(p *sim.Proc) {
+	nextLease := p.Now() + a.cfg.LeaseTimeout
+	nextRebalance := p.Now() + a.cfg.RebalanceEvery
+	idle := sim.Duration(0)
+	for {
+		progress := 0
+		for i := 0; i < a.cfg.Burst; i++ {
+			cmd, ok := a.cmds.TryPop()
+			if !ok {
+				break
+			}
+			cmd(p)
+			progress++
+		}
+		for _, hostID := range a.feOrder {
+			l := a.feLinks[hostID]
+			for i := 0; i < a.cfg.Burst; i++ {
+				payload, ok := l.Poll(p)
+				if !ok {
+					break
+				}
+				a.handleFE(p, hostID, payload)
+				progress++
+			}
+		}
+		for _, nicID := range a.beOrder {
+			l := a.beLinks[nicID]
+			for i := 0; i < a.cfg.Burst; i++ {
+				payload, ok := l.Poll(p)
+				if !ok {
+					break
+				}
+				a.handleBE(p, nicID, payload)
+				progress++
+			}
+		}
+		if p.Now() >= nextLease {
+			nextLease = p.Now() + a.cfg.LeaseTimeout/4
+			a.checkLeases(p)
+		}
+		if a.cfg.Rebalance && p.Now() >= nextRebalance {
+			nextRebalance = p.Now() + a.cfg.RebalanceEvery
+			a.rebalance(p)
+		}
+		for _, hostID := range a.feOrder {
+			a.feLinks[hostID].Flush(p)
+		}
+		for _, nicID := range a.beOrder {
+			a.beLinks[nicID].Flush(p)
+		}
+		if progress > 0 {
+			idle = 0
+			p.Sleep(a.cfg.PollCost)
+			continue
+		}
+		if idle == 0 {
+			idle = a.cfg.PollCost
+		} else if idle *= 2; idle > 20*time.Microsecond {
+			idle = 20 * time.Microsecond
+		}
+		p.Sleep(a.cfg.PollCost + idle)
+	}
+}
+
+func (a *Allocator) handleFE(p *sim.Proc, hostID int, payload []byte) {
+	m := netengine.DecodeControl(payload)
+	switch m.Op {
+	case netengine.CtlAllocRequest:
+		a.place(p, hostID, m.IP)
+	}
+}
+
+func (a *Allocator) handleBE(p *sim.Proc, nicID uint16, payload []byte) {
+	m := netengine.DecodeControl(payload)
+	ns := a.nics[nicID]
+	if ns == nil {
+		return
+	}
+	switch m.Op {
+	case netengine.CtlTelemetry:
+		ns.lastSeen = p.Now()
+		ns.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
+		ns.up = m.LinkUp
+		if a.cfg.AERFailThreshold > 0 && m.AER >= a.cfg.AERFailThreshold && ns.up && !ns.info.Backup {
+			// A burst of uncorrectable PCIe errors: the device is dying.
+			// Fail over proactively instead of waiting for link-down.
+			ns.up = false
+			a.AERFailovers++
+			a.failNIC(p, nicID)
+		}
+	case netengine.CtlLinkDown:
+		ns.lastSeen = p.Now()
+		if ns.up {
+			ns.up = false
+			a.failNIC(p, nicID)
+		}
+	case netengine.CtlLinkUp:
+		ns.lastSeen = p.Now()
+		ns.up = true
+	}
+}
+
+func (a *Allocator) leaseWindow() sim.Duration { return 100 * time.Millisecond }
+
+// place picks a primary NIC for a new instance: host-local first, then the
+// least-loaded NIC with spare capacity (§3.5 "Device allocation").
+func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
+	demand := a.defaultDemand
+	if d, ok := a.instDemand[ip]; ok {
+		demand = d
+	}
+	backup := a.BackupNIC()
+	pick := uint16(0)
+	// Host-local NICs first.
+	for _, id := range a.beOrder {
+		ns := a.nics[id]
+		if ns.info.HostID == hostID && ns.up && !ns.info.Backup && ns.demand+demand <= ns.info.CapacityBps {
+			pick = id
+			break
+		}
+	}
+	if pick == 0 {
+		// Greedy: lowest current demand with headroom.
+		var best *nicState
+		for _, id := range a.beOrder {
+			ns := a.nics[id]
+			if !ns.up || ns.info.Backup {
+				continue
+			}
+			if ns.demand+demand > ns.info.CapacityBps {
+				continue
+			}
+			if best == nil || ns.demand < best.demand {
+				best = ns
+			}
+		}
+		if best != nil {
+			pick = best.info.ID
+		}
+	}
+	if pick == 0 {
+		// Overcommit the least-loaded non-backup NIC rather than refuse:
+		// the paper oversubscribes deliberately (§2.2).
+		var best *nicState
+		for _, id := range a.beOrder {
+			ns := a.nics[id]
+			if !ns.up || ns.info.Backup {
+				continue
+			}
+			if best == nil || ns.demand < best.demand {
+				best = ns
+			}
+		}
+		if best == nil {
+			return // no usable NICs at all
+		}
+		pick = best.info.ID
+	}
+	if !a.rep.Propose(p, encodeCmd('P', uint32(ip), pick)) {
+		return
+	}
+	a.nics[pick].demand += demand
+	a.insts[ip] = &instState{ip: ip, hostID: hostID, demand: demand, primary: pick, backup: backup}
+	a.sendToFE(p, hostID, ctlMsg{op: ctlAssign, ip: ip, nic: pick, aux: backup})
+	a.Placements++
+}
+
+// failNIC reroutes every instance on the failed NIC to the backup and has
+// the backup borrow the failed NIC's MAC (§3.3.3).
+func (a *Allocator) failNIC(p *sim.Proc, failed uint16) {
+	backup := a.BackupNIC()
+	if backup == 0 || backup == failed {
+		return
+	}
+	if !a.rep.Propose(p, encodeCmd('F', uint32(failed), backup)) {
+		return
+	}
+	a.Failovers++
+	// Tell the backup's backend to borrow the MAC first (RX path), then
+	// repoint the frontends (TX path).
+	a.sendToBE(p, backup, ctlMsg{op: ctlBorrowMAC, nic: failed})
+	for _, hostID := range a.feOrder {
+		a.sendToFE(p, hostID, ctlMsg{op: ctlFailover, nic: failed, aux: backup})
+	}
+	var moved float64
+	for _, st := range a.insts {
+		if st.primary == failed {
+			st.primary = backup
+			moved += st.demand
+		}
+	}
+	a.shiftDemand(failed, backup, moved)
+}
+
+// shiftDemand moves accounted demand between NICs.
+func (a *Allocator) shiftDemand(from, to uint16, d float64) {
+	if ns := a.nics[from]; ns != nil {
+		ns.demand -= d
+	}
+	if ns := a.nics[to]; ns != nil {
+		ns.demand += d
+	}
+}
+
+// rebalance migrates one instance per period from the hottest overloaded
+// NIC to the coldest underloaded one (§6 "Load balancing policies").
+func (a *Allocator) rebalance(p *sim.Proc) {
+	var hot, cold *nicState
+	for _, id := range a.beOrder {
+		ns := a.nics[id]
+		if !ns.up || ns.info.Backup || ns.info.CapacityBps <= 0 {
+			continue
+		}
+		util := ns.loadBps / ns.info.CapacityBps
+		if util >= a.cfg.RebalanceHigh && (hot == nil || ns.loadBps > hot.loadBps) {
+			hot = ns
+		}
+		if util <= a.cfg.RebalanceLow && (cold == nil || ns.loadBps < cold.loadBps) {
+			cold = ns
+		}
+	}
+	if hot == nil || cold == nil || hot == cold {
+		return
+	}
+	// Move the largest-demand instance on the hot NIC.
+	var victim *instState
+	for _, st := range a.insts {
+		if st.primary == hot.info.ID && (victim == nil || st.demand > victim.demand) {
+			victim = st
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if !a.rep.Propose(p, encodeCmd('M', uint32(victim.ip), cold.info.ID)) {
+		return
+	}
+	old := victim.primary
+	victim.primary = cold.info.ID
+	a.shiftDemand(old, cold.info.ID, victim.demand)
+	a.sendToFE(p, victim.hostID, ctlMsg{op: ctlMigrate, ip: victim.ip, nic: cold.info.ID})
+	a.Migrations++
+	a.Rebalances++
+}
+
+// checkLeases expires NICs whose telemetry went silent — the host-failure
+// path (§3.5 "Host failures are instead inferred from missing telemetry").
+func (a *Allocator) checkLeases(p *sim.Proc) {
+	for _, id := range a.beOrder {
+		ns := a.nics[id]
+		if !ns.up || ns.info.Backup {
+			continue
+		}
+		if ns.lastSeen == 0 {
+			continue // never reported yet (startup grace)
+		}
+		if p.Now()-ns.lastSeen > a.cfg.LeaseTimeout {
+			ns.up = false
+			a.LeaseExpiries++
+			a.failNIC(p, id)
+		}
+	}
+}
+
+func (a *Allocator) sendToFE(p *sim.Proc, hostID int, m ctlMsg) {
+	l := a.feLinks[hostID]
+	if l == nil {
+		return
+	}
+	var buf [15]byte
+	if !l.Send(p, m.encode(buf[:])) {
+		a.cmds.Push(func(p *sim.Proc) { a.sendToFE(p, hostID, m) })
+		return
+	}
+	l.Flush(p)
+}
+
+func (a *Allocator) sendToBE(p *sim.Proc, nicID uint16, m ctlMsg) {
+	l := a.beLinks[nicID]
+	if l == nil {
+		return
+	}
+	var buf [15]byte
+	if !l.Send(p, m.encode(buf[:])) {
+		a.cmds.Push(func(p *sim.Proc) { a.sendToBE(p, nicID, m) })
+		return
+	}
+	l.Flush(p)
+}
+
+// NICLoad returns the allocator's latest telemetry-derived load for a NIC
+// in bytes/s (tests and load-balancing policies read this).
+func (a *Allocator) NICLoad(id uint16) float64 {
+	if ns := a.nics[id]; ns != nil {
+		return ns.loadBps
+	}
+	return 0
+}
+
+// NICUp reports the allocator's view of a NIC's health.
+func (a *Allocator) NICUp(id uint16) bool {
+	if ns := a.nics[id]; ns != nil {
+		return ns.up
+	}
+	return false
+}
+
+// PrimaryOf returns the allocator's current NIC assignment for an instance.
+func (a *Allocator) PrimaryOf(ip netstack.IP) (uint16, bool) {
+	if st, ok := a.insts[ip]; ok {
+		return st.primary, true
+	}
+	return 0, false
+}
+
+// encodeCmd packs a replicated decision for the Raft log.
+func encodeCmd(kind byte, arg uint32, nic uint16) []byte {
+	return []byte{kind, byte(arg), byte(arg >> 8), byte(arg >> 16), byte(arg >> 24), byte(nic), byte(nic >> 8)}
+}
+
+// ctlMsg is shorthand for building control messages.
+type ctlMsg struct {
+	op  byte
+	ip  netstack.IP
+	nic uint16
+	aux uint16
+}
+
+const (
+	ctlFailover  = netengine.CtlFailover
+	ctlBorrowMAC = netengine.CtlBorrowMAC
+	ctlMigrate   = netengine.CtlMigrate
+	ctlAssign    = netengine.CtlAssign
+)
+
+func (m ctlMsg) encode(buf []byte) []byte {
+	return netengine.EncodeControl(buf, netengine.ControlMsg{
+		Op: m.op, IP: m.ip, NIC: m.nic, Aux: m.aux,
+	})
+}

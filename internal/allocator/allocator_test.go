@@ -1,0 +1,348 @@
+package allocator
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/msgchan"
+	"oasis/internal/netengine"
+	"oasis/internal/netstack"
+	"oasis/internal/sim"
+)
+
+// allocRig wires an allocator to fake frontend/backend endpoints (plain
+// link ends driven by test processes), isolating the allocator's protocol
+// behaviour from the full engine.
+type allocRig struct {
+	eng   *sim.Engine
+	pool  *cxl.Pool
+	a     *Allocator
+	fe    map[int]*core.LinkEnd    // test side of frontend links
+	be    map[uint16]*core.LinkEnd // test side of backend links
+	hosts []*host.Host
+}
+
+func newAllocRig(t *testing.T, nHosts int, nics []NICInfo) *allocRig {
+	t.Helper()
+	eng := sim.New()
+	pool := cxl.NewPool(eng, 1<<27, cxl.DefaultParams())
+	r := &allocRig{
+		eng:  eng,
+		pool: pool,
+		fe:   make(map[int]*core.LinkEnd),
+		be:   make(map[uint16]*core.LinkEnd),
+	}
+	for i := 0; i < nHosts; i++ {
+		r.hosts = append(r.hosts, host.New(eng, i, "h", pool, host.DefaultConfig()))
+	}
+	r.a = New(r.hosts[0], DefaultConfig())
+	for i := 1; i < nHosts; i++ {
+		aEnd, feEnd, err := core.NewDuplexLink(pool, r.hosts[0], r.hosts[i], msgchan.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.a.AddFrontend(i, aEnd)
+		r.fe[i] = feEnd
+	}
+	for _, info := range nics {
+		aEnd, beEnd, err := core.NewDuplexLink(pool, r.hosts[0], r.hosts[info.HostID], msgchan.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.a.AddNIC(info, aEnd)
+		r.be[info.ID] = beEnd
+	}
+	r.a.Start()
+	return r
+}
+
+// expectMsg polls a link until a control message arrives or times out.
+func expectMsg(p *sim.Proc, end *core.LinkEnd, timeout sim.Duration) (netengine.ControlMsg, bool) {
+	deadline := p.Now() + timeout
+	for p.Now() < deadline {
+		if payload, ok := end.Poll(p); ok {
+			return netengine.DecodeControl(payload), true
+		}
+		p.Sleep(5 * time.Microsecond)
+	}
+	return netengine.ControlMsg{}, false
+}
+
+func sendCtl(p *sim.Proc, end *core.LinkEnd, m netengine.ControlMsg) {
+	var buf [15]byte
+	end.Send(p, netengine.EncodeControl(buf[:], m))
+	end.Flush(p)
+}
+
+func TestPlacementPrefersLocalNIC(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("fe2", func(p *sim.Proc) {
+		sendCtl(p, r.fe[2], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip})
+		m, ok := expectMsg(p, r.fe[2], 50*time.Millisecond)
+		if !ok || m.Op != netengine.CtlAssign {
+			t.Errorf("no assign: %+v ok=%v", m, ok)
+		} else if m.NIC != 2 {
+			t.Errorf("assigned NIC %d, want host-local 2", m.NIC)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if got, _ := r.a.PrimaryOf(ip); got != 2 {
+		t.Fatalf("allocator state: primary = %d", got)
+	}
+}
+
+func TestPlacementSpillsToLeastLoaded(t *testing.T) {
+	// Host 1 has a tiny NIC; demand exceeds it, so the second instance on
+	// host 1 must spill to the remote NIC with more headroom.
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 1.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	ip1 := netstack.IPv4(10, 0, 0, 1)
+	ip2 := netstack.IPv4(10, 0, 0, 2)
+	r.eng.Go("fe1", func(p *sim.Proc) {
+		sendCtl(p, r.fe[1], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip1})
+		m1, ok1 := expectMsg(p, r.fe[1], 50*time.Millisecond)
+		sendCtl(p, r.fe[1], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip2})
+		m2, ok2 := expectMsg(p, r.fe[1], 50*time.Millisecond)
+		if !ok1 || !ok2 {
+			t.Error("missing assignments")
+		} else {
+			if m1.NIC != 1 {
+				t.Errorf("first instance on NIC %d, want local 1", m1.NIC)
+			}
+			if m2.NIC != 2 {
+				t.Errorf("second instance on NIC %d, want spill to 2", m2.NIC)
+			}
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+}
+
+func TestBackupNICNotUsedForPlacement(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9, Backup: true},
+	}
+	r := newAllocRig(t, 3, nics)
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("fe2", func(p *sim.Proc) {
+		// Host 2's local NIC is the backup: placement must avoid it and
+		// use NIC 1, with NIC 2 as the backup assignment.
+		sendCtl(p, r.fe[2], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip})
+		m, ok := expectMsg(p, r.fe[2], 50*time.Millisecond)
+		if !ok || m.NIC != 1 {
+			t.Errorf("assigned %+v, want primary 1", m)
+		}
+		if m.Aux != 2 {
+			t.Errorf("backup = %d, want the reserved NIC 2", m.Aux)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+}
+
+func TestLinkDownTriggersFailoverMessages(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9, Backup: true},
+	}
+	r := newAllocRig(t, 3, nics)
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		sendCtl(p, r.fe[1], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip})
+		if _, ok := expectMsg(p, r.fe[1], 50*time.Millisecond); !ok {
+			t.Error("no assignment")
+			r.eng.Shutdown()
+			return
+		}
+		// Backend of NIC 1 reports link down.
+		sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlLinkDown, NIC: 1})
+		// Every frontend must receive a failover command...
+		m, ok := expectMsg(p, r.fe[1], 50*time.Millisecond)
+		if !ok || m.Op != netengine.CtlFailover || m.NIC != 1 || m.Aux != 2 {
+			t.Errorf("fe1 got %+v ok=%v, want failover 1->2", m, ok)
+		}
+		// ...and the backup's backend a borrow-MAC command.
+		bm, ok := expectMsg(p, r.be[2], 50*time.Millisecond)
+		if !ok || bm.Op != netengine.CtlBorrowMAC || bm.NIC != 1 {
+			t.Errorf("backup backend got %+v ok=%v, want borrow-MAC 1", bm, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.Failovers != 1 {
+		t.Fatalf("failovers = %d", r.a.Failovers)
+	}
+	if got, _ := r.a.PrimaryOf(ip); got != 2 {
+		t.Fatalf("instance not moved to backup: primary = %d", got)
+	}
+	if r.a.NICUp(1) {
+		t.Fatal("failed NIC still marked up")
+	}
+}
+
+func TestLeaseExpiryFailsSilentHost(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9, Backup: true},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		// One telemetry record establishes the lease...
+		sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 100, LinkUp: true})
+		// ...then silence for longer than the lease timeout.
+		p.Sleep(DefaultConfig().LeaseTimeout + 200*time.Millisecond)
+		m, ok := expectMsg(p, r.fe[1], 100*time.Millisecond)
+		if !ok || m.Op != netengine.CtlFailover {
+			t.Errorf("no failover after lease expiry: %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.LeaseExpiries != 1 {
+		t.Fatalf("lease expiries = %d", r.a.LeaseExpiries)
+	}
+}
+
+func TestTelemetryUpdatesLoadView(t *testing.T) {
+	nics := []NICInfo{{ID: 1, HostID: 1, CapacityBps: 12.5e9}}
+	r := newAllocRig(t, 2, nics)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 500_000_000, LinkUp: true})
+		p.Sleep(5 * time.Millisecond)
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	// 500 MB per 100 ms window = 5 GB/s.
+	if got := r.a.NICLoad(1); got < 4.9e9 || got > 5.1e9 {
+		t.Fatalf("telemetry-derived load = %v, want ≈ 5e9", got)
+	}
+}
+
+func TestMigrateSendsCommandToOwningHost(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		sendCtl(p, r.fe[1], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip})
+		expectMsg(p, r.fe[1], 50*time.Millisecond)
+		r.a.Migrate(ip, 2)
+		m, ok := expectMsg(p, r.fe[1], 50*time.Millisecond)
+		if !ok || m.Op != netengine.CtlMigrate || m.NIC != 2 || m.IP != ip {
+			t.Errorf("migrate command = %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.Migrations != 1 {
+		t.Fatalf("migrations = %d", r.a.Migrations)
+	}
+	if got, _ := r.a.PrimaryOf(ip); got != 2 {
+		t.Fatalf("primary after migrate = %d", got)
+	}
+}
+
+func TestRebalanceMovesInstanceOffHotNIC(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 10e9},
+		{ID: 2, HostID: 2, CapacityBps: 10e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.a.cfg.Rebalance = true
+	r.a.cfg.RebalanceEvery = 50 * time.Millisecond
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		sendCtl(p, r.fe[1], netengine.ControlMsg{Op: netengine.CtlAllocRequest, IP: ip})
+		if m, ok := expectMsg(p, r.fe[1], 50*time.Millisecond); !ok || m.NIC != 1 {
+			t.Errorf("placement: %+v ok=%v", m, ok)
+		}
+		// Telemetry: NIC 1 at 90% (hot), NIC 2 idle (cold). Load field is
+		// bytes per 100 ms window → 0.9 GB/window = 9 GB/s on 10 Gbps... use
+		// bytes: 9e8 per window = 9 GB/s? CapacityBps is bytes/s here (10e9).
+		for i := 0; i < 12; i++ {
+			sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 9e8, LinkUp: true})
+			sendCtl(p, r.be[2], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 2, Load: 1e7, LinkUp: true})
+			p.Sleep(20 * time.Millisecond)
+		}
+		m, ok := expectMsg(p, r.fe[1], 200*time.Millisecond)
+		if !ok || m.Op != netengine.CtlMigrate || m.NIC != 2 || m.IP != ip {
+			t.Errorf("expected migrate to NIC 2, got %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.Rebalances != 1 {
+		t.Fatalf("rebalances = %d, want exactly 1 (hysteresis after the move)", r.a.Rebalances)
+	}
+	if got, _ := r.a.PrimaryOf(ip); got != 2 {
+		t.Fatalf("instance still on NIC %d", got)
+	}
+}
+
+func TestNoRebalanceWhenBalanced(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 10e9},
+		{ID: 2, HostID: 2, CapacityBps: 10e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.a.cfg.Rebalance = true
+	r.a.cfg.RebalanceEvery = 50 * time.Millisecond
+	r.eng.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 6e8, LinkUp: true})
+			sendCtl(p, r.be[2], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 2, Load: 6e8, LinkUp: true})
+			p.Sleep(25 * time.Millisecond)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.Rebalances != 0 {
+		t.Fatalf("spurious rebalances = %d", r.a.Rebalances)
+	}
+}
+
+func TestAERBurstTriggersProactiveFailover(t *testing.T) {
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9, Backup: true},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		// Healthy telemetry with a trickle of correctable-only noise (AER=0
+		// here counts uncorrectable): no failover.
+		sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 100, LinkUp: true, AER: 3})
+		p.Sleep(10 * time.Millisecond)
+		if r.a.AERFailovers != 0 {
+			t.Error("failover on sub-threshold AER noise")
+		}
+		// A burst of uncorrectable errors while the link is still up.
+		sendCtl(p, r.be[1], netengine.ControlMsg{Op: netengine.CtlTelemetry, NIC: 1, Load: 100, LinkUp: true, AER: 40})
+		m, ok := expectMsg(p, r.fe[1], 50*time.Millisecond)
+		if !ok || m.Op != netengine.CtlFailover || m.NIC != 1 || m.Aux != 2 {
+			t.Errorf("no proactive failover: %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.AERFailovers != 1 || r.a.Failovers != 1 {
+		t.Fatalf("AER failovers = %d, failovers = %d", r.a.AERFailovers, r.a.Failovers)
+	}
+	if r.a.NICUp(1) {
+		t.Fatal("dying NIC still marked up")
+	}
+}

@@ -1,0 +1,456 @@
+// Package cache models one host's CPU cache in front of the CXL pool.
+//
+// This is the piece of the substrate that makes the pool *non-coherent*: a
+// line cached on host A is never invalidated when host B (or a device)
+// overwrites the corresponding pool memory, so A keeps reading stale data
+// until software explicitly invalidates the line (CLFLUSHOPT + MFENCE) —
+// exactly the behaviour §3.2 of the paper builds its message-channel designs
+// around. The model implements:
+//
+//   - demand fills with load-to-use latency and link-bandwidth serialization,
+//   - software prefetch (PREFETCHT0) as an asynchronous fill that is IGNORED
+//     when the line is already present — even if the cached copy is stale.
+//     This "prefetchers ignore present lines" rule is the root cause of the
+//     order-of-magnitude throughput gap between the paper's channel designs
+//     ② and ③ (Fig. 6),
+//   - CLFLUSHOPT (write back if dirty, then drop), CLWB (write back, keep
+//     clean), MFENCE (ordering cost),
+//   - write-back caching with LRU eviction (evicted dirty lines reach the
+//     pool — a coherence hazard Oasis avoids by explicit management),
+//   - snooping for device DMA: DMA that hits a host cache must write back /
+//     drop the line first, the cost §3.2.1 eliminates by keeping I/O buffers
+//     out of backend caches.
+//
+// All timing methods take the calling process and advance its virtual time.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"oasis/internal/cxl"
+	"oasis/internal/sim"
+)
+
+// Params configures per-operation CPU costs. Defaults are representative of
+// a current x86 server core (§2.3 and common microbenchmark values).
+type Params struct {
+	HitLatency     sim.Duration // L1/L2 hit, per line access
+	StoreLatency   sim.Duration // store into a cached line, per line
+	FlushIssue     sim.Duration // CLFLUSHOPT issue cost, per line
+	WritebackIssue sim.Duration // CLWB issue cost, per line
+	FenceLatency   sim.Duration // MFENCE drain cost
+	PrefetchIssue  sim.Duration // PREFETCHT0 issue cost, per line
+	CapacityLines  int          // LRU capacity; 0 means DefaultCapacityLines
+}
+
+// DefaultCapacityLines is 32 Ki lines = 2 MiB, a slice of LLC plausibly
+// available to a polling core.
+const DefaultCapacityLines = 32768
+
+// DefaultParams returns the calibrated cost model.
+func DefaultParams() Params {
+	return Params{
+		HitLatency:     2 * time.Nanosecond,
+		StoreLatency:   6 * time.Nanosecond,
+		FlushIssue:     15 * time.Nanosecond,
+		WritebackIssue: 15 * time.Nanosecond,
+		FenceLatency:   30 * time.Nanosecond,
+		PrefetchIssue:  1 * time.Nanosecond,
+	}
+}
+
+// Stats counts cache events for tests and ablation reports.
+type Stats struct {
+	Hits              int64 // line accesses served from a ready cached line
+	Misses            int64 // demand fills
+	FillWaits         int64 // accesses that waited on an in-flight fill
+	PrefetchIssued    int64 // prefetches that started a fill
+	PrefetchIgnored   int64 // prefetches dropped because the line was present
+	Writebacks        int64 // CLWB/CLFLUSHOPT pushes of dirty lines
+	Evictions         int64 // capacity evictions
+	SnoopWritebacks   int64 // DMA snoops that hit a dirty line
+	SnoopDrops        int64 // DMA snoops that hit a clean line
+	BackInvalidations int64 // CXL 3.0 BI messages applied (HWCoherent mode)
+	DDIOInstalls      int64 // DDIO allocating writes landed in this cache
+}
+
+type line struct {
+	addr    int64
+	data    [cxl.LineSize]byte
+	dirty   bool
+	pending bool         // fill in flight
+	readyAt sim.Duration // when the in-flight fill lands
+	gen     uint64       // invalidation cancels stale fill completions
+	lru     *list.Element
+}
+
+// Cache is one host's cache over the CXL pool, reached through one port.
+type Cache struct {
+	eng    *sim.Engine
+	port   *cxl.Port
+	params Params
+	lines  map[int64]*line
+	order  *list.List // front = most recently used
+	stats  Stats
+}
+
+// New returns an empty cache in front of port. When the pool runs in
+// HWCoherent (CXL 3.0 Back Invalidation) mode, the cache subscribes to BI
+// messages so remote writes invalidate its lines automatically.
+func New(eng *sim.Engine, port *cxl.Port, params Params) *Cache {
+	if params.CapacityLines == 0 {
+		params.CapacityLines = DefaultCapacityLines
+	}
+	c := &Cache{
+		eng:    eng,
+		port:   port,
+		params: params,
+		lines:  make(map[int64]*line),
+		order:  list.New(),
+	}
+	port.Pool().RegisterBI(c)
+	return c
+}
+
+// BackInvalidate implements cxl.BackInvalidator: a remote write reached the
+// line, so this cache's copy is dropped without writeback (the remote owner
+// has the newer data). Only invoked in HWCoherent mode.
+func (c *Cache) BackInvalidate(lineAddr int64) {
+	if ln, ok := c.lines[lineAddr]; ok {
+		ln.gen++ // cancel in-flight fills
+		c.order.Remove(ln.lru)
+		delete(c.lines, lineAddr)
+		c.stats.BackInvalidations++
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Port returns the CXL port this cache fills from.
+func (c *Cache) Port() *cxl.Port { return c.port }
+
+// touch moves a line to the MRU position.
+func (c *Cache) touch(ln *line) { c.order.MoveToFront(ln.lru) }
+
+// insert adds a line, evicting LRU entries over capacity.
+func (c *Cache) insert(ln *line) {
+	ln.lru = c.order.PushFront(ln)
+	c.lines[ln.addr] = ln
+	attempts := c.order.Len()
+	for len(c.lines) > c.params.CapacityLines && attempts > 0 {
+		attempts--
+		el := c.order.Back()
+		victim := el.Value.(*line)
+		if victim.pending {
+			// Never evict an in-flight fill; promote it instead.
+			c.order.MoveToFront(el)
+			continue
+		}
+		c.dropLine(victim, "evict")
+		c.stats.Evictions++
+	}
+}
+
+// dropLine removes a line, writing it back first when dirty.
+func (c *Cache) dropLine(ln *line, category string) {
+	if ln.dirty {
+		c.port.WriteLine(ln.addr, ln.data[:], category)
+		c.stats.Writebacks++
+	}
+	ln.gen++ // cancels any in-flight fill completion
+	c.order.Remove(ln.lru)
+	delete(c.lines, ln.addr)
+}
+
+// startFill begins an asynchronous fill for an absent line and returns it.
+func (c *Cache) startFill(addr int64, category string) *line {
+	ln := &line{addr: addr, pending: true}
+	ln.readyAt = c.port.FetchLine(addr, category)
+	gen := ln.gen
+	c.eng.At(ln.readyAt, func() {
+		if ln.gen != gen || !ln.pending {
+			return // invalidated while in flight
+		}
+		c.port.CollectLine(addr, ln.data[:])
+		ln.pending = false
+	})
+	c.insert(ln)
+	return ln
+}
+
+// ensureReady makes the line present and ready, advancing p's time by the
+// demand-miss or fill-wait cost. It returns the line.
+func (c *Cache) ensureReady(p *sim.Proc, addr int64, category string) *line {
+	ln, ok := c.lines[addr]
+	if !ok {
+		c.stats.Misses++
+		ln = c.startFill(addr, category)
+	} else if ln.pending {
+		c.stats.FillWaits++
+	} else {
+		c.stats.Hits++
+		c.touch(ln)
+		p.Sleep(c.params.HitLatency)
+		return ln
+	}
+	if wait := ln.readyAt - p.Now(); wait > 0 {
+		p.Sleep(wait)
+	}
+	// The fill-completion event and this wakeup share a timestamp; the fill
+	// event was scheduled first, so the data has landed. Guard regardless.
+	if ln.pending {
+		c.port.CollectLine(addr, ln.data[:])
+		ln.pending = false
+	}
+	c.touch(ln)
+	p.Sleep(c.params.HitLatency)
+	return ln
+}
+
+// Read copies len(buf) bytes at addr through the cache into buf, advancing
+// p's time. Fills for all absent lines are issued up front and overlap (the
+// core's miss-level parallelism), so bulk copies run at link bandwidth plus
+// one load-to-use latency, not one latency per line. Present lines are
+// served from the cache — including stale ones; staleness is the caller's
+// problem, as on real non-coherent hardware.
+func (c *Cache) Read(p *sim.Proc, addr int64, buf []byte, category string) {
+	if len(buf) == 0 {
+		return
+	}
+	// Phase 1: issue fills for all absent lines.
+	first := cxl.LineAddr(addr)
+	last := cxl.LineAddr(addr + int64(len(buf)) - 1)
+	var lastReady sim.Duration
+	for a := first; a <= last; a += cxl.LineSize {
+		ln, ok := c.lines[a]
+		if !ok {
+			c.stats.Misses++
+			ln = c.startFill(a, category)
+		} else if ln.pending {
+			c.stats.FillWaits++
+		} else {
+			c.stats.Hits++
+			c.touch(ln)
+			p.Sleep(c.params.HitLatency)
+			continue
+		}
+		if ln.readyAt > lastReady {
+			lastReady = ln.readyAt
+		}
+	}
+	// Phase 2: wait for the slowest fill.
+	if wait := lastReady - p.Now(); wait > 0 {
+		p.Sleep(wait)
+	}
+	// Phase 3: collect.
+	for a := first; a <= last; a += cxl.LineSize {
+		ln := c.lines[a]
+		if ln == nil {
+			// Evicted by a concurrent capacity squeeze mid-copy; refill
+			// synchronously. Rare, but must stay correct.
+			ln = c.ensureReady(p, a, category)
+		} else if ln.pending {
+			c.port.CollectLine(a, ln.data[:])
+			ln.pending = false
+		}
+		lo := a
+		if lo < addr {
+			lo = addr
+		}
+		hi := a + cxl.LineSize
+		if hi > addr+int64(len(buf)) {
+			hi = addr + int64(len(buf))
+		}
+		copy(buf[lo-addr:hi-addr], ln.data[lo-a:hi-a])
+	}
+}
+
+// Write stores data at addr through the cache (write-back, so the pool does
+// not see it until CLWB/CLFLUSHOPT or eviction), advancing p's time.
+//
+// Absent lines are allocated by merging the current pool contents at zero
+// latency cost: all Oasis datapath writes are streaming full-buffer writes
+// for which real cores hide the read-for-ownership behind the store buffer;
+// merging keeps the untouched bytes of partially-written lines correct.
+func (c *Cache) Write(p *sim.Proc, addr int64, data []byte, category string) {
+	if len(data) == 0 {
+		return
+	}
+	first := cxl.LineAddr(addr)
+	last := cxl.LineAddr(addr + int64(len(data)) - 1)
+	for a := first; a <= last; a += cxl.LineSize {
+		ln, ok := c.lines[a]
+		if !ok {
+			ln = &line{addr: a}
+			c.port.Pool().Peek(a, ln.data[:])
+			c.insert(ln)
+		} else {
+			if ln.pending {
+				// Store to an in-flight line: wait for the fill, then merge.
+				c.stats.FillWaits++
+				if wait := ln.readyAt - p.Now(); wait > 0 {
+					p.Sleep(wait)
+				}
+				if ln.pending {
+					c.port.CollectLine(a, ln.data[:])
+					ln.pending = false
+				}
+			}
+			c.touch(ln)
+		}
+		lo := a
+		if lo < addr {
+			lo = addr
+		}
+		hi := a + cxl.LineSize
+		if hi > addr+int64(len(data)) {
+			hi = addr + int64(len(data))
+		}
+		copy(ln.data[lo-a:hi-a], data[lo-addr:hi-addr])
+		ln.dirty = true
+		p.Sleep(c.params.StoreLatency)
+	}
+}
+
+// Prefetch issues PREFETCHT0 for the line containing addr. If the line is
+// already present — ready, in flight, or STALE — the prefetch is ignored,
+// as hardware prefetch queues do. Otherwise an asynchronous fill begins.
+// The issue cost is charged to p.
+func (c *Cache) Prefetch(p *sim.Proc, addr int64, category string) {
+	p.Sleep(c.params.PrefetchIssue)
+	a := cxl.LineAddr(addr)
+	if _, ok := c.lines[a]; ok {
+		c.stats.PrefetchIgnored++
+		return
+	}
+	c.stats.PrefetchIssued++
+	c.startFill(a, category)
+}
+
+// FlushLine is CLFLUSHOPT: write the line back if dirty, then drop it so the
+// next access refetches from the pool. No-op (beyond issue cost) when the
+// line is absent.
+func (c *Cache) FlushLine(p *sim.Proc, addr int64, category string) {
+	p.Sleep(c.params.FlushIssue)
+	a := cxl.LineAddr(addr)
+	if ln, ok := c.lines[a]; ok {
+		c.dropLine(ln, category)
+	}
+}
+
+// WritebackLine is CLWB: push a dirty line to the pool but keep it cached
+// clean. No-op (beyond issue cost) for absent or clean lines.
+func (c *Cache) WritebackLine(p *sim.Proc, addr int64, category string) {
+	p.Sleep(c.params.WritebackIssue)
+	a := cxl.LineAddr(addr)
+	if ln, ok := c.lines[a]; ok && ln.dirty && !ln.pending {
+		c.port.WriteLine(a, ln.data[:], category)
+		ln.dirty = false
+		c.stats.Writebacks++
+	}
+}
+
+// Fence is MFENCE: orders preceding flushes/writebacks. The model applies
+// flush effects eagerly, so the fence only charges its drain cost — but
+// protocols must still call it where real hardware requires it, and the
+// cost shows up in their throughput.
+func (c *Cache) Fence(p *sim.Proc) {
+	p.Sleep(c.params.FenceLatency)
+}
+
+// Contains reports whether the line holding addr is present (ready or in
+// flight).
+func (c *Cache) Contains(addr int64) bool {
+	_, ok := c.lines[cxl.LineAddr(addr)]
+	return ok
+}
+
+// DirtyLines returns the number of dirty lines (test/debug).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, ln := range c.lines {
+		if ln.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+// InstallLine models a DDIO/"PCIe allocating write": the device writes the
+// line INTO this CPU cache (dirty) instead of memory. Within one coherent
+// host that is a latency win; across a non-coherent CXL pod it is the §3.2.1
+// hazard — the data never reaches pool memory until eviction, so other
+// hosts read stale bytes. Oasis therefore requires DDIO disabled; the nic
+// package's DDIO flag plus this method exist to demonstrate why.
+func (c *Cache) InstallLine(addr int64, data []byte) {
+	if len(data) != cxl.LineSize {
+		panic("cache: InstallLine requires a full line")
+	}
+	a := cxl.LineAddr(addr)
+	ln, ok := c.lines[a]
+	if !ok {
+		ln = &line{addr: a}
+		c.insert(ln)
+	} else {
+		ln.pending = false
+		ln.gen++
+		c.touch(ln)
+	}
+	copy(ln.data[:], data)
+	ln.dirty = true
+	c.stats.DDIOInstalls++
+}
+
+// Snoop services a device DMA touching [addr, addr+n): any cached line in
+// the range is written back (if dirty) and dropped, and the method returns
+// the extra device-side delay this caused. With the paper's discipline —
+// backend never inspects I/O buffers (§3.2.1) — snoops always miss and the
+// cost is zero.
+func (c *Cache) Snoop(addr int64, n int, category string) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	var delay sim.Duration
+	first := cxl.LineAddr(addr)
+	last := cxl.LineAddr(addr + int64(n) - 1)
+	for a := first; a <= last; a += cxl.LineSize {
+		ln, ok := c.lines[a]
+		if !ok {
+			continue
+		}
+		if ln.dirty {
+			c.stats.SnoopWritebacks++
+			delay += snoopWritebackCost
+		} else {
+			c.stats.SnoopDrops++
+			delay += snoopDropCost
+		}
+		c.dropLine(ln, category)
+	}
+	return delay
+}
+
+// Snoop costs: a cross-die snoop that hits dirty data costs roughly a cache
+// miss; dropping a clean line costs a coherence round only.
+const (
+	snoopWritebackCost = 90 * time.Nanosecond
+	snoopDropCost      = 30 * time.Nanosecond
+)
+
+// InvalidateAll drops every line (test/reset helper); dirty lines write back.
+func (c *Cache) InvalidateAll() {
+	for _, ln := range c.lines {
+		c.dropLine(ln, "reset")
+	}
+}
+
+// String summarizes occupancy for debugging.
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{lines=%d dirty=%d}", len(c.lines), c.DirtyLines())
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/msgchan"
+	"oasis/internal/sim"
+)
+
+func testPool() (*sim.Engine, *cxl.Pool) {
+	eng := sim.New()
+	return eng, cxl.NewPool(eng, 1<<24, cxl.DefaultParams())
+}
+
+func TestBufferAreaAllocFreeCycle(t *testing.T) {
+	_, pool := testPool()
+	region, _ := pool.Alloc(8192)
+	a, err := NewBufferArea(region, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 4 || a.FreeCount() != 4 {
+		t.Fatalf("capacity=%d free=%d", a.Capacity(), a.FreeCount())
+	}
+	seen := map[int64]bool{}
+	var addrs []int64
+	for i := 0; i < 4; i++ {
+		addr, ok := a.Alloc()
+		if !ok || seen[addr] || !a.Owns(addr) {
+			t.Fatalf("alloc %d: addr=%#x ok=%v dup=%v", i, addr, ok, seen[addr])
+		}
+		seen[addr] = true
+		addrs = append(addrs, addr)
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc succeeded on empty area")
+	}
+	if a.AllocFails != 1 {
+		t.Fatalf("AllocFails = %d", a.AllocFails)
+	}
+	for _, addr := range addrs {
+		a.Free(addr)
+	}
+	if a.FreeCount() != 4 {
+		t.Fatalf("free count after cycle = %d", a.FreeCount())
+	}
+}
+
+func TestBufferAreaRejectsUnalignedSize(t *testing.T) {
+	_, pool := testPool()
+	region, _ := pool.Alloc(8192)
+	if _, err := NewBufferArea(region, 100); err == nil {
+		t.Fatal("unaligned buffer size accepted")
+	}
+	if _, err := NewBufferArea(region, 1<<20); err == nil {
+		t.Fatal("oversized buffer size accepted")
+	}
+}
+
+func TestBufferAreaFreeForeignAddressPanics(t *testing.T) {
+	_, pool := testPool()
+	region, _ := pool.Alloc(8192)
+	a, _ := NewBufferArea(region, 2048)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic freeing a foreign address")
+		}
+	}()
+	a.Free(region.Base + 1) // not a buffer base
+}
+
+func TestWritebackInvalidateRangeMakeBufferVisible(t *testing.T) {
+	eng, pool := testPool()
+	hA := host.New(eng, 0, "A", pool, host.DefaultConfig())
+	hB := host.New(eng, 1, "B", pool, host.DefaultConfig())
+	region, _ := pool.Alloc(4096)
+	payload := bytes.Repeat([]byte{0x5A}, 1500)
+	eng.Go("test", func(p *sim.Proc) {
+		// A writes a packet and publishes it.
+		hA.Cache.Write(p, region.Base, payload, "payload")
+		WritebackRange(p, hA.Cache, region.Base, len(payload), "payload")
+		p.Sleep(time.Microsecond)
+		// B reads it fresh.
+		buf := make([]byte, len(payload))
+		hB.Cache.Read(p, region.Base, buf, "payload")
+		if !bytes.Equal(buf, payload) {
+			t.Error("cross-host buffer mismatch after WritebackRange")
+		}
+		// A recycles the buffer with new contents; B must invalidate to see
+		// them (this is the frontend's RX-buffer discipline).
+		payload2 := bytes.Repeat([]byte{0xA5}, 1500)
+		hA.Cache.Write(p, region.Base, payload2, "payload")
+		WritebackRange(p, hA.Cache, region.Base, len(payload2), "payload")
+		p.Sleep(time.Microsecond)
+		hB.Cache.Read(p, region.Base, buf, "payload")
+		if bytes.Equal(buf, payload2) {
+			t.Error("B saw fresh data without invalidating — cache model broken")
+		}
+		InvalidateRange(p, hB.Cache, region.Base, len(payload2), "payload")
+		hB.Cache.Read(p, region.Base, buf, "payload")
+		if !bytes.Equal(buf, payload2) {
+			t.Error("B still stale after InvalidateRange")
+		}
+	})
+	eng.Run()
+}
+
+func TestDuplexLinkBothDirections(t *testing.T) {
+	eng, pool := testPool()
+	hA := host.New(eng, 0, "A", pool, host.DefaultConfig())
+	hB := host.New(eng, 1, "B", pool, host.DefaultConfig())
+	aEnd, bEnd, err := NewDuplexLink(pool, hA, hB, msgchan.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	eng.Go("a", func(p *sim.Proc) {
+		if !aEnd.Send(p, []byte{1, 2, 3}) {
+			t.Error("a send failed")
+		}
+		aEnd.Flush(p)
+		for {
+			if msg, ok := aEnd.Poll(p); ok {
+				if msg[0] != 9 {
+					t.Errorf("a received %v", msg[:1])
+				}
+				done = true
+				eng.Shutdown()
+				return
+			}
+		}
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		for {
+			if msg, ok := bEnd.Poll(p); ok {
+				if msg[0] != 1 || msg[1] != 2 || msg[2] != 3 {
+					t.Errorf("b received %v", msg[:3])
+				}
+				if !bEnd.Send(p, []byte{9}) {
+					t.Error("b send failed")
+				}
+				bEnd.Flush(p)
+				return
+			}
+		}
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("round trip incomplete")
+	}
+}
+
+func TestDuplexLinkRequiresPodHosts(t *testing.T) {
+	eng, pool := testPool()
+	hA := host.New(eng, 0, "A", pool, host.DefaultConfig())
+	client := host.New(eng, 1, "client", nil, host.DefaultConfig())
+	if _, _, err := NewDuplexLink(pool, hA, client, msgchan.DefaultConfig()); err == nil {
+		t.Fatal("link to a non-pod host accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package memalloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocRoundsUp(t *testing.T) {
+	a := New(1024, 64)
+	base, rounded, err := a.Alloc(1)
+	if err != nil || base != 0 || rounded != 64 {
+		t.Fatalf("Alloc(1) = %d,%d,%v", base, rounded, err)
+	}
+	if a.FreeBytes() != 960 {
+		t.Fatalf("free = %d", a.FreeBytes())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(128, 64)
+	if _, _, err := a.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Alloc(1); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+}
+
+func TestFreeCoalescesAcrossThree(t *testing.T) {
+	a := New(192, 64)
+	b1, s1, _ := a.Alloc(64)
+	b2, s2, _ := a.Alloc(64)
+	b3, s3, _ := a.Alloc(64)
+	// Free outer spans, then middle: all three must coalesce.
+	a.Free(b1, s1)
+	a.Free(b3, s3)
+	a.Free(b2, s2)
+	if _, _, err := a.Alloc(192); err != nil {
+		t.Fatalf("full-range alloc after coalescing: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(128, 64)
+	b, s, _ := a.Alloc(64)
+	a.Free(b, s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected double-free panic")
+		}
+	}()
+	a.Free(b, s)
+}
+
+func TestInvalidFreePanics(t *testing.T) {
+	a := New(128, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unaligned free")
+		}
+	}()
+	a.Free(32, 64)
+}
+
+func TestZeroAllocRejected(t *testing.T) {
+	a := New(128, 64)
+	if _, _, err := a.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) must fail")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: free bytes plus live bytes always equals the managed size,
+	// and live spans never overlap.
+	f := func(ops []uint16) bool {
+		a := New(1<<16, 64)
+		type spanT struct{ base, size int64 }
+		var live []spanT
+		var liveBytes int64
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				a.Free(live[i].base, live[i].size)
+				liveBytes -= live[i].size
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				base, rounded, err := a.Alloc(int64(op%4096) + 1)
+				if err != nil {
+					continue
+				}
+				for _, o := range live {
+					if base < o.base+o.size && o.base < base+rounded {
+						return false
+					}
+				}
+				live = append(live, spanT{base, rounded})
+				liveBytes += rounded
+			}
+			if a.FreeBytes()+liveBytes != 1<<16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

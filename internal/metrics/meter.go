@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Meter accumulates bytes by category. The CXL pool uses one Meter per port
+// and direction to produce Table 3's payload-vs-message breakdown; NICs use
+// one per direction for utilization accounting.
+type Meter struct {
+	byCategory map[string]int64
+	total      int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{byCategory: make(map[string]int64)} }
+
+// Add accumulates n bytes under the category.
+func (m *Meter) Add(category string, n int64) {
+	if n < 0 {
+		panic("metrics: negative byte count")
+	}
+	m.byCategory[category] += n
+	m.total += n
+}
+
+// Total returns all bytes ever added.
+func (m *Meter) Total() int64 { return m.total }
+
+// Category returns the bytes added under one category.
+func (m *Meter) Category(c string) int64 { return m.byCategory[c] }
+
+// Categories returns the category names in sorted order.
+func (m *Meter) Categories() []string {
+	out := make([]string, 0, len(m.byCategory))
+	for c := range m.byCategory {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate returns the average throughput in bytes/second over the elapsed
+// virtual time (0 if elapsed is not positive).
+func (m *Meter) Rate(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.total) / elapsed.Seconds()
+}
+
+// CategoryRate returns a single category's average throughput in bytes/s.
+func (m *Meter) CategoryRate(c string, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.byCategory[c]) / elapsed.Seconds()
+}
+
+// Snapshot returns a copy of the per-category totals.
+func (m *Meter) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.byCategory))
+	for c, v := range m.byCategory {
+		out[c] = v
+	}
+	return out
+}
+
+// Diff returns the per-category bytes added since the snapshot was taken.
+func (m *Meter) Diff(snap map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m.byCategory))
+	for c, v := range m.byCategory {
+		if d := v - snap[c]; d != 0 {
+			out[c] = d
+		}
+	}
+	return out
+}
+
+// Reset clears all counts.
+func (m *Meter) Reset() {
+	m.byCategory = make(map[string]int64)
+	m.total = 0
+}
+
+// String renders per-category totals.
+func (m *Meter) String() string {
+	var b strings.Builder
+	b.WriteString("meter{")
+	for i, c := range m.Categories() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %d", c, m.byCategory[c])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// GBps converts bytes-per-second to the paper's GB/s (10^9 bytes).
+func GBps(bytesPerSecond float64) float64 { return bytesPerSecond / 1e9 }

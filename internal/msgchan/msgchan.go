@@ -1,0 +1,447 @@
+// Package msgchan implements Oasis's message channel over non-coherent
+// shared CXL memory (§3.2.2, §4) — the paper's core mechanism for signaling
+// I/O requests and completions between frontend and backend drivers on
+// different hosts.
+//
+// A channel is a single-producer single-consumer circular buffer of
+// fixed-size slots (16 B for the network engine, 64 B for the storage
+// engine) in shared CXL memory. The most significant bit of each slot is an
+// epoch bit toggled every wrap, so the receiver can tell a fresh message
+// from a stale one without a separate index. An 8 B consumed counter (on
+// its own cache line) flows back from receiver to sender so the sender
+// never overwrites unread slots; the receiver updates it in large batches
+// and the sender caches it (§4).
+//
+// The receiver comes in the four designs the paper evaluates in Figure 6:
+//
+//	DesignBypassCache         ①  invalidate + fence before every poll
+//	DesignNaivePrefetch       ②  + software prefetch; invalidate current
+//	                             line only after an empty poll
+//	DesignInvalidateConsumed  ③  + invalidate each line once all its
+//	                             messages are consumed (unblocks prefetch)
+//	DesignInvalidatePrefetched ④ + after an empty poll, also invalidate the
+//	                             previously prefetched (possibly stale) lines
+//
+// The performance differences between the designs are not coded in — they
+// emerge from the cache model's rules (prefetches ignore resident lines;
+// resident lines go stale silently).
+package msgchan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oasis/internal/cache"
+	"oasis/internal/cxl"
+	"oasis/internal/sim"
+)
+
+// Design selects the receiver's coherence strategy (Fig. 6).
+type Design int
+
+const (
+	// DesignBypassCache is the baseline ①: CLFLUSHOPT + MFENCE before every
+	// poll, so every poll pays a full CXL fetch.
+	DesignBypassCache Design = iota
+	// DesignNaivePrefetch is ②: prefetch ahead on successful polls;
+	// invalidate the current line only after an empty poll.
+	DesignNaivePrefetch
+	// DesignInvalidateConsumed is ③: ② plus invalidating each line as soon
+	// as all messages in it are consumed, so prefetching can pull in fresh
+	// copies.
+	DesignInvalidateConsumed
+	// DesignInvalidatePrefetched is ④ (the Oasis design): ③ plus, after an
+	// empty poll, invalidating the subsequent prefetched lines, which would
+	// otherwise sit stale in the cache and stall the next burst.
+	DesignInvalidatePrefetched
+	// DesignHWCoherent assumes a CXL 3.0 pool with Back Invalidation (§6):
+	// the receiver issues no software invalidations at all — remote writes
+	// evict its stale lines in hardware. Requires cxl.Params.HWCoherent.
+	DesignHWCoherent
+)
+
+// String names the design as in the paper's Figure 6 legend.
+func (d Design) String() string {
+	switch d {
+	case DesignBypassCache:
+		return "Bypass CPU Caches"
+	case DesignNaivePrefetch:
+		return "Naive Prefetching"
+	case DesignInvalidateConsumed:
+		return "+ Invalidate Consumed"
+	case DesignInvalidatePrefetched:
+		return "+ Invalidate Prefetched"
+	case DesignHWCoherent:
+		return "HW Coherent (CXL 3.0 BI)"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Config sizes a channel. The defaults mirror §3.2.2: 8192 slots, 16 B
+// messages, 16-line prefetch depth, counter updates every half capacity.
+type Config struct {
+	Slots         int    // ring capacity in messages
+	MsgSize       int    // 16 or 64 bytes; must divide the line size
+	PrefetchDepth int    // lines prefetched ahead (designs ②–④)
+	CounterBatch  int    // consumed-counter update batch; 0 = Slots/2
+	Design        Design // receiver strategy
+	Category      string // CXL traffic accounting label; default "message"
+	// MemClass overrides the channel region's latency class (e.g. a
+	// DDR-class ring for the local-baseline configurations of Fig. 11).
+	MemClass cxl.Class
+}
+
+// DefaultConfig returns the paper's network-engine channel configuration.
+func DefaultConfig() Config {
+	return Config{
+		Slots:         8192,
+		MsgSize:       16,
+		PrefetchDepth: 16,
+		Design:        DesignInvalidatePrefetched,
+		Category:      "message",
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots == 0 {
+		c.Slots = 8192
+	}
+	if c.MsgSize == 0 {
+		c.MsgSize = 16
+	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 16
+	}
+	if c.CounterBatch == 0 {
+		c.CounterBatch = c.Slots / 2
+	}
+	if c.Category == "" {
+		c.Category = "message"
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MsgSize <= 0 || cxl.LineSize%c.MsgSize != 0 {
+		return fmt.Errorf("msgchan: message size %d must divide the %d-byte line", c.MsgSize, cxl.LineSize)
+	}
+	if c.Slots <= 0 || c.Slots%(cxl.LineSize/c.MsgSize) != 0 {
+		return fmt.Errorf("msgchan: %d slots must fill whole lines", c.Slots)
+	}
+	if c.CounterBatch < 1 || c.CounterBatch > c.Slots {
+		return fmt.Errorf("msgchan: counter batch %d out of range", c.CounterBatch)
+	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("msgchan: negative prefetch depth")
+	}
+	return nil
+}
+
+const epochBit = 0x80
+
+// Channel is the shared layout: one region holding the slot ring followed by
+// the consumed counter on its own line.
+type Channel struct {
+	cfg    Config
+	region cxl.Region
+	// Derived layout.
+	ringBase     int64 // first slot address
+	counterAddr  int64 // 8-byte consumed counter, line-aligned
+	slotsPerLine int
+}
+
+// RegionBytes returns the pool bytes a channel with this config needs.
+func RegionBytes(cfg Config) int64 {
+	cfg = cfg.withDefaults()
+	return int64(cfg.Slots*cfg.MsgSize) + cxl.LineSize
+}
+
+// New lays a channel out in the given region. The region must hold
+// RegionBytes(cfg).
+func New(region cxl.Region, cfg Config) (*Channel, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if region.Size < RegionBytes(cfg) {
+		return nil, fmt.Errorf("msgchan: region %d bytes, need %d", region.Size, RegionBytes(cfg))
+	}
+	if cfg.Design == DesignHWCoherent && !region.Pool().Params().HWCoherent {
+		return nil, fmt.Errorf("msgchan: DesignHWCoherent requires a Back-Invalidation (HWCoherent) pool; " +
+			"a receiver that never invalidates would poll stale lines forever on CXL 2.0")
+	}
+	return &Channel{
+		cfg:          cfg,
+		region:       region,
+		ringBase:     region.Base,
+		counterAddr:  region.Base + int64(cfg.Slots*cfg.MsgSize),
+		slotsPerLine: cxl.LineSize / cfg.MsgSize,
+	}, nil
+}
+
+// Config returns the channel's effective configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// PayloadSize returns the usable bytes per message (slot minus header byte).
+func (ch *Channel) PayloadSize() int { return ch.cfg.MsgSize - 1 }
+
+// slotAddr maps an absolute message index to its slot address.
+func (ch *Channel) slotAddr(idx int64) int64 {
+	return ch.ringBase + (idx%int64(ch.cfg.Slots))*int64(ch.cfg.MsgSize)
+}
+
+// slotEpoch returns the epoch bit value a fresh message at absolute index
+// idx carries. Pool memory starts zeroed, so wrap 0 writes epoch 1.
+func (ch *Channel) slotEpoch(idx int64) byte {
+	if (idx/int64(ch.cfg.Slots))%2 == 0 {
+		return epochBit
+	}
+	return 0
+}
+
+// Sender is the producing endpoint. The sender is the ring's only writer, so
+// it keeps a private shadow of the ring contents and pushes whole lines to
+// the pool with CLWB — after filling a line under load, or explicitly via
+// Flush when the send rate is low (§3.2.2). Stores are modelled at
+// store-buffer cost: the read-for-ownership of a line the sender itself
+// wrote one wrap ago is hidden on real cores and carries no information.
+type Sender struct {
+	ch    *Channel
+	port  *cxl.Port
+	costs cache.Params
+
+	head           int64 // next absolute index to write
+	cachedConsumed int64 // sender's view of the receiver's counter
+	flushedThrough int64 // messages pushed to the pool (CLWBed)
+
+	shadow []byte // private copy of ring contents
+
+	// Stats.
+	Sent           int64
+	FullStalls     int64 // sends refused because the ring was full
+	CounterReads   int64
+	LinesWritten   int64
+	PartialFlushes int64
+}
+
+// NewSender returns the sending endpoint. costs supplies the CPU-side
+// instruction costs (use cache.DefaultParams()).
+func NewSender(ch *Channel, port *cxl.Port, costs cache.Params) *Sender {
+	return &Sender{
+		ch:     ch,
+		port:   port,
+		costs:  costs,
+		shadow: make([]byte, ch.cfg.Slots*ch.cfg.MsgSize),
+	}
+}
+
+// Free returns how many slots the sender believes are available. It does not
+// re-read the consumed counter.
+func (s *Sender) Free() int { return s.ch.cfg.Slots - int(s.head-s.cachedConsumed) }
+
+// refreshConsumed re-reads the consumed counter from the pool: CLFLUSHOPT +
+// MFENCE + a CXL fetch (§4).
+func (s *Sender) refreshConsumed(p *sim.Proc) {
+	p.Sleep(s.costs.FlushIssue + s.costs.FenceLatency)
+	arrival := s.port.FetchLine(s.ch.counterAddr, s.ch.cfg.Category)
+	if wait := arrival - p.Now(); wait > 0 {
+		p.Sleep(wait)
+	}
+	var line [cxl.LineSize]byte
+	s.port.CollectLine(s.ch.counterAddr, line[:])
+	s.cachedConsumed = int64(binary.LittleEndian.Uint64(line[:8]))
+	s.CounterReads++
+}
+
+// TrySend writes one message. payload must be at most PayloadSize bytes.
+// It returns false (after refreshing the consumed counter) when the ring is
+// full; the caller decides whether to retry, back off, or drop.
+func (s *Sender) TrySend(p *sim.Proc, payload []byte) bool {
+	if len(payload) > s.ch.PayloadSize() {
+		panic(fmt.Sprintf("msgchan: payload %d bytes exceeds slot payload %d", len(payload), s.ch.PayloadSize()))
+	}
+	if int(s.head-s.cachedConsumed) >= s.ch.cfg.Slots {
+		s.refreshConsumed(p)
+		if int(s.head-s.cachedConsumed) >= s.ch.cfg.Slots {
+			s.FullStalls++
+			return false
+		}
+	}
+	// Store the message into the shadow ring.
+	off := int(s.head%int64(s.ch.cfg.Slots)) * s.ch.cfg.MsgSize
+	slot := s.shadow[off : off+s.ch.cfg.MsgSize]
+	for i := range slot {
+		slot[i] = 0
+	}
+	slot[0] = s.ch.slotEpoch(s.head)
+	copy(slot[1:], payload)
+	p.Sleep(s.costs.StoreLatency)
+	s.head++
+	s.Sent++
+	// Filled the last slot of a line: CLWB it.
+	if s.head%int64(s.ch.slotsPerLine) == 0 {
+		s.writebackThrough(p, s.head)
+	}
+	return true
+}
+
+// Flush pushes any partially-filled line to the pool (CLWB). Drivers call it
+// when their send queue drains, which makes messages visible promptly at low
+// rates without paying a per-message CLWB under load.
+func (s *Sender) Flush(p *sim.Proc) {
+	if s.flushedThrough < s.head {
+		s.PartialFlushes++
+		s.writebackThrough(p, s.head)
+	}
+}
+
+// writebackThrough CLWBs every line containing messages in
+// [flushedThrough, through).
+func (s *Sender) writebackThrough(p *sim.Proc, through int64) {
+	spl := int64(s.ch.slotsPerLine)
+	firstLine := s.flushedThrough / spl
+	lastLine := (through - 1) / spl
+	for l := firstLine; l <= lastLine; l++ {
+		idx := l * spl // first slot of the line
+		addr := cxl.LineAddr(s.ch.slotAddr(idx))
+		off := int(idx%int64(s.ch.cfg.Slots)) * s.ch.cfg.MsgSize
+		p.Sleep(s.costs.WritebackIssue)
+		s.port.WriteLine(addr, s.shadow[off:off+cxl.LineSize], s.ch.cfg.Category)
+		s.LinesWritten++
+	}
+	s.flushedThrough = through
+}
+
+// Receiver is the consuming endpoint, reading through its host's cache with
+// the configured design's coherence strategy.
+type Receiver struct {
+	ch      *Channel
+	cache   *cache.Cache
+	slotBuf []byte
+
+	tail              int64 // next absolute index to read
+	pendingConsumed   int   // messages consumed since last counter update
+	highestPrefetched int64 // highest absolute line index prefetch was issued for
+
+	// Stats.
+	Received       int64
+	EmptyPolls     int64
+	CounterUpdates int64
+}
+
+// NewReceiver returns the consuming endpoint reading through c.
+func NewReceiver(ch *Channel, c *cache.Cache) *Receiver {
+	return &Receiver{ch: ch, cache: c, slotBuf: make([]byte, ch.cfg.MsgSize), highestPrefetched: -1}
+}
+
+// absLine returns the absolute line index of absolute message index idx.
+func (r *Receiver) absLine(idx int64) int64 { return idx / int64(r.ch.slotsPerLine) }
+
+// lineAddrOf returns the pool address of the line holding message idx.
+func (r *Receiver) lineAddrOf(idx int64) int64 {
+	return cxl.LineAddr(r.ch.slotAddr(idx))
+}
+
+// Poll attempts to consume one message, advancing p's time per the design's
+// cost model. On success it returns the payload (PayloadSize bytes, valid
+// until the next Poll).
+func (r *Receiver) Poll(p *sim.Proc) ([]byte, bool) {
+	cfg := r.ch.cfg
+	if cfg.Design == DesignBypassCache {
+		// ①: invalidate + fence before every poll, then read (always a miss).
+		r.cache.FlushLine(p, r.lineAddrOf(r.tail), cfg.Category)
+		r.cache.Fence(p)
+	}
+	slot := r.slotBuf
+	r.cache.Read(p, r.ch.slotAddr(r.tail), slot, cfg.Category)
+	if slot[0]&epochBit != r.ch.slotEpoch(r.tail) {
+		r.emptyPoll(p)
+		return nil, false
+	}
+	// Fresh message.
+	msgIdx := r.tail
+	r.tail++
+	r.Received++
+	r.pendingConsumed++
+	if r.pendingConsumed >= cfg.CounterBatch {
+		r.updateCounter(p)
+	}
+	switch cfg.Design {
+	case DesignNaivePrefetch, DesignInvalidateConsumed, DesignInvalidatePrefetched, DesignHWCoherent:
+		r.prefetchAhead(p)
+	}
+	switch cfg.Design {
+	case DesignInvalidateConsumed, DesignInvalidatePrefetched:
+		// ③④: drop the line once all its messages are consumed so a future
+		// prefetch can bring in the next wrap's contents.
+		if r.tail%int64(r.ch.slotsPerLine) == 0 {
+			r.cache.FlushLine(p, r.lineAddrOf(msgIdx), cfg.Category)
+		}
+	}
+	return slot[1:], true
+}
+
+// emptyPoll applies the design's empty-poll coherence actions.
+func (r *Receiver) emptyPoll(p *sim.Proc) {
+	r.EmptyPolls++
+	cfg := r.ch.cfg
+	// Push the consumed counter when going idle so the sender cannot stay
+	// blocked on a stale counter forever (the batched update alone could
+	// deadlock a ring that drains below one batch).
+	if r.pendingConsumed > 0 {
+		r.updateCounter(p)
+	}
+	switch cfg.Design {
+	case DesignBypassCache, DesignHWCoherent:
+		// ① already invalidated before the read; HW coherence needs nothing.
+	case DesignNaivePrefetch, DesignInvalidateConsumed:
+		// ②③: invalidate the current line so the next poll refetches.
+		r.cache.FlushLine(p, r.lineAddrOf(r.tail), cfg.Category)
+		r.cache.Fence(p)
+	case DesignInvalidatePrefetched:
+		// ④: additionally invalidate the previously prefetched lines, which
+		// may hold stale contents that would block prefetching during the
+		// next burst.
+		cur := r.absLine(r.tail)
+		r.cache.FlushLine(p, r.lineAddrOf(r.tail), cfg.Category)
+		for l := cur + 1; l <= r.highestPrefetched; l++ {
+			idx := l * int64(r.ch.slotsPerLine)
+			r.cache.FlushLine(p, r.lineAddrOf(idx), cfg.Category)
+		}
+		r.highestPrefetched = cur
+		r.cache.Fence(p)
+	}
+}
+
+// prefetchAhead keeps a rolling window of PrefetchDepth lines in flight
+// beyond the current line.
+func (r *Receiver) prefetchAhead(p *sim.Proc) {
+	cur := r.absLine(r.tail)
+	from := r.highestPrefetched + 1
+	if from < cur+1 {
+		from = cur + 1
+	}
+	to := cur + int64(r.ch.cfg.PrefetchDepth)
+	for l := from; l <= to; l++ {
+		idx := l * int64(r.ch.slotsPerLine)
+		r.cache.Prefetch(p, r.ch.slotAddr(idx), r.ch.cfg.Category)
+	}
+	if to > r.highestPrefetched {
+		r.highestPrefetched = to
+	}
+}
+
+// updateCounter publishes the receiver's consumed count: store + CLWB on the
+// counter's dedicated line (§4).
+func (r *Receiver) updateCounter(p *sim.Proc) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.tail))
+	r.cache.Write(p, r.ch.counterAddr, buf[:], r.ch.cfg.Category)
+	r.cache.WritebackLine(p, r.ch.counterAddr, r.ch.cfg.Category)
+	r.pendingConsumed = 0
+	r.CounterUpdates++
+}
+
+// Consumed returns the receiver's total messages consumed.
+func (r *Receiver) Consumed() int64 { return r.tail }

@@ -1,0 +1,416 @@
+package netengine
+
+import (
+	"fmt"
+
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/netstack"
+	"oasis/internal/netsw"
+	"oasis/internal/nic"
+	"oasis/internal/sim"
+)
+
+// feLink is the backend's view of one frontend (one host).
+type feLink struct {
+	hostID int
+	end    *core.LinkEnd
+}
+
+// registration is one instance served by this backend's NIC.
+type registration struct {
+	ip   netstack.IP
+	tag  uint32
+	link *feLink
+}
+
+// txMeta tracks an in-flight WQE so its completion can be routed back.
+type txMeta struct {
+	addr int64
+	ip   netstack.IP
+	link *feLink
+}
+
+// pendingMsg is a frontend-bound message that hit a full ring.
+type pendingMsg struct {
+	l *feLink
+	m msg
+}
+
+// Backend is the per-NIC backend driver (§3.3): it forwards TX packets and
+// RX packets/completions between frontends and the NIC's queue pairs via
+// the NIC's native driver, monitors link status, and reports telemetry. It
+// never inspects I/O buffers except on the flow-tag-miss fallback path
+// (§3.3.1 footnote), keeping DMA snoop-free (§3.2.1).
+type Backend struct {
+	h     *host.Host
+	nicID uint16
+	dev   *nic.NIC
+	pool  *cxl.Pool
+	cfg   Config
+
+	rxArea    *core.BufferArea
+	links     []*feLink
+	regs      map[netstack.IP]*registration
+	tags      map[uint32]*registration
+	nextTag   uint32
+	cookies   map[uint64]txMeta
+	nextCook  uint64
+	ctrl      *core.LinkEnd
+	nicDir    map[uint16]netsw.MAC // pod directory: NIC id -> MAC (for borrowing)
+	rxTarget  int                  // RX descriptors to keep posted
+	lastUp    bool
+	nextCheck sim.Duration
+	nextTelem sim.Duration
+	loadSnap  int64
+	aerSnap   int64
+	started   bool
+	pending   []pendingMsg
+
+	suppressBorrow bool
+
+	// Stats.
+	TxPosted, RxForwarded int64
+	RxNoRoute             int64
+	Inspected             int64 // flow-tag-miss fallback inspections
+	LinkDownEvents        int64
+	MACBorrows            int64
+}
+
+// NewBackend creates the backend driver for a NIC attached to h. nicDir
+// maps every pod NIC id to its MAC (stored in shared CXL memory in the
+// paper's design; a static directory here).
+func NewBackend(h *host.Host, nicID uint16, dev *nic.NIC, pool *cxl.Pool, nicDir map[uint16]netsw.MAC, cfg Config) (*Backend, error) {
+	if !h.InPod() {
+		return nil, fmt.Errorf("netengine: backend host must be in the CXL pod")
+	}
+	region, err := pool.Alloc(cfg.RxAreaBytes)
+	if err != nil {
+		return nil, fmt.Errorf("netengine: RX area for NIC %d: %w", nicID, err)
+	}
+	area, err := core.NewBufferArea(region, cfg.BufSize)
+	if err != nil {
+		return nil, err
+	}
+	rxTarget := area.Capacity() / 2
+	if rxTarget > 1024 {
+		rxTarget = 1024
+	}
+	return &Backend{
+		h:        h,
+		nicID:    nicID,
+		dev:      dev,
+		pool:     pool,
+		cfg:      cfg,
+		rxArea:   area,
+		regs:     make(map[netstack.IP]*registration),
+		tags:     make(map[uint32]*registration),
+		nextTag:  1,
+		cookies:  make(map[uint64]txMeta),
+		nextCook: 1,
+		nicDir:   nicDir,
+		rxTarget: rxTarget,
+		lastUp:   true,
+	}, nil
+}
+
+// Host returns the backend's host.
+func (be *Backend) Host() *host.Host { return be.h }
+
+// NIC returns the device this backend drives.
+func (be *Backend) NIC() *nic.NIC { return be.dev }
+
+// NICID returns the pod-wide NIC identifier.
+func (be *Backend) NICID() uint16 { return be.nicID }
+
+// ConnectFrontend wires a frontend's link end into this backend.
+func (be *Backend) ConnectFrontend(hostID int, end *core.LinkEnd) {
+	be.links = append(be.links, &feLink{hostID: hostID, end: end})
+}
+
+// SetControlLink attaches the backend's channel to the pod-wide allocator.
+func (be *Backend) SetControlLink(end *core.LinkEnd) { be.ctrl = end }
+
+// Start launches the backend's dedicated polling core.
+func (be *Backend) Start() {
+	if be.started {
+		return
+	}
+	be.started = true
+	be.h.Eng.Go(fmt.Sprintf("%s/be%d", be.h.Name, be.nicID), be.loop)
+}
+
+func (be *Backend) loop(p *sim.Proc) {
+	be.nextCheck = p.Now() + be.cfg.LinkCheckEvery
+	be.nextTelem = p.Now() + be.cfg.TelemetryEvery
+	idle := sim.Duration(0)
+	for {
+		progress := len(be.pending)
+		be.drainPending(p)
+		// Frontend messages.
+		for _, l := range be.links {
+			for i := 0; i < be.cfg.Burst; i++ {
+				payload, ok := l.end.Poll(p)
+				if !ok {
+					break
+				}
+				be.handleFrontendMsg(p, l, decode(payload))
+				progress++
+			}
+		}
+		// NIC completion queues.
+		for i := 0; i < be.cfg.Burst; i++ {
+			tc, ok := be.dev.PollTxCompletion()
+			if !ok {
+				break
+			}
+			be.handleTxCompletion(p, tc)
+			progress++
+		}
+		for i := 0; i < be.cfg.Burst; i++ {
+			rc, ok := be.dev.PollRxCompletion()
+			if !ok {
+				break
+			}
+			be.handleRxCompletion(p, rc)
+			progress++
+		}
+		// Replenish RX descriptors.
+		for be.dev.RxDescCount() < be.rxTarget {
+			addr, ok := be.rxArea.Alloc()
+			if !ok {
+				break
+			}
+			if !be.dev.PostRx(p, nic.RxDesc{Addr: addr, Cap: be.cfg.BufSize}) {
+				be.rxArea.Free(addr)
+				break
+			}
+		}
+		// Control plane.
+		if be.ctrl != nil {
+			for i := 0; i < be.cfg.Burst; i++ {
+				payload, ok := be.ctrl.Poll(p)
+				if !ok {
+					break
+				}
+				be.handleControlMsg(p, decode(payload))
+			}
+			be.maybeCheckLink(p)
+			be.maybeSendTelemetry(p)
+		}
+		for _, l := range be.links {
+			l.end.Flush(p)
+		}
+		if be.ctrl != nil {
+			be.ctrl.Flush(p)
+		}
+		if progress > 0 {
+			idle = 0
+			p.Sleep(be.cfg.LoopCost)
+			continue
+		}
+		idle = nextIdle(idle, be.cfg.LoopCost, be.cfg.IdleBackoff)
+		p.Sleep(be.cfg.LoopCost + idle)
+	}
+}
+
+func (be *Backend) handleFrontendMsg(p *sim.Proc, l *feLink, m msg) {
+	p.Sleep(be.cfg.MsgCost)
+	switch m.op {
+	case opTxPacket:
+		cookie := be.nextCook
+		be.nextCook++
+		be.cookies[cookie] = txMeta{addr: m.addr, ip: m.ip, link: l}
+		// The backend never touches the packet buffer: it posts the WQE
+		// with the shared-memory pointer and lets the NIC DMA it (§3.3.1).
+		if !be.dev.PostTx(p, nic.WQE{Addr: m.addr, Len: int(m.size), Cookie: cookie}) {
+			// NIC ring full: bounce the completion immediately so the
+			// frontend frees the buffer (the packet is dropped, as a real
+			// full ring would).
+			delete(be.cookies, cookie)
+			be.sendToFE(p, l, msg{op: opTxComplete, addr: m.addr, ip: m.ip})
+			return
+		}
+		be.TxPosted++
+	case opRxComplete:
+		if be.rxArea.Owns(m.addr) {
+			be.rxArea.Free(m.addr)
+		}
+	case opRegister:
+		reg, ok := be.regs[m.ip]
+		if !ok {
+			reg = &registration{ip: m.ip, tag: be.nextTag, link: l}
+			be.nextTag++
+			be.regs[m.ip] = reg
+			be.tags[reg.tag] = reg
+			be.dev.AddFlowRule(uint32(m.ip), reg.tag)
+		} else {
+			reg.link = l
+		}
+		be.sendToFE(p, l, msg{op: opRegisterAck, ip: m.ip, nic: be.nicID})
+	case opUnregister:
+		if reg, ok := be.regs[m.ip]; ok {
+			be.dev.RemoveFlowRule(uint32(m.ip))
+			delete(be.regs, m.ip)
+			delete(be.tags, reg.tag)
+		}
+	}
+}
+
+func (be *Backend) handleTxCompletion(p *sim.Proc, tc nic.TxCompletion) {
+	meta, ok := be.cookies[tc.Cookie]
+	if !ok {
+		return
+	}
+	delete(be.cookies, tc.Cookie)
+	be.sendToFE(p, meta.link, msg{op: opTxComplete, addr: meta.addr, ip: meta.ip})
+}
+
+func (be *Backend) handleRxCompletion(p *sim.Proc, rc nic.RxCompletion) {
+	p.Sleep(be.cfg.MsgCost)
+	var reg *registration
+	if rc.Matched {
+		reg = be.tags[rc.Tag]
+	}
+	if reg == nil {
+		// Flow-tag miss (§3.3.1 footnote): inspect the payload to find the
+		// target instance, then invalidate the buffer from our caches so
+		// future DMA stays snoop-free.
+		reg = be.inspectAndRoute(p, rc)
+	}
+	if reg == nil {
+		be.RxNoRoute++
+		be.rxArea.Free(rc.Addr) // recycle immediately
+		return
+	}
+	be.sendToFE(p, reg.link, msg{op: opRxPacket, addr: rc.Addr, size: uint16(rc.Len), ip: reg.ip})
+	be.RxForwarded++
+}
+
+// inspectAndRoute reads the packet headers through the backend's cache to
+// extract the destination IP — the exceptional path that does bring buffer
+// lines into the backend's cache, paid for by the invalidations afterward.
+func (be *Backend) inspectAndRoute(p *sim.Proc, rc nic.RxCompletion) *registration {
+	be.Inspected++
+	n := rc.Len
+	if n > be.cfg.BufSize {
+		n = be.cfg.BufSize
+	}
+	buf := make([]byte, n)
+	be.h.Cache.Read(p, rc.Addr, buf, "payload")
+	core.InvalidateRange(p, be.h.Cache, rc.Addr, n, "payload")
+	pk, err := netstack.Unmarshal(buf)
+	if err != nil {
+		return nil
+	}
+	dst, ok := netstack.DstIPOf(pk)
+	if !ok {
+		return nil
+	}
+	return be.regs[dst]
+}
+
+// SuppressMACBorrow disables the MAC-borrowing response (failover ablation:
+// GARP-only recovery).
+func (be *Backend) SuppressMACBorrow() { be.suppressBorrow = true }
+
+func (be *Backend) handleControlMsg(p *sim.Proc, m msg) {
+	switch m.op {
+	case opBorrowMAC:
+		if be.suppressBorrow {
+			return
+		}
+		mac, ok := be.nicDir[m.nic]
+		if !ok {
+			return
+		}
+		be.borrowMAC(mac)
+	}
+}
+
+// borrowMAC announces the failed NIC's MAC from this NIC's switch port so
+// the ToR remaps the address (§3.3.3). The frame is a harmless broadcast
+// ARP reply for 0.0.0.0 — only its source MAC matters.
+func (be *Backend) borrowMAC(mac netsw.MAC) {
+	pk := &netstack.Packet{
+		SrcMAC:       mac,
+		DstMAC:       netsw.Broadcast,
+		EtherType:    netstack.EtherTypeARP,
+		ARPOp:        netstack.ARPReply,
+		ARPSenderMAC: mac,
+	}
+	frame := pk.Marshal()
+	be.dev.SendRaw(&netsw.Frame{Src: mac, Dst: netsw.Broadcast, Bytes: frame})
+	be.MACBorrows++
+}
+
+// maybeCheckLink polls the NIC's link-status register (§3.3.3) and reports
+// transitions to the allocator.
+func (be *Backend) maybeCheckLink(p *sim.Proc) {
+	if p.Now() < be.nextCheck {
+		return
+	}
+	be.nextCheck = p.Now() + be.cfg.LinkCheckEvery
+	up := be.dev.LinkUp()
+	if up == be.lastUp {
+		return
+	}
+	be.lastUp = up
+	var buf [15]byte
+	op := byte(opLinkUp)
+	if !up {
+		op = opLinkDown
+		be.LinkDownEvents++
+	}
+	be.ctrl.Send(p, msg{op: op, nic: be.nicID}.encode(buf[:]))
+	be.ctrl.Flush(p)
+}
+
+// maybeSendTelemetry emits the periodic load record (§3.5: every 100 ms).
+func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
+	if p.Now() < be.nextTelem {
+		return
+	}
+	be.nextTelem = p.Now() + be.cfg.TelemetryEvery
+	load := be.dev.TxBytes + be.dev.RxBytes
+	delta := load - be.loadSnap
+	be.loadSnap = load
+	aerDelta := be.dev.AERUncorrectable - be.aerSnap
+	be.aerSnap = be.dev.AERUncorrectable
+	if aerDelta > 65535 {
+		aerDelta = 65535
+	}
+	up := uint16(0)
+	if be.dev.LinkUp() {
+		up = 1
+	}
+	var buf [15]byte
+	be.ctrl.Send(p, msg{op: opTelemetry, nic: be.nicID, load: uint64(delta), size: up, aer: uint16(aerDelta)}.encode(buf[:]))
+	be.ctrl.Flush(p)
+}
+
+// sendToFE sends a message to a frontend. On a full ring it parks the
+// message on the pending list; the loop retries before new work
+// (completions must not be lost: they carry buffer ownership).
+func (be *Backend) sendToFE(p *sim.Proc, l *feLink, m msg) {
+	var buf [15]byte
+	if !l.end.Send(p, m.encode(buf[:])) {
+		be.pending = append(be.pending, pendingMsg{l, m})
+	}
+}
+
+// drainPending retries messages that hit full rings.
+func (be *Backend) drainPending(p *sim.Proc) {
+	if len(be.pending) == 0 {
+		return
+	}
+	var buf [15]byte
+	kept := be.pending[:0]
+	for _, pm := range be.pending {
+		if !pm.l.end.Send(p, pm.m.encode(buf[:])) {
+			kept = append(kept, pm)
+		}
+	}
+	be.pending = kept
+}

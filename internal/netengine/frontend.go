@@ -1,0 +1,524 @@
+package netengine
+
+import (
+	"fmt"
+	"time"
+
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/msgchan"
+	"oasis/internal/netstack"
+	"oasis/internal/netsw"
+	"oasis/internal/sim"
+)
+
+// Config sizes the network engine. The paper's values (64 MB TX areas, 4 GB
+// RX areas, 8192-slot channels) are configurable; defaults are scaled so a
+// simulation's free lists stay small while preserving the >packets-in-flight
+// property that matters.
+type Config struct {
+	TxAreaBytes int64 // per-instance TX buffer area (§3.3.1; paper: 64 MB)
+	RxAreaBytes int64 // per-NIC RX buffer area (§3.3.1; paper: 4 GB)
+	BufSize     int   // I/O buffer size; holds one MTU frame
+	Chan        msgchan.Config
+	LoopCost    sim.Duration // per poll-loop iteration CPU cost
+	Burst       int          // max items drained per queue per iteration
+	// MsgCost is the per-message driver handling cost (decode, per-instance
+	// state lookups, WQE/buffer bookkeeping) charged on each send and
+	// receive of a datapath message. It models the §5.1 observation that
+	// "the frontend and backend driver cores also handle other tasks, which
+	// delays message passing" — most of the 4-7 µs end-to-end overhead.
+	MsgCost sim.Duration
+	// IdleBackoff caps the exponential sleep a driver core applies after
+	// consecutive empty poll loops. Real cores busy-poll continuously; the
+	// backoff is a simulation-speed device that bounds added latency to one
+	// backoff period. Set 0 to busy-poll faithfully (Table 3's idle row).
+	IdleBackoff sim.Duration
+
+	LinkCheckEvery sim.Duration // backend link-status poll period
+	TelemetryEvery sim.Duration // backend telemetry period (§3.5: 100 ms)
+	MigrationGrace sim.Duration // §3.3.4: dual-NIC RX window (5 s)
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		TxAreaBytes:    4 << 20,
+		RxAreaBytes:    16 << 20,
+		BufSize:        2048,
+		Chan:           msgchan.DefaultConfig(),
+		LoopCost:       60 * time.Nanosecond,
+		Burst:          32,
+		MsgCost:        150 * time.Nanosecond,
+		IdleBackoff:    time.Microsecond,
+		LinkCheckEvery: time.Millisecond,
+		TelemetryEvery: 100 * time.Millisecond,
+		MigrationGrace: 5 * time.Second,
+	}
+}
+
+// txReq is one packet an instance queued for transmission.
+type txReq struct {
+	addr int64
+	size int
+}
+
+// beLink is the frontend's view of one backend (one NIC).
+type beLink struct {
+	nicID uint16
+	mac   netsw.MAC
+	end   *core.LinkEnd
+}
+
+// feCmd is deferred work executed on the frontend's core.
+type feCmd func(p *sim.Proc)
+
+// Frontend is the per-host frontend driver (§3.3): it owns the host's
+// instances' TX buffer areas, forwards packets and completions between
+// instances and backends, and applies the allocator's failover/migration
+// commands.
+type Frontend struct {
+	h    *host.Host
+	pool *cxl.Pool
+	cfg  Config
+
+	links     map[uint16]*beLink
+	linkOrder []uint16
+	insts     map[netstack.IP]*InstancePort
+	instOrder []netstack.IP
+	ctrl      *core.LinkEnd
+	cmds      *sim.Queue[feCmd]
+	scratch   []byte
+	started   bool
+
+	// Stats.
+	TxForwarded, RxDelivered int64
+	TxChannelFull            int64
+	UnknownCompletions       int64
+	FailoversApplied         int64
+}
+
+// NewFrontend creates the frontend driver for a pod host.
+func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
+	if !h.InPod() {
+		panic("netengine: frontend host must be in the CXL pod")
+	}
+	return &Frontend{
+		h:       h,
+		pool:    pool,
+		cfg:     cfg,
+		links:   make(map[uint16]*beLink),
+		insts:   make(map[netstack.IP]*InstancePort),
+		cmds:    sim.NewQueue[feCmd](h.Eng),
+		scratch: make([]byte, cfg.BufSize),
+	}
+}
+
+// Host returns the frontend's host.
+func (fe *Frontend) Host() *host.Host { return fe.h }
+
+// ConnectBackend wires this frontend to a backend over its end of a duplex
+// link. mac is the backend NIC's address (from the pod directory), which
+// instances served by that NIC use as their source MAC.
+func (fe *Frontend) ConnectBackend(nicID uint16, mac netsw.MAC, end *core.LinkEnd) {
+	fe.links[nicID] = &beLink{nicID: nicID, mac: mac, end: end}
+	fe.linkOrder = append(fe.linkOrder, nicID)
+}
+
+// SetControlLink attaches the frontend's channel to the pod-wide allocator.
+func (fe *Frontend) SetControlLink(end *core.LinkEnd) { fe.ctrl = end }
+
+// InstancePort is one instance's attachment to the frontend: its TX buffer
+// area, its queues, and its current NIC assignment. It implements
+// netstack.Endpoint.
+type InstancePort struct {
+	fe   *Frontend
+	ip   netstack.IP
+	area *core.BufferArea
+	txQ  *sim.Queue[txReq]
+
+	stack *netstack.Stack
+
+	primary, backup *beLink
+	pendingPrimary  uint16 // NIC id awaiting migration ack (0 = none)
+	ready           map[uint16]bool
+	readySig        *sim.Signal
+	curMAC          netsw.MAC
+
+	// Stats.
+	TxDropsNoBuffer int64
+	TxPackets       int64
+	RxPackets       int64
+}
+
+// AddInstance creates an instance attachment with its own TX buffer area
+// carved from the shared pool.
+func (fe *Frontend) AddInstance(ip netstack.IP) (*InstancePort, error) {
+	if _, dup := fe.insts[ip]; dup {
+		return nil, fmt.Errorf("netengine: instance %v already attached", ip)
+	}
+	region, err := fe.pool.Alloc(fe.cfg.TxAreaBytes)
+	if err != nil {
+		return nil, fmt.Errorf("netengine: TX area for %v: %w", ip, err)
+	}
+	area, err := core.NewBufferArea(region, fe.cfg.BufSize)
+	if err != nil {
+		return nil, err
+	}
+	inst := &InstancePort{
+		fe:       fe,
+		ip:       ip,
+		area:     area,
+		txQ:      sim.NewQueue[txReq](fe.h.Eng),
+		ready:    make(map[uint16]bool),
+		readySig: sim.NewSignal(fe.h.Eng),
+	}
+	fe.insts[ip] = inst
+	fe.instOrder = append(fe.instOrder, ip)
+	return inst, nil
+}
+
+// IP returns the instance's address.
+func (ip *InstancePort) IP() netstack.IP { return ip.ip }
+
+// Frontend returns the driver this port is attached to.
+func (ip *InstancePort) Frontend() *Frontend { return ip.fe }
+
+// AttachStack binds the instance's network stack (created with
+// CurrentMAC as its MAC source and this port as its endpoint).
+func (ip *InstancePort) AttachStack(s *netstack.Stack) { ip.stack = s }
+
+// CurrentMAC returns the MAC the instance currently transmits with — the
+// primary NIC's address, which survives failover because the backup NIC
+// borrows it (§3.3.3) and changes only on graceful migration (§3.3.4).
+func (ip *InstancePort) CurrentMAC() netsw.MAC { return ip.curMAC }
+
+// Ready reports whether the primary NIC registration completed.
+func (ip *InstancePort) Ready() bool {
+	return ip.primary != nil && ip.ready[ip.primary.nicID]
+}
+
+// WaitReady blocks the calling process until the instance can transmit.
+func (ip *InstancePort) WaitReady(p *sim.Proc, timeout sim.Duration) bool {
+	deadline := p.Now() + timeout
+	for !ip.Ready() {
+		remaining := deadline - p.Now()
+		if remaining <= 0 {
+			return false
+		}
+		ip.readySig.WaitTimeout(p, remaining)
+	}
+	return true
+}
+
+// Transmit implements netstack.Endpoint: the instance's stack writes the
+// packet into its TX buffer area in shared CXL memory (through the host
+// cache — the frontend writes it back later) and signals the frontend over
+// local IPC (§3.3.1).
+func (ip *InstancePort) Transmit(p *sim.Proc, frame []byte) {
+	if len(frame) > ip.area.BufSize() {
+		panic(fmt.Sprintf("netengine: frame of %d bytes exceeds buffer size %d", len(frame), ip.area.BufSize()))
+	}
+	addr, ok := ip.area.Alloc()
+	if !ok {
+		ip.TxDropsNoBuffer++
+		return
+	}
+	ip.fe.h.Cache.Write(p, addr, frame, "payload")
+	p.Sleep(ip.fe.h.IPCCost)
+	ip.txQ.Push(txReq{addr: addr, size: len(frame)})
+}
+
+// Assign sets the instance's primary and backup NICs, registering it with
+// both backends (§3.3.3: backup registration happens at launch so failover
+// is immediate). Pass backup = 0 for no backup.
+func (ip *InstancePort) Assign(primary, backup uint16) {
+	fe := ip.fe
+	fe.cmds.Push(func(p *sim.Proc) {
+		pl, ok := fe.links[primary]
+		if !ok {
+			panic(fmt.Sprintf("netengine: assign to unknown NIC %d", primary))
+		}
+		ip.primary = pl
+		ip.curMAC = pl.mac
+		fe.sendRegister(p, pl, ip.ip)
+		if backup != 0 {
+			bl, ok := fe.links[backup]
+			if !ok {
+				panic(fmt.Sprintf("netengine: backup NIC %d unknown", backup))
+			}
+			ip.backup = bl
+			fe.sendRegister(p, bl, ip.ip)
+		}
+	})
+}
+
+// RequestAllocation asks the pod-wide allocator to pick NICs for this
+// instance (§3.5); the allocator answers with an assign command.
+func (ip *InstancePort) RequestAllocation() {
+	fe := ip.fe
+	fe.cmds.Push(func(p *sim.Proc) {
+		if fe.ctrl == nil {
+			panic("netengine: RequestAllocation without a control link")
+		}
+		var buf [15]byte
+		fe.ctrl.Send(p, msg{op: opAllocRequest, ip: ip.ip}.encode(buf[:]))
+		fe.ctrl.Flush(p)
+	})
+}
+
+// sendRegister emits a registration message (best effort; the channel is
+// effectively never full for control traffic).
+func (fe *Frontend) sendRegister(p *sim.Proc, l *beLink, ip netstack.IP) {
+	var buf [15]byte
+	if !l.end.Send(p, msg{op: opRegister, ip: ip}.encode(buf[:])) {
+		// Ring full: retry via the command queue.
+		fe.cmds.Push(func(p *sim.Proc) { fe.sendRegister(p, l, ip) })
+		return
+	}
+	l.end.Flush(p)
+}
+
+// Start launches the frontend's dedicated polling core (§3.3).
+func (fe *Frontend) Start() {
+	if fe.started {
+		return
+	}
+	fe.started = true
+	fe.h.Eng.Go(fe.h.Name+"/fe", fe.loop)
+}
+
+func (fe *Frontend) loop(p *sim.Proc) {
+	idle := sim.Duration(0)
+	for {
+		progress := 0
+		// Deferred commands (assignments, migration steps).
+		for i := 0; i < fe.cfg.Burst; i++ {
+			cmd, ok := fe.cmds.TryPop()
+			if !ok {
+				break
+			}
+			cmd(p)
+			progress++
+		}
+		// Instance TX queues -> backends.
+		for _, ipAddr := range fe.instOrder {
+			inst := fe.insts[ipAddr]
+			if !inst.Ready() {
+				continue
+			}
+			for i := 0; i < fe.cfg.Burst; i++ {
+				req, ok := inst.txQ.TryPop()
+				if !ok {
+					break
+				}
+				fe.forwardTx(p, inst, req)
+				progress++
+			}
+		}
+		// Backend messages.
+		for _, nicID := range fe.linkOrder {
+			l := fe.links[nicID]
+			for i := 0; i < fe.cfg.Burst; i++ {
+				payload, ok := l.end.Poll(p)
+				if !ok {
+					break
+				}
+				fe.handleBackendMsg(p, l, decode(payload))
+				progress++
+			}
+		}
+		// Allocator commands.
+		if fe.ctrl != nil {
+			for i := 0; i < fe.cfg.Burst; i++ {
+				payload, ok := fe.ctrl.Poll(p)
+				if !ok {
+					break
+				}
+				fe.handleControlMsg(p, decode(payload))
+				progress++
+			}
+		}
+		// Push partial message lines promptly at low rates (§3.2.2).
+		for _, nicID := range fe.linkOrder {
+			fe.links[nicID].end.Flush(p)
+		}
+		if fe.ctrl != nil {
+			fe.ctrl.Flush(p)
+		}
+		if progress > 0 {
+			idle = 0
+			p.Sleep(fe.cfg.LoopCost)
+			continue
+		}
+		idle = nextIdle(idle, fe.cfg.LoopCost, fe.cfg.IdleBackoff)
+		p.Sleep(fe.cfg.LoopCost + idle)
+	}
+}
+
+// nextIdle doubles the idle backoff up to the cap.
+func nextIdle(cur, start, cap sim.Duration) sim.Duration {
+	if cap <= 0 {
+		return 0
+	}
+	if cur == 0 {
+		cur = start
+	} else {
+		cur *= 2
+	}
+	if cur > cap {
+		cur = cap
+	}
+	return cur
+}
+
+// forwardTx publishes the packet buffer and signals the backend (§3.3.1 TX).
+func (fe *Frontend) forwardTx(p *sim.Proc, inst *InstancePort, req txReq) {
+	p.Sleep(fe.cfg.MsgCost)
+	core.WritebackRange(p, fe.h.Cache, req.addr, req.size, "payload")
+	var buf [15]byte
+	m := msg{op: opTxPacket, addr: req.addr, size: uint16(req.size), ip: inst.ip}
+	if !inst.primary.end.Send(p, m.encode(buf[:])) {
+		fe.TxChannelFull++
+		inst.txQ.PushFront(req)
+		return
+	}
+	inst.TxPackets++
+	fe.TxForwarded++
+}
+
+func (fe *Frontend) handleBackendMsg(p *sim.Proc, l *beLink, m msg) {
+	p.Sleep(fe.cfg.MsgCost)
+	switch m.op {
+	case opTxComplete:
+		inst, ok := fe.insts[m.ip]
+		if !ok || !inst.area.Owns(m.addr) {
+			fe.UnknownCompletions++
+			return
+		}
+		inst.area.Free(m.addr)
+	case opRxPacket:
+		inst, ok := fe.insts[m.ip]
+		if !ok {
+			fe.UnknownCompletions++
+			// Recycle the buffer anyway so the backend does not leak it.
+			fe.sendRxComplete(p, l, m.addr)
+			return
+		}
+		fe.deliverRx(p, l, inst, m)
+	case opRegisterAck:
+		inst, ok := fe.insts[m.ip]
+		if !ok {
+			return
+		}
+		inst.ready[m.nic] = true
+		inst.readySig.Broadcast()
+		if inst.pendingPrimary == m.nic {
+			fe.completeMigration(p, inst, m.nic)
+		}
+	}
+}
+
+// deliverRx implements §3.3.1 RX: read the packet from the shared RX
+// buffer, copy it into the instance's local memory (isolation, §3.3.2),
+// invalidate the buffer lines, notify the instance, and recycle the buffer.
+func (fe *Frontend) deliverRx(p *sim.Proc, l *beLink, inst *InstancePort, m msg) {
+	n := int(m.size)
+	fe.h.Cache.Read(p, m.addr, fe.scratch[:n], "payload")
+	local := make([]byte, n)
+	copy(local, fe.scratch[:n])
+	p.Sleep(fe.h.Local.TouchCost(n)) // the isolation copy into instance memory
+	core.InvalidateRange(p, fe.h.Cache, m.addr, n, "payload")
+	fe.sendRxComplete(p, l, m.addr)
+	inst.RxPackets++
+	fe.RxDelivered++
+	if inst.stack != nil {
+		inst.stack.DeliverFrame(local)
+	}
+}
+
+func (fe *Frontend) sendRxComplete(p *sim.Proc, l *beLink, addr int64) {
+	var buf [15]byte
+	if !l.end.Send(p, msg{op: opRxComplete, addr: addr}.encode(buf[:])) {
+		fe.cmds.Push(func(p *sim.Proc) { fe.sendRxComplete(p, l, addr) })
+	}
+}
+
+func (fe *Frontend) handleControlMsg(p *sim.Proc, m msg) {
+	switch m.op {
+	case opFailover:
+		failed, backup := m.nic, m.aux
+		bl, ok := fe.links[backup]
+		if !ok {
+			return
+		}
+		for _, ipAddr := range fe.instOrder {
+			inst := fe.insts[ipAddr]
+			if inst.primary != nil && inst.primary.nicID == failed {
+				// TX reroutes immediately: buffers are already in shared CXL
+				// memory, so no copy is needed (§3.3.3). The MAC is borrowed,
+				// so curMAC stays.
+				inst.primary = bl
+				if !inst.ready[backup] {
+					fe.sendRegister(p, bl, inst.ip)
+				}
+				fe.FailoversApplied++
+			}
+		}
+	case opAssign:
+		inst, ok := fe.insts[m.ip]
+		if !ok {
+			return
+		}
+		backup := uint16(0)
+		if m.aux != 0 {
+			backup = m.aux
+		}
+		inst.Assign(m.nic, backup)
+	case opMigrate:
+		inst, ok := fe.insts[m.ip]
+		if !ok {
+			return
+		}
+		fe.startMigration(p, inst, m.nic)
+	}
+}
+
+// startMigration begins a graceful migration (§3.3.4): register with the
+// new NIC; the flip happens when the ack arrives.
+func (fe *Frontend) startMigration(p *sim.Proc, inst *InstancePort, newNIC uint16) {
+	nl, ok := fe.links[newNIC]
+	if !ok {
+		return
+	}
+	inst.pendingPrimary = newNIC
+	if inst.ready[newNIC] {
+		fe.completeMigration(p, inst, newNIC)
+		return
+	}
+	fe.sendRegister(p, nl, inst.ip)
+}
+
+// completeMigration flips the primary, announces the new MAC via
+// gratuitous ARP, and unregisters from the old NIC after the grace period.
+func (fe *Frontend) completeMigration(p *sim.Proc, inst *InstancePort, newNIC uint16) {
+	old := inst.primary
+	inst.primary = fe.links[newNIC]
+	inst.pendingPrimary = 0
+	inst.curMAC = inst.primary.mac
+	if inst.stack != nil {
+		inst.stack.GratuitousARP()
+	}
+	if old != nil && old.nicID != newNIC {
+		fe.h.Eng.After(fe.cfg.MigrationGrace, func() {
+			fe.cmds.Push(func(p *sim.Proc) {
+				var buf [15]byte
+				if old.end.Send(p, msg{op: opUnregister, ip: inst.ip}.encode(buf[:])) {
+					old.end.Flush(p)
+					delete(inst.ready, old.nicID)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,369 @@
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"oasis/internal/netsw"
+	"oasis/internal/sim"
+)
+
+// Endpoint is the stack's attachment to the world: for a pod instance it
+// writes the frame into the instance's CXL TX buffer area and signals the
+// frontend driver (§3.3.1); for a raw load-generator client it hands the
+// frame straight to a switch port.
+type Endpoint interface {
+	Transmit(p *sim.Proc, frame []byte)
+}
+
+// Config tunes the stack's costs and protocol timers.
+type Config struct {
+	RxCost     sim.Duration // per-packet receive-side processing
+	TxCost     sim.Duration // per-packet transmit-side processing
+	ARPTimeout sim.Duration
+	ARPRetries int
+	RTOInitial sim.Duration // TCP retransmission timeout (fixed-base, doubled on loss)
+	RTOMax     sim.Duration
+	TCPWindow  int // bytes in flight per connection
+}
+
+// DefaultConfig models a lean kernel-bypass stack (Junction-class).
+func DefaultConfig() Config {
+	return Config{
+		RxCost:     400 * time.Nanosecond,
+		TxCost:     400 * time.Nanosecond,
+		ARPTimeout: time.Millisecond,
+		ARPRetries: 5,
+		RTOInitial: 20 * time.Millisecond,
+		RTOMax:     320 * time.Millisecond,
+		TCPWindow:  256 << 10,
+	}
+}
+
+type eventKind int
+
+const (
+	evFrameIn eventKind = iota
+	evTxFrame
+	evTCPTimer
+)
+
+type event struct {
+	kind  eventKind
+	frame []byte
+	conn  *TCPConn
+	gen   int
+}
+
+// Stack is one endpoint's network stack. All protocol processing runs on a
+// single stack process (the instance's network thread); applications
+// interact through connection objects from their own processes.
+type Stack struct {
+	eng  *sim.Engine
+	name string
+	ip   IP
+	cfg  Config
+
+	// macFn returns the current source MAC — the MAC of the NIC presently
+	// serving this instance, which changes on graceful migration (§3.3.4).
+	macFn func() netsw.MAC
+	ep    Endpoint
+
+	events *sim.Queue[event]
+
+	arp        map[IP]netsw.MAC
+	arpWaiters map[IP]*sim.Signal
+
+	udp       map[uint16]*UDPConn
+	listeners map[uint16]*TCPListener
+	conns     map[fourTuple]*TCPConn
+	nextPort  uint16
+
+	// Stats.
+	RxPackets, TxPackets int64
+	RxNoSocket           int64
+	RxParseErrors        int64
+}
+
+type fourTuple struct {
+	localPort  uint16
+	remoteIP   IP
+	remotePort uint16
+}
+
+// NewStack builds a stack; call Start to launch its process.
+func NewStack(eng *sim.Engine, name string, ip IP, macFn func() netsw.MAC, ep Endpoint, cfg Config) *Stack {
+	return &Stack{
+		eng:        eng,
+		name:       name,
+		ip:         ip,
+		cfg:        cfg,
+		macFn:      macFn,
+		ep:         ep,
+		events:     sim.NewQueue[event](eng),
+		arp:        make(map[IP]netsw.MAC),
+		arpWaiters: make(map[IP]*sim.Signal),
+		udp:        make(map[uint16]*UDPConn),
+		listeners:  make(map[uint16]*TCPListener),
+		conns:      make(map[fourTuple]*TCPConn),
+		nextPort:   49152,
+	}
+}
+
+// IP returns the stack's address.
+func (s *Stack) IP() IP { return s.ip }
+
+// Name returns the stack's diagnostic name.
+func (s *Stack) Name() string { return s.name }
+
+// Start launches the stack process.
+func (s *Stack) Start() {
+	s.eng.Go(s.name+"/netstack", s.loop)
+}
+
+// DeliverFrame hands an arrived frame to the stack. Callable from event
+// callbacks and other processes; processing happens on the stack process.
+func (s *Stack) DeliverFrame(frame []byte) {
+	s.events.Push(event{kind: evFrameIn, frame: frame})
+}
+
+// loop is the stack process: frames in, frames out, TCP timers.
+func (s *Stack) loop(p *sim.Proc) {
+	for {
+		ev := s.events.Pop(p)
+		switch ev.kind {
+		case evFrameIn:
+			p.Sleep(s.cfg.RxCost)
+			s.handleFrame(p, ev.frame)
+		case evTxFrame:
+			p.Sleep(s.cfg.TxCost)
+			s.TxPackets++
+			s.ep.Transmit(p, ev.frame)
+		case evTCPTimer:
+			ev.conn.onTimer(p, ev.gen)
+		}
+	}
+}
+
+// transmit queues a packet for the stack process to marshal out.
+func (s *Stack) transmit(pk *Packet) {
+	s.events.Push(event{kind: evTxFrame, frame: pk.Marshal()})
+}
+
+func (s *Stack) handleFrame(p *sim.Proc, frame []byte) {
+	pk, err := Unmarshal(frame)
+	if err != nil {
+		s.RxParseErrors++
+		return
+	}
+	s.RxPackets++
+	switch pk.EtherType {
+	case EtherTypeARP:
+		s.handleARP(pk)
+	case EtherTypeIPv4:
+		if pk.DstIP != s.ip {
+			s.RxNoSocket++
+			return
+		}
+		// Opportunistically learn the peer's mapping; saves an ARP round
+		// trip on the reply path in a trusted rack.
+		s.learn(pk.SrcIP, pk.SrcMAC)
+		switch pk.Proto {
+		case ProtoUDP:
+			s.handleUDP(pk)
+		case ProtoTCP:
+			s.handleTCP(p, pk)
+		}
+	}
+}
+
+// learn records (and propagates to live connections) an IP→MAC mapping.
+func (s *Stack) learn(ip IP, mac netsw.MAC) {
+	if ip == 0 || ip == s.ip {
+		return
+	}
+	prev, had := s.arp[ip]
+	s.arp[ip] = mac
+	if sig := s.arpWaiters[ip]; sig != nil {
+		sig.Broadcast()
+	}
+	if had && prev != mac {
+		// The peer migrated to a different NIC (GARP, §3.3.4): update every
+		// established connection's cached next hop.
+		for _, c := range s.conns {
+			if c.remoteIP == ip {
+				c.remoteMAC = mac
+			}
+		}
+	}
+}
+
+func (s *Stack) handleARP(pk *Packet) {
+	s.learn(pk.ARPSenderIP, pk.ARPSenderMAC)
+	if pk.ARPOp == ARPRequest && pk.ARPTargetIP == s.ip {
+		s.transmit(&Packet{
+			SrcMAC:       s.macFn(),
+			DstMAC:       pk.ARPSenderMAC,
+			EtherType:    EtherTypeARP,
+			ARPOp:        ARPReply,
+			ARPSenderMAC: s.macFn(),
+			ARPSenderIP:  s.ip,
+			ARPTargetMAC: pk.ARPSenderMAC,
+			ARPTargetIP:  pk.ARPSenderIP,
+		})
+	}
+}
+
+// GratuitousARP broadcasts this stack's current IP→MAC binding. The
+// network engine invokes it after a graceful migration so peers repoint
+// their ARP entries at the new NIC (§3.3.4); the broadcast also teaches the
+// switch the MAC's new port.
+func (s *Stack) GratuitousARP() {
+	mac := s.macFn()
+	s.transmit(&Packet{
+		SrcMAC:       mac,
+		DstMAC:       netsw.Broadcast,
+		EtherType:    EtherTypeARP,
+		ARPOp:        ARPReply,
+		ARPSenderMAC: mac,
+		ARPSenderIP:  s.ip,
+		ARPTargetMAC: netsw.Broadcast,
+		ARPTargetIP:  s.ip,
+	})
+}
+
+// Resolve returns the MAC for ip, performing ARP if needed. It blocks the
+// calling (application) process; it must not be called from the stack
+// process itself.
+func (s *Stack) Resolve(p *sim.Proc, ip IP) (netsw.MAC, error) {
+	if mac, ok := s.arp[ip]; ok {
+		return mac, nil
+	}
+	sig := s.arpWaiters[ip]
+	if sig == nil {
+		sig = sim.NewSignal(s.eng)
+		s.arpWaiters[ip] = sig
+	}
+	for try := 0; try < s.cfg.ARPRetries; try++ {
+		s.transmit(&Packet{
+			SrcMAC:       s.macFn(),
+			DstMAC:       netsw.Broadcast,
+			EtherType:    EtherTypeARP,
+			ARPOp:        ARPRequest,
+			ARPSenderMAC: s.macFn(),
+			ARPSenderIP:  s.ip,
+			ARPTargetIP:  ip,
+		})
+		sig.WaitTimeout(p, s.cfg.ARPTimeout)
+		if mac, ok := s.arp[ip]; ok {
+			return mac, nil
+		}
+	}
+	return netsw.MAC{}, fmt.Errorf("netstack %s: ARP resolution of %v failed", s.name, ip)
+}
+
+// allocPort returns a free ephemeral port.
+func (s *Stack) allocPort() uint16 {
+	for i := 0; i < 1<<16; i++ {
+		port := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 49152
+		}
+		if _, udpUsed := s.udp[port]; udpUsed {
+			continue
+		}
+		inUse := false
+		for t := range s.conns {
+			if t.localPort == port {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return port
+		}
+	}
+	panic("netstack: ephemeral ports exhausted")
+}
+
+// Datagram is one received UDP payload.
+type Datagram struct {
+	Src     IP
+	SrcPort uint16
+	Data    []byte
+}
+
+// UDPConn is a bound UDP socket.
+type UDPConn struct {
+	stack *Stack
+	port  uint16
+	rq    *sim.Queue[Datagram]
+
+	Dropped int64 // payload-too-large send attempts
+}
+
+// ListenUDP binds a UDP socket; port 0 picks an ephemeral port.
+func (s *Stack) ListenUDP(port uint16) (*UDPConn, error) {
+	if port == 0 {
+		port = s.allocPort()
+	}
+	if _, exists := s.udp[port]; exists {
+		return nil, fmt.Errorf("netstack %s: UDP port %d in use", s.name, port)
+	}
+	c := &UDPConn{stack: s, port: port, rq: sim.NewQueue[Datagram](s.eng)}
+	s.udp[port] = c
+	return c, nil
+}
+
+func (s *Stack) handleUDP(pk *Packet) {
+	c, ok := s.udp[pk.DstPort]
+	if !ok {
+		s.RxNoSocket++
+		return
+	}
+	data := make([]byte, len(pk.Payload))
+	copy(data, pk.Payload)
+	c.rq.Push(Datagram{Src: pk.SrcIP, SrcPort: pk.SrcPort, Data: data})
+}
+
+// Port returns the bound local port.
+func (c *UDPConn) Port() uint16 { return c.port }
+
+// SendTo transmits one datagram, resolving the destination MAC if needed.
+func (c *UDPConn) SendTo(p *sim.Proc, dst IP, dstPort uint16, payload []byte) error {
+	if len(payload) > MaxUDPPayload {
+		c.Dropped++
+		return fmt.Errorf("netstack: UDP payload %d exceeds %d", len(payload), MaxUDPPayload)
+	}
+	mac, err := c.stack.Resolve(p, dst)
+	if err != nil {
+		return err
+	}
+	c.stack.transmit(&Packet{
+		SrcMAC:    c.stack.macFn(),
+		DstMAC:    mac,
+		EtherType: EtherTypeIPv4,
+		SrcIP:     c.stack.ip,
+		DstIP:     dst,
+		Proto:     ProtoUDP,
+		SrcPort:   c.port,
+		DstPort:   dstPort,
+		Payload:   payload,
+	})
+	return nil
+}
+
+// Recv blocks until a datagram arrives.
+func (c *UDPConn) Recv(p *sim.Proc) Datagram { return c.rq.Pop(p) }
+
+// RecvTimeout blocks up to d for a datagram.
+func (c *UDPConn) RecvTimeout(p *sim.Proc, d sim.Duration) (Datagram, bool) {
+	return c.rq.PopTimeout(p, d)
+}
+
+// Pending returns the number of queued datagrams.
+func (c *UDPConn) Pending() int { return c.rq.Len() }
+
+// Close unbinds the socket.
+func (c *UDPConn) Close() { delete(c.stack.udp, c.port) }

@@ -1,0 +1,245 @@
+// Package netsw models the rack's Ethernet fabric: a store-and-forward
+// switch with MAC learning and per-port failure injection.
+//
+// Two behaviours matter to Oasis and are modelled faithfully:
+//
+//   - MAC learning: the switch maps each source MAC it observes to the
+//     ingress port. Oasis's NIC failover (§3.3.3) exploits this by having
+//     the backup NIC send a frame with the failed NIC's source MAC, which
+//     immediately repoints the switch's MAC table at the backup's port.
+//   - Port administrative state: the failover experiments (§5.3) inject a
+//     NIC failure by disabling the switch port; the attached NIC observes
+//     link-down after a PHY debounce delay.
+package netsw
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"oasis/internal/sim"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// Broadcast is the all-ones MAC.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the MAC in canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the MAC is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// Frame is an Ethernet frame in flight. Bytes is the full wire image
+// (header + payload) used for sizing and DMA; Src/Dst are parsed out for the
+// switch's forwarding decision.
+type Frame struct {
+	Src, Dst MAC
+	Bytes    []byte
+}
+
+// WireLen returns the frame's length on the wire, clamped to the Ethernet
+// minimum of 64 bytes (with FCS).
+func (f *Frame) WireLen() int {
+	if len(f.Bytes) < 64 {
+		return 64
+	}
+	return len(f.Bytes)
+}
+
+// Sink receives frames delivered by the fabric (a NIC ingress or a raw
+// client node).
+type Sink interface {
+	DeliverFrame(f *Frame)
+}
+
+// Params configures switch timing.
+type Params struct {
+	// ProcessingDelay is the store-and-forward pipeline latency.
+	ProcessingDelay sim.Duration
+	// PortBandwidth is per-port line rate in bytes/s.
+	PortBandwidth float64
+	// PropagationDelay is per-hop cable delay.
+	PropagationDelay sim.Duration
+}
+
+// DefaultParams models a 100 Gbit ToR switch (Arista 7060X class).
+func DefaultParams() Params {
+	return Params{
+		ProcessingDelay:  600 * time.Nanosecond,
+		PortBandwidth:    12.5e9, // 100 Gbit/s
+		PropagationDelay: 50 * time.Nanosecond,
+	}
+}
+
+// Switch is a MAC-learning store-and-forward Ethernet switch.
+type Switch struct {
+	eng    *sim.Engine
+	params Params
+	ports  []*Port
+	table  map[MAC]*Port
+
+	lossRate float64 // failure injection: fraction of frames dropped
+	lossRNG  *rand.Rand
+
+	// Stats.
+	Forwarded   int64
+	Flooded     int64
+	Dropped     int64 // frames to/from disabled ports
+	LossDropped int64 // frames dropped by injected random loss
+}
+
+// SetLossRate injects random frame loss (0 ≤ rate < 1) with a deterministic
+// seed — the failure-injection knob the TCP robustness tests use.
+func (s *Switch) SetLossRate(rate float64, seed int64) {
+	s.lossRate = rate
+	s.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+// New returns an empty switch.
+func New(eng *sim.Engine, params Params) *Switch {
+	return &Switch{eng: eng, params: params, table: make(map[MAC]*Port)}
+}
+
+// Engine returns the simulation engine.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
+// AttachPort adds a port wired to the given sink and returns it.
+func (s *Switch) AttachPort(name string, sink Sink) *Port {
+	p := &Port{
+		sw:       s,
+		name:     name,
+		id:       len(s.ports),
+		sink:     sink,
+		toSwitch: sim.NewResource(s.eng),
+		toDevice: sim.NewResource(s.eng),
+		enabled:  true,
+	}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports returns all ports.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// LookupMAC returns the port a MAC was learned on (nil if unknown); for
+// tests and diagnostics.
+func (s *Switch) LookupMAC(m MAC) *Port { return s.table[m] }
+
+// inject is called by a port when a frame finishes arriving from its device.
+func (s *Switch) inject(from *Port, f *Frame) {
+	if !from.enabled {
+		s.Dropped++
+		return
+	}
+	// Learn the source MAC. This is the hook Oasis failover relies on: a
+	// frame sent by the backup NIC with the failed NIC's source MAC remaps
+	// that MAC to the backup's port in one observation.
+	s.table[f.Src] = from
+	if s.lossRate > 0 && s.lossRNG.Float64() < s.lossRate {
+		s.LossDropped++
+		return
+	}
+
+	s.eng.After(s.params.ProcessingDelay, func() {
+		if f.Dst.IsBroadcast() {
+			s.flood(from, f)
+			return
+		}
+		out, ok := s.table[f.Dst]
+		if !ok {
+			s.flood(from, f)
+			return
+		}
+		if !out.enabled {
+			s.Dropped++
+			return
+		}
+		s.Forwarded++
+		out.transmit(f)
+	})
+}
+
+// flood sends the frame out of every enabled port except the ingress.
+func (s *Switch) flood(from *Port, f *Frame) {
+	s.Flooded++
+	for _, p := range s.ports {
+		if p != from && p.enabled {
+			p.transmit(f)
+		}
+	}
+}
+
+// Port is one switch port and the cable to its device.
+type Port struct {
+	sw       *Switch
+	name     string
+	id       int
+	sink     Sink
+	toSwitch *sim.Resource // device -> switch direction of the cable
+	toDevice *sim.Resource // switch -> device direction
+	enabled  bool
+
+	// onLinkChange, if set, is invoked (in event context) when the port's
+	// administrative state flips; NICs use it to start their PHY debounce.
+	onLinkChange func(up bool)
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Enabled reports the administrative state.
+func (p *Port) Enabled() bool { return p.enabled }
+
+// SetEnabled flips the port (failure injection / repair) and notifies the
+// attached device.
+func (p *Port) SetEnabled(up bool) {
+	if p.enabled == up {
+		return
+	}
+	p.enabled = up
+	if p.onLinkChange != nil {
+		p.onLinkChange(up)
+	}
+}
+
+// OnLinkChange registers the device-side link state callback.
+func (p *Port) OnLinkChange(fn func(up bool)) { p.onLinkChange = fn }
+
+// Send carries a frame from the attached device into the switch,
+// serializing it on the device→switch direction of the cable. Safe to call
+// from procs or event callbacks.
+func (p *Port) Send(f *Frame) {
+	if !p.enabled {
+		p.sw.Dropped++
+		return
+	}
+	ser := p.serialization(f.WireLen())
+	arrive := p.toSwitch.Reserve(ser)
+	p.sw.eng.At(arrive+p.sw.params.PropagationDelay, func() {
+		p.sw.inject(p, f)
+	})
+}
+
+// transmit carries a frame from the switch out to the attached device.
+func (p *Port) transmit(f *Frame) {
+	ser := p.serialization(f.WireLen())
+	done := p.toDevice.Reserve(ser)
+	p.sw.eng.At(done+p.sw.params.PropagationDelay, func() {
+		if !p.enabled {
+			p.sw.Dropped++
+			return
+		}
+		if p.sink != nil {
+			p.sink.DeliverFrame(f)
+		}
+	})
+}
+
+func (p *Port) serialization(n int) sim.Duration {
+	return sim.Duration(float64(n) / p.sw.params.PortBandwidth * float64(time.Second))
+}

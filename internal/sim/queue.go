@@ -1,0 +1,70 @@
+package sim
+
+// Queue is an unbounded FIFO connecting simulated processes. Pop blocks the
+// calling process until an item is available; Push never blocks. It is the
+// simulation analogue of a Go channel and is used for intra-host IPC rings,
+// NIC completion delivery, and control-plane mailboxes.
+type Queue[T any] struct {
+	eng   *Engine
+	items []T
+	avail *Signal
+}
+
+// NewQueue returns an empty queue bound to the engine.
+func NewQueue[T any](eng *Engine) *Queue[T] {
+	return &Queue[T]{eng: eng, avail: NewSignal(eng)}
+}
+
+// Push appends an item and wakes one waiting consumer, if any.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.avail.Signal()
+}
+
+// Pop removes and returns the oldest item, parking the calling process until
+// one is available.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.avail.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// PopTimeout is like Pop but gives up after d, reporting ok=false.
+func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := q.eng.Now() + d
+	for len(q.items) == 0 {
+		remaining := deadline - q.eng.Now()
+		if remaining <= 0 || !q.avail.WaitTimeout(p, remaining) {
+			if len(q.items) > 0 {
+				break
+			}
+			return v, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PushFront re-queues an item at the head — used by drivers that popped
+// work they could not complete (e.g. a full downstream ring).
+func (q *Queue[T]) PushFront(v T) {
+	q.items = append([]T{v}, q.items...)
+	q.avail.Signal()
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

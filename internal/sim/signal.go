@@ -1,0 +1,83 @@
+package sim
+
+// Signal is a condition-variable-like primitive: processes Wait on it and a
+// callback or another process wakes them with Signal or Broadcast. Waiters
+// wake in FIFO order, at the virtual time of the wake call.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to the engine.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// Wait parks the calling process until Signal or Broadcast wakes it.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	s.eng.addBlocked(p)
+	p.park()
+}
+
+// WaitTimeout parks the calling process until woken or until d elapses.
+// It reports whether the process was woken (true) or timed out (false).
+func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
+	woken := false
+	s.waiters = append(s.waiters, p)
+	s.eng.addBlocked(p)
+	// Timer event: if it fires first, remove the waiter and wake with
+	// woken=false. If Signal fires first, it removes the waiter; the timer
+	// then finds the process absent and does nothing.
+	timedOut := false
+	s.eng.After(d, func() {
+		if woken || timedOut {
+			return
+		}
+		if s.remove(p) {
+			timedOut = true
+			s.eng.removeBlocked(p)
+			p.resume()
+		}
+	})
+	p.park()
+	if !timedOut {
+		woken = true
+	}
+	return woken
+}
+
+// remove deletes p from the waiter list, reporting whether it was present.
+func (s *Signal) remove(p *Proc) bool {
+	for i, q := range s.waiters {
+		if q == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Signal wakes the oldest waiter, if any. It reports whether a process was
+// woken. Must be called from an event callback or another process (never
+// from the woken process itself).
+func (s *Signal) Signal() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.eng.removeBlocked(p)
+	s.eng.schedule(s.eng.now, nil, p)
+	return true
+}
+
+// Broadcast wakes all waiters in FIFO order.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		s.eng.removeBlocked(p)
+		s.eng.schedule(s.eng.now, nil, p)
+	}
+	s.waiters = nil
+}
+
+// Waiters returns the number of parked processes.
+func (s *Signal) Waiters() int { return len(s.waiters) }

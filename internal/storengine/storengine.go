@@ -1,0 +1,597 @@
+// Package storengine implements the Oasis storage engine (§3.4): a block
+// I/O frontend for instances and an SSD backend driver, connected by the
+// datapath's 64-byte message channels whose payloads mirror NVMe commands.
+//
+// The engine follows the paper's design exactly:
+//   - 64 B messages (vs the network engine's 16 B),
+//   - I/O buffers in shared CXL memory, DMAed by the SSD, never inspected
+//     by the backend (§3.2.1),
+//   - no transparent failover: a drive failure propagates an I/O error to
+//     the guest; redundancy is the layer above's job (§3.4).
+//
+// The paper designs but does not implement this engine; it is implemented
+// here to the section's specification.
+package storengine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/msgchan"
+	"oasis/internal/netstack"
+	"oasis/internal/sim"
+	"oasis/internal/ssd"
+)
+
+// Config sizes the storage engine.
+type Config struct {
+	// BufAreaBytes is the per-volume I/O buffer area in shared CXL memory.
+	BufAreaBytes int64
+	// BufSize is one I/O buffer (bounds a single request's span).
+	BufSize int
+	// Chan configures the 64 B channels.
+	Chan msgchan.Config
+	// LoopCost / Burst / IdleBackoff mirror the network engine's core model.
+	LoopCost    sim.Duration
+	Burst       int
+	IdleBackoff sim.Duration
+}
+
+// DefaultConfig: 64 KiB buffers (16 blocks per request max).
+func DefaultConfig() Config {
+	ch := msgchan.DefaultConfig()
+	ch.MsgSize = 64 // §3.4: storage messages mirror the 64 B NVMe command
+	return Config{
+		BufAreaBytes: 8 << 20,
+		BufSize:      16 * ssd.BlockSize,
+		Chan:         ch,
+		LoopCost:     60 * time.Nanosecond,
+		Burst:        32,
+		IdleBackoff:  time.Microsecond,
+	}
+}
+
+// MaxBlocksPerRequest is the per-request span bound.
+func (c Config) MaxBlocksPerRequest() int { return c.BufSize / ssd.BlockSize }
+
+// Message opcodes.
+const (
+	sOpRead        = 1
+	sOpWrite       = 2
+	sOpComplete    = 3
+	sOpRegister    = 4
+	sOpRegisterAck = 5
+)
+
+// smsg is the 63-byte payload layout, mirroring an NVMe command (§3.4).
+type smsg struct {
+	op     byte
+	cid    uint16
+	lba    uint64
+	blocks uint16
+	buf    int64
+	ip     netstack.IP
+	status uint8
+	base   uint64 // register ack: assigned base LBA
+	size   uint64 // register: requested blocks; ack: granted blocks
+}
+
+func (m smsg) encode(buf []byte) []byte {
+	buf = buf[:0]
+	var b [42]byte
+	b[0] = m.op
+	binary.LittleEndian.PutUint16(b[1:3], m.cid)
+	binary.LittleEndian.PutUint64(b[3:11], m.lba)
+	binary.LittleEndian.PutUint16(b[11:13], m.blocks)
+	binary.LittleEndian.PutUint64(b[13:21], uint64(m.buf))
+	binary.LittleEndian.PutUint32(b[21:25], uint32(m.ip))
+	b[25] = m.status
+	binary.LittleEndian.PutUint64(b[26:34], m.base)
+	binary.LittleEndian.PutUint64(b[34:42], m.size)
+	return append(buf, b[:]...)
+}
+
+func sdecode(payload []byte) smsg {
+	var m smsg
+	m.op = payload[0]
+	m.cid = binary.LittleEndian.Uint16(payload[1:3])
+	m.lba = binary.LittleEndian.Uint64(payload[3:11])
+	m.blocks = binary.LittleEndian.Uint16(payload[11:13])
+	m.buf = int64(binary.LittleEndian.Uint64(payload[13:21]))
+	m.ip = netstack.IP(binary.LittleEndian.Uint32(payload[21:25]))
+	m.status = payload[25]
+	m.base = binary.LittleEndian.Uint64(payload[26:34])
+	m.size = binary.LittleEndian.Uint64(payload[34:42])
+	return m
+}
+
+// ioReq is one in-flight block request on the frontend.
+type ioReq struct {
+	vol    *Volume
+	op     byte
+	lba    uint64
+	blocks int
+	buf    int64
+	data   []byte // write payload
+	result []byte // read result (filled by the frontend core)
+	status uint8
+	done   bool
+	sig    *sim.Signal
+}
+
+// sbeLink is the frontend's view of one storage backend (one SSD).
+type sbeLink struct {
+	ssdID uint16
+	end   *core.LinkEnd
+}
+
+// Frontend is the per-host storage frontend driver: it exposes block
+// volumes to local instances and forwards requests/completions.
+type Frontend struct {
+	h    *host.Host
+	pool *cxl.Pool
+	cfg  Config
+
+	links   map[uint16]*sbeLink
+	order   []uint16
+	vols    map[netstack.IP]*Volume
+	reqQ    *sim.Queue[*ioReq]
+	pending map[uint16]*ioReq
+	nextCID uint16
+	started bool
+
+	// Stats.
+	Reads, Writes, Errors int64
+}
+
+// NewFrontend creates the storage frontend for a pod host.
+func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
+	if !h.InPod() {
+		panic("storengine: frontend host must be in the CXL pod")
+	}
+	return &Frontend{
+		h:       h,
+		pool:    pool,
+		cfg:     cfg,
+		links:   make(map[uint16]*sbeLink),
+		vols:    make(map[netstack.IP]*Volume),
+		reqQ:    sim.NewQueue[*ioReq](h.Eng),
+		pending: make(map[uint16]*ioReq),
+	}
+}
+
+// ConnectBackend wires this frontend to a storage backend.
+func (fe *Frontend) ConnectBackend(ssdID uint16, end *core.LinkEnd) {
+	fe.links[ssdID] = &sbeLink{ssdID: ssdID, end: end}
+	fe.order = append(fe.order, ssdID)
+}
+
+// Volume is an instance's block device: a slice of a pooled SSD reached
+// through the storage engine.
+type Volume struct {
+	fe     *Frontend
+	ip     netstack.IP // owning instance
+	ssdID  uint16
+	link   *sbeLink
+	area   *core.BufferArea
+	base   uint64 // assigned by the backend at registration
+	blocks uint64
+	ready  bool
+	sig    *sim.Signal
+
+	// Stats.
+	IOErrors int64
+}
+
+// AddVolume provisions a volume of the given size on the given SSD for an
+// instance, allocating its buffer area and registering with the backend.
+func (fe *Frontend) AddVolume(ip netstack.IP, ssdID uint16, blocks uint64) (*Volume, error) {
+	if _, dup := fe.vols[ip]; dup {
+		return nil, fmt.Errorf("storengine: instance %v already has a volume", ip)
+	}
+	region, err := fe.pool.Alloc(fe.cfg.BufAreaBytes)
+	if err != nil {
+		return nil, err
+	}
+	area, err := core.NewBufferArea(region, fe.cfg.BufSize)
+	if err != nil {
+		return nil, err
+	}
+	// The backend link is resolved when the registration is forwarded, so
+	// volumes may be declared before the pod's links are wired.
+	v := &Volume{
+		fe: fe, ip: ip, ssdID: ssdID, area: area,
+		sig: sim.NewSignal(fe.h.Eng),
+	}
+	fe.vols[ip] = v
+	// Registration rides the request queue so it is sent from the driver
+	// core after Start.
+	fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: blocks})
+	return v, nil
+}
+
+// Blocks returns the volume's size (0 until registration completes).
+func (v *Volume) Blocks() uint64 { return v.blocks }
+
+// WaitReady blocks until the backend granted the volume.
+func (v *Volume) WaitReady(p *sim.Proc, timeout sim.Duration) bool {
+	deadline := p.Now() + timeout
+	for !v.ready {
+		remaining := deadline - p.Now()
+		if remaining <= 0 {
+			return false
+		}
+		v.sig.WaitTimeout(p, remaining)
+	}
+	return true
+}
+
+// Read reads nblocks starting at lba, blocking the calling (instance)
+// process until completion. Returns the data or an I/O error.
+func (v *Volume) Read(p *sim.Proc, lba uint64, nblocks int) ([]byte, error) {
+	req, err := v.submit(p, sOpRead, lba, nblocks, nil)
+	if err != nil {
+		return nil, err
+	}
+	if req.status != ssd.StatusOK {
+		v.IOErrors++
+		return nil, fmt.Errorf("storengine: read failed with NVMe status %#x", req.status)
+	}
+	return req.result, nil
+}
+
+// Write writes data (a whole number of blocks) at lba, blocking until
+// completion.
+func (v *Volume) Write(p *sim.Proc, lba uint64, data []byte) error {
+	if len(data)%ssd.BlockSize != 0 {
+		return fmt.Errorf("storengine: write of %d bytes is not block-aligned", len(data))
+	}
+	req, err := v.submit(p, sOpWrite, lba, len(data)/ssd.BlockSize, data)
+	if err != nil {
+		return err
+	}
+	if req.status != ssd.StatusOK {
+		v.IOErrors++
+		return fmt.Errorf("storengine: write failed with NVMe status %#x", req.status)
+	}
+	return nil
+}
+
+// submit runs the instance-side half of a request: buffer allocation, data
+// staging (for writes, through the host cache — the frontend core writes it
+// back), then blocks on the completion signal.
+func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []byte) (*ioReq, error) {
+	if !v.ready {
+		return nil, fmt.Errorf("storengine: volume not ready")
+	}
+	if nblocks <= 0 || nblocks > v.fe.cfg.MaxBlocksPerRequest() {
+		return nil, fmt.Errorf("storengine: request of %d blocks exceeds limit %d", nblocks, v.fe.cfg.MaxBlocksPerRequest())
+	}
+	if lba+uint64(nblocks) > v.blocks {
+		return nil, fmt.Errorf("storengine: request [%d, %d) outside volume of %d blocks", lba, lba+uint64(nblocks), v.blocks)
+	}
+	buf, ok := v.area.Alloc()
+	if !ok {
+		return nil, fmt.Errorf("storengine: volume buffer area exhausted")
+	}
+	if op == sOpWrite {
+		v.fe.h.Cache.Write(p, buf, data, "payload")
+	}
+	p.Sleep(v.fe.h.IPCCost)
+	req := &ioReq{
+		vol: v, op: op, lba: lba, blocks: nblocks, buf: buf, data: data,
+		sig: sim.NewSignal(v.fe.h.Eng),
+	}
+	v.fe.reqQ.Push(req)
+	for !req.done {
+		req.sig.Wait(p)
+	}
+	return req, nil
+}
+
+// Start launches the frontend's dedicated core.
+func (fe *Frontend) Start() {
+	if fe.started {
+		return
+	}
+	fe.started = true
+	fe.h.Eng.Go(fe.h.Name+"/storage-fe", fe.loop)
+}
+
+func (fe *Frontend) loop(p *sim.Proc) {
+	idle := sim.Duration(0)
+	var buf [63]byte
+	for {
+		progress := 0
+		for i := 0; i < fe.cfg.Burst; i++ {
+			req, ok := fe.reqQ.TryPop()
+			if !ok {
+				break
+			}
+			fe.forward(p, req, buf[:])
+			progress++
+		}
+		for _, id := range fe.order {
+			l := fe.links[id]
+			for i := 0; i < fe.cfg.Burst; i++ {
+				payload, ok := l.end.Poll(p)
+				if !ok {
+					break
+				}
+				fe.handleBackendMsg(p, sdecode(payload))
+				progress++
+			}
+		}
+		for _, id := range fe.order {
+			fe.links[id].end.Flush(p)
+		}
+		if progress > 0 {
+			idle = 0
+			p.Sleep(fe.cfg.LoopCost)
+			continue
+		}
+		if fe.cfg.IdleBackoff > 0 {
+			if idle == 0 {
+				idle = fe.cfg.LoopCost
+			} else if idle *= 2; idle > fe.cfg.IdleBackoff {
+				idle = fe.cfg.IdleBackoff
+			}
+		}
+		p.Sleep(fe.cfg.LoopCost + idle)
+	}
+}
+
+// forward publishes a request to the backend (§3.4: the frontend performs
+// the write-back of staged write data; the backend never touches buffers).
+func (fe *Frontend) forward(p *sim.Proc, req *ioReq, buf []byte) {
+	if req.op == sOpRegister {
+		if req.vol.link == nil {
+			req.vol.link = fe.links[req.vol.ssdID]
+		}
+		if req.vol.link == nil {
+			fe.reqQ.Push(req) // backend not wired yet; retry
+			return
+		}
+		m := smsg{op: sOpRegister, ip: req.vol.ip, size: req.lba}
+		if !req.vol.link.end.Send(p, m.encode(buf)) {
+			fe.reqQ.Push(req)
+		}
+		return
+	}
+	if req.op == sOpWrite {
+		core.WritebackRange(p, fe.h.Cache, req.buf, len(req.data), "payload")
+	}
+	cid := fe.nextCID
+	fe.nextCID++
+	fe.pending[cid] = req
+	m := smsg{
+		op: req.op, cid: cid, lba: req.lba, blocks: uint16(req.blocks),
+		buf: req.buf, ip: req.vol.ip,
+	}
+	if !req.vol.link.end.Send(p, m.encode(buf)) {
+		delete(fe.pending, cid)
+		fe.reqQ.Push(req)
+		return
+	}
+	if req.op == sOpRead {
+		fe.Reads++
+	} else {
+		fe.Writes++
+	}
+}
+
+func (fe *Frontend) handleBackendMsg(p *sim.Proc, m smsg) {
+	switch m.op {
+	case sOpRegisterAck:
+		v, ok := fe.vols[m.ip]
+		if !ok {
+			return
+		}
+		v.base = m.base
+		v.blocks = m.size
+		v.ready = true
+		v.sig.Broadcast()
+	case sOpComplete:
+		req, ok := fe.pending[m.cid]
+		if !ok {
+			return
+		}
+		delete(fe.pending, m.cid)
+		req.status = m.status
+		if m.status != ssd.StatusOK {
+			fe.Errors++
+		} else if req.op == sOpRead {
+			// Pull the data the SSD DMAed into shared CXL memory; invalidate
+			// first so a recycled buffer's stale lines cannot leak through.
+			n := req.blocks * ssd.BlockSize
+			core.InvalidateRange(p, fe.h.Cache, req.buf, n, "payload")
+			out := make([]byte, n)
+			fe.h.Cache.Read(p, req.buf, out, "payload")
+			p.Sleep(fe.h.Local.TouchCost(n)) // copy into instance memory
+			req.result = out
+		}
+		req.vol.area.Free(req.buf)
+		req.done = true
+		req.sig.Broadcast()
+	}
+}
+
+// sfeLink is the backend's view of one frontend.
+type sfeLink struct {
+	hostID int
+	end    *core.LinkEnd
+}
+
+// svol is a granted volume on the backend.
+type svol struct {
+	ip     netstack.IP
+	base   uint64
+	blocks uint64
+	link   *sfeLink
+}
+
+// pendingIO maps a device CID back to the requesting frontend.
+type pendingIO struct {
+	feCID uint16
+	link  *sfeLink
+}
+
+// Backend is the per-SSD storage backend driver: it translates channel
+// messages to SSD submissions and routes completions back, enforcing
+// per-volume LBA bounds (isolation).
+type Backend struct {
+	h     *host.Host
+	ssdID uint16
+	dev   *ssd.SSD
+	cfg   Config
+
+	links    []*sfeLink
+	vols     map[netstack.IP]*svol
+	nextLBA  uint64
+	capacity uint64
+	inflight map[uint16]pendingIO
+	nextCID  uint16
+	started  bool
+
+	// Stats.
+	Submitted, Completed int64
+	BoundsViolations     int64
+	RegistrationsDenied  int64
+}
+
+// NewBackend creates the backend for an SSD whose namespace 1 has the given
+// capacity in blocks.
+func NewBackend(h *host.Host, ssdID uint16, dev *ssd.SSD, capacityBlocks uint64, cfg Config) *Backend {
+	dev.AddNamespace(1, capacityBlocks)
+	return &Backend{
+		h:        h,
+		ssdID:    ssdID,
+		dev:      dev,
+		cfg:      cfg,
+		vols:     make(map[netstack.IP]*svol),
+		capacity: capacityBlocks,
+		inflight: make(map[uint16]pendingIO),
+	}
+}
+
+// SSDID returns the pod-wide SSD identifier.
+func (be *Backend) SSDID() uint16 { return be.ssdID }
+
+// Host returns the backend's host.
+func (be *Backend) Host() *host.Host { return be.h }
+
+// Device returns the SSD under management.
+func (be *Backend) Device() *ssd.SSD { return be.dev }
+
+// ConnectFrontend wires a frontend's link end.
+func (be *Backend) ConnectFrontend(hostID int, end *core.LinkEnd) {
+	be.links = append(be.links, &sfeLink{hostID: hostID, end: end})
+}
+
+// Start launches the backend's dedicated core.
+func (be *Backend) Start() {
+	if be.started {
+		return
+	}
+	be.started = true
+	be.h.Eng.Go(fmt.Sprintf("%s/storage-be%d", be.h.Name, be.ssdID), be.loop)
+}
+
+func (be *Backend) loop(p *sim.Proc) {
+	idle := sim.Duration(0)
+	var buf [63]byte
+	for {
+		progress := 0
+		for _, l := range be.links {
+			for i := 0; i < be.cfg.Burst; i++ {
+				payload, ok := l.end.Poll(p)
+				if !ok {
+					break
+				}
+				be.handleFrontendMsg(p, l, sdecode(payload), buf[:])
+				progress++
+			}
+		}
+		for i := 0; i < be.cfg.Burst; i++ {
+			comp, ok := be.dev.PollCompletion()
+			if !ok {
+				break
+			}
+			be.handleCompletion(p, comp, buf[:])
+			progress++
+		}
+		for _, l := range be.links {
+			l.end.Flush(p)
+		}
+		if progress > 0 {
+			idle = 0
+			p.Sleep(be.cfg.LoopCost)
+			continue
+		}
+		if be.cfg.IdleBackoff > 0 {
+			if idle == 0 {
+				idle = be.cfg.LoopCost
+			} else if idle *= 2; idle > be.cfg.IdleBackoff {
+				idle = be.cfg.IdleBackoff
+			}
+		}
+		p.Sleep(be.cfg.LoopCost + idle)
+	}
+}
+
+func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte) {
+	switch m.op {
+	case sOpRegister:
+		blocks := m.size
+		if be.nextLBA+blocks > be.capacity {
+			be.RegistrationsDenied++
+			l.end.Send(p, smsg{op: sOpRegisterAck, ip: m.ip, base: 0, size: 0}.encode(buf))
+			return
+		}
+		v := &svol{ip: m.ip, base: be.nextLBA, blocks: blocks, link: l}
+		be.nextLBA += blocks
+		be.vols[m.ip] = v
+		l.end.Send(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks}.encode(buf))
+	case sOpRead, sOpWrite:
+		v, ok := be.vols[m.ip]
+		if !ok || uint64(m.lba)+uint64(m.blocks) > v.blocks {
+			// Bounds violation: reject without touching the device.
+			be.BoundsViolations++
+			l.end.Send(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusLBARange}.encode(buf))
+			return
+		}
+		op := uint8(ssd.OpRead)
+		if m.op == sOpWrite {
+			op = ssd.OpWrite
+		}
+		devCID := be.nextCID
+		be.nextCID++
+		be.inflight[devCID] = pendingIO{feCID: m.cid, link: l}
+		cmd := ssd.Command{
+			Opcode: op, CID: devCID, NSID: 1,
+			LBA: v.base + m.lba, Blocks: m.blocks, Buf: m.buf,
+		}
+		// The backend never inspects the buffer (§3.2.1): the pointer goes
+		// straight into the submission queue.
+		if !be.dev.Submit(p, cmd) {
+			delete(be.inflight, devCID)
+			l.end.Send(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusDeviceFault}.encode(buf))
+			return
+		}
+		be.Submitted++
+	}
+}
+
+func (be *Backend) handleCompletion(p *sim.Proc, comp ssd.Completion, buf []byte) {
+	io, ok := be.inflight[comp.CID]
+	if !ok {
+		return
+	}
+	delete(be.inflight, comp.CID)
+	be.Completed++
+	io.link.end.Send(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status}.encode(buf))
+}

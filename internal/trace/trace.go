@@ -1,0 +1,212 @@
+// Package trace generates the synthetic workloads that stand in for the
+// paper's proprietary Azure traces (§2.2, §5.2):
+//
+//   - Bursty per-host packet traces with calibrated tail utilization. The
+//     paper's key observation (Fig. 3, Table 2) is that NIC traffic is
+//     extremely bursty: P99 utilization under a few percent while P99.99
+//     reaches 23-79%. The ON/OFF generator reproduces exactly that: rare
+//     bursts at a calibrated peak rate separated by long idle gaps.
+//   - Instance allocation traces with calibrated resource-vector mixes,
+//     used by the stranding simulation (Fig. 2).
+//
+// Generators are deterministic given a seed; calibration targets are
+// checked by tests, not assumed.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"oasis/internal/metrics"
+	"oasis/internal/sim"
+)
+
+// PacketEvent is one packet arrival in a trace.
+type PacketEvent struct {
+	At   sim.Duration
+	Size int // wire bytes (Ethernet frame)
+}
+
+// PacketTrace is a time-ordered arrival sequence.
+type PacketTrace struct {
+	Events  []PacketEvent
+	LinkBps float64 // the NIC line rate the utilizations are relative to
+	Span    sim.Duration
+}
+
+// BurstyConfig calibrates an ON/OFF trace.
+type BurstyConfig struct {
+	Span    sim.Duration // trace length
+	LinkBps float64      // line rate in bits/s (100 Gbit default)
+	// PeakUtil is the burst-rate fraction of line rate — the value the
+	// trace's P99.99 10 µs-bucket utilization lands on (Table 2).
+	PeakUtil float64
+	// MeanUtil is the long-run average utilization; the ON duty cycle is
+	// MeanUtil/PeakUtil. Keep it ≲ PeakUtil/100 so P99 stays near zero, as
+	// in the paper's racks.
+	MeanUtil float64
+	// BurstMean is the mean ON period (exponential).
+	BurstMean sim.Duration
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// DefaultBursty models rack A's host 1 (inbound): P99.99 ≈ 39 %, P99 < 3 %.
+func DefaultBursty() BurstyConfig {
+	return BurstyConfig{
+		Span:      time.Second,
+		LinkBps:   100e9,
+		PeakUtil:  0.39,
+		MeanUtil:  0.0026,
+		BurstMean: 120 * time.Microsecond,
+		Seed:      1,
+	}
+}
+
+// packetSizes is a datacenter-ish mix: many MTU frames (storage/RDMA-like
+// bulk) plus small RPCs.
+var packetSizes = []struct {
+	size   int
+	weight float64
+}{
+	{1500, 0.55},
+	{1024, 0.10},
+	{512, 0.10},
+	{256, 0.10},
+	{128, 0.05},
+	{90, 0.10},
+}
+
+func pickSize(rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for _, e := range packetSizes {
+		acc += e.weight
+		if r < acc {
+			return e.size
+		}
+	}
+	return 1500
+}
+
+// GenBursty produces a calibrated ON/OFF trace.
+func GenBursty(cfg BurstyConfig) *PacketTrace {
+	if cfg.PeakUtil <= 0 || cfg.Span <= 0 {
+		return &PacketTrace{LinkBps: cfg.LinkBps, Span: cfg.Span}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &PacketTrace{LinkBps: cfg.LinkBps, Span: cfg.Span}
+	duty := cfg.MeanUtil / cfg.PeakUtil
+	if duty > 1 {
+		duty = 1
+	}
+	idleMean := sim.Duration(float64(cfg.BurstMean) * (1 - duty) / duty)
+	burstBps := cfg.PeakUtil * cfg.LinkBps
+	t := sim.Duration(0)
+	exp := func(mean sim.Duration) sim.Duration {
+		return sim.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	for t < cfg.Span {
+		t += exp(idleMean)
+		burstEnd := t + exp(cfg.BurstMean)
+		for t < burstEnd && t < cfg.Span {
+			size := pickSize(rng)
+			tr.Events = append(tr.Events, PacketEvent{At: t, Size: size})
+			// Next arrival paced so the burst sustains burstBps.
+			t += sim.Duration(float64(size*8) / burstBps * float64(time.Second))
+		}
+		t = burstEnd
+	}
+	return tr
+}
+
+// BandwidthSeries bins the trace into bucket-sized bandwidth samples
+// (bytes per bucket), the form Figure 3 plots.
+func (tr *PacketTrace) BandwidthSeries(bucket sim.Duration) *metrics.Series {
+	s := metrics.NewSeries(bucket)
+	for _, e := range tr.Events {
+		s.Add(e.At, float64(e.Size))
+	}
+	return s
+}
+
+// UtilizationAt returns the P-th percentile utilization over bucket-sized
+// windows spanning the whole trace (Table 2's metric: 10 µs buckets,
+// P99.99).
+func (tr *PacketTrace) UtilizationAt(p float64, bucket sim.Duration) float64 {
+	if tr.Span <= 0 || tr.LinkBps <= 0 {
+		return 0
+	}
+	s := tr.BandwidthSeries(bucket)
+	n := int(tr.Span / bucket)
+	bytesAtP := s.PercentileOverBins(p, n)
+	capacity := tr.LinkBps / 8 * bucket.Seconds()
+	return bytesAtP / capacity
+}
+
+// TotalBytes sums the trace's wire bytes.
+func (tr *PacketTrace) TotalBytes() int64 {
+	var n int64
+	for _, e := range tr.Events {
+		n += int64(e.Size)
+	}
+	return n
+}
+
+// MeanUtil returns the trace's long-run average utilization.
+func (tr *PacketTrace) MeanUtil() float64 {
+	if tr.Span <= 0 || tr.LinkBps <= 0 {
+		return 0
+	}
+	return float64(tr.TotalBytes()*8) / (tr.LinkBps * tr.Span.Seconds())
+}
+
+// Merge combines traces (e.g. aggregate traffic of a rack) into one
+// time-ordered trace relative to the same link rate.
+func Merge(linkBps float64, traces ...*PacketTrace) *PacketTrace {
+	out := &PacketTrace{LinkBps: linkBps}
+	for _, tr := range traces {
+		out.Events = append(out.Events, tr.Events...)
+		if tr.Span > out.Span {
+			out.Span = tr.Span
+		}
+	}
+	sort.Slice(out.Events, func(i, j int) bool {
+		return out.Events[i].At < out.Events[j].At
+	})
+	return out
+}
+
+// RackA returns the four-host inbound trace set matching Table 2's rack A
+// (100 Gbit NICs; P99.99 utilizations 39/30/0/23 %).
+func RackA(span sim.Duration) []*PacketTrace {
+	targets := []float64{0.39, 0.30, 0.0, 0.23}
+	out := make([]*PacketTrace, len(targets))
+	for i, tgt := range targets {
+		cfg := DefaultBursty()
+		cfg.Span = span
+		cfg.PeakUtil = tgt
+		cfg.MeanUtil = tgt / 150 // duty ≈ 0.67 %: P99 idle, P99.99 at peak
+		cfg.Seed = int64(i + 1)
+		out[i] = GenBursty(cfg)
+	}
+	return out
+}
+
+// RackB returns Table 2's rack B inbound traces (50 Gbit NICs; P99.99
+// utilizations 39/75/52/79 %).
+func RackB(span sim.Duration) []*PacketTrace {
+	targets := []float64{0.39, 0.75, 0.52, 0.79}
+	out := make([]*PacketTrace, len(targets))
+	for i, tgt := range targets {
+		cfg := DefaultBursty()
+		cfg.Span = span
+		cfg.LinkBps = 50e9
+		cfg.PeakUtil = tgt
+		cfg.MeanUtil = tgt / 150
+		cfg.Seed = int64(i + 101)
+		out[i] = GenBursty(cfg)
+	}
+	return out
+}

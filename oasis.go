@@ -1,0 +1,601 @@
+// Package oasis is the public API of this reproduction of "Oasis: Pooling
+// PCIe Devices Over CXL to Boost Utilization" (SOSP 2025).
+//
+// Oasis pools PCIe devices — NICs here, SSDs via the storage engine — in
+// software across the hosts of a CXL pod: a rack-scale group of servers
+// sharing a non-cache-coherent CXL 2.0 memory pool. Instances (containers)
+// on any pod host can use any pooled device; the datapath runs over shared
+// CXL memory with software-managed coherence, and a pod-wide allocator
+// handles placement, load balancing, and failover.
+//
+// The package is a builder over a deterministic discrete-event simulation
+// of the full substrate (CXL pool, per-host CPU caches, NICs, ToR switch,
+// SSDs — see DESIGN.md for the hardware-substitution argument). A minimal
+// pod:
+//
+//	pod := oasis.NewPod(oasis.DefaultConfig())
+//	h0 := pod.AddHost()              // has the pod's NIC
+//	h1 := pod.AddHost()              // diskless/NIC-less host
+//	nic := pod.AddNIC(h0, false)     // false: not the reserved backup
+//	inst := pod.AddInstance(h1, oasis.IP(10, 0, 0, 10))
+//	client := pod.AddClient(oasis.IP(10, 0, 99, 1))
+//	pod.Start()
+//	// … spawn application processes with pod.Go, then pod.Run…
+//
+// Everything runs in virtual time: pod.Run(d) executes d of simulated time
+// deterministically.
+package oasis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"oasis/internal/allocator"
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/host"
+	"oasis/internal/netengine"
+	"oasis/internal/netstack"
+	"oasis/internal/netsw"
+	"oasis/internal/nic"
+	"oasis/internal/raft"
+	"oasis/internal/sim"
+	"oasis/internal/ssd"
+	"oasis/internal/storengine"
+)
+
+// Re-exported simulation handles so applications only import this package.
+type (
+	// Proc is a simulated process (one core's worth of execution).
+	Proc = sim.Proc
+	// Duration is virtual time.
+	Duration = sim.Duration
+)
+
+// IP builds an IPv4 address.
+func IP(a, b, c, d byte) netstack.IP { return netstack.IPv4(a, b, c, d) }
+
+// Config assembles per-component parameters.
+type Config struct {
+	PoolBytes int64
+	CXL       cxl.Params
+	Host      host.Config
+	NIC       nic.Params
+	Switch    netsw.Params
+	Engine    netengine.Config
+	Storage   storengine.Config
+	SSD       ssd.Params
+	Stack     netstack.Config
+	Allocator allocator.Config
+	// NoAllocator disables the pod-wide allocator; instances must then be
+	// assigned to NICs explicitly with Instance.Assign.
+	NoAllocator bool
+	// RaftReplicas replicates the allocator's decision log with Raft over
+	// 64 B message channels across the first N pod hosts (§3.5). 0 disables
+	// replication; otherwise it must be an odd count ≥ 3 and ≤ len(hosts).
+	RaftReplicas int
+}
+
+// DefaultConfig mirrors the paper's evaluation platform (§5): a CXL 2.0
+// pool on ×8 ports, 100 Gbit CX5-class NICs, one ToR switch.
+func DefaultConfig() Config {
+	return Config{
+		PoolBytes: 1 << 30,
+		CXL:       cxl.DefaultParams(),
+		Host:      host.DefaultConfig(),
+		NIC:       nic.DefaultParams(),
+		Switch:    netsw.DefaultParams(),
+		Engine:    netengine.DefaultConfig(),
+		Storage:   storengine.DefaultConfig(),
+		SSD:       ssd.DefaultParams(),
+		Stack:     netstack.DefaultConfig(),
+		Allocator: allocator.DefaultConfig(),
+	}
+}
+
+// Host is one pod member: the underlying host model, its frontend driver,
+// and any backend drivers for locally-attached NICs.
+type Host struct {
+	H   *host.Host
+	FE  *netengine.Frontend
+	BEs []*netengine.Backend
+	// SFE is the storage frontend (created on demand by AddSSD/AddVolume).
+	SFE *storengine.Frontend
+	// LD is the baseline Junction-style local driver (set by AddLocalNIC).
+	LD *netengine.LocalDriver
+}
+
+// SSDDev is one pooled SSD: the device and its storage backend driver.
+type SSDDev struct {
+	ID  uint16
+	Dev *ssd.SSD
+	BE  *storengine.Backend
+}
+
+// NIC is one pooled NIC: the device and its backend driver.
+type NIC struct {
+	ID     uint16
+	Dev    *nic.NIC
+	BE     *netengine.Backend
+	SwPort *netsw.Port
+	Backup bool
+}
+
+// Instance is a container instance: its frontend attachment and its
+// network stack. Exactly one of Port (pooled, via the Oasis frontend) or
+// LocalPort (baseline, via a LocalDriver) is set.
+type Instance struct {
+	Port      *netengine.InstancePort
+	LocalPort *netengine.LocalPort
+	Stack     *netstack.Stack
+	pod       *Pod
+}
+
+// IPAddr returns the instance's address.
+func (i *Instance) IPAddr() netstack.IP { return i.Stack.IP() }
+
+// Assign sets the instance's primary and backup NICs directly (bypassing
+// the allocator). backup may be 0. Panics for baseline local instances.
+func (i *Instance) Assign(primary, backup uint16) { i.Port.Assign(primary, backup) }
+
+// RequestAllocation asks the pod-wide allocator for a NIC assignment.
+func (i *Instance) RequestAllocation() { i.Port.RequestAllocation() }
+
+// WaitReady blocks until the instance can transmit. Baseline local
+// instances are ready immediately.
+func (i *Instance) WaitReady(p *Proc, timeout Duration) bool {
+	if i.Port == nil {
+		return true
+	}
+	return i.Port.WaitReady(p, timeout)
+}
+
+// Client is a load-generator node outside the pod, attached directly to
+// the ToR switch (the paper's "network load driver", §5).
+type Client struct {
+	Stack  *netstack.Stack
+	SwPort *netsw.Port
+	mac    netsw.MAC
+}
+
+// Transmit implements netstack.Endpoint for the raw client.
+func (c *Client) Transmit(p *Proc, frame []byte) {
+	var f netsw.Frame
+	copy(f.Dst[:], frame[0:6])
+	copy(f.Src[:], frame[6:12])
+	f.Bytes = frame
+	c.SwPort.Send(&f)
+}
+
+// DeliverFrame implements netsw.Sink for the raw client.
+func (c *Client) DeliverFrame(f *netsw.Frame) { c.Stack.DeliverFrame(f.Bytes) }
+
+// Pod owns the whole simulated rack.
+type Pod struct {
+	Eng    *sim.Engine
+	Pool   *cxl.Pool
+	Switch *netsw.Switch
+	Hosts  []*Host
+	NICs   map[uint16]*NIC
+	SSDs   map[uint16]*SSDDev
+	Alloc  *allocator.Allocator
+	// Raft holds the allocator's replicas when Config.RaftReplicas > 0;
+	// Raft[0] runs beside the allocator and is the expected leader.
+	Raft []*raft.Node
+
+	cfg       Config
+	nicDir    map[uint16]netsw.MAC
+	nextNICID uint16
+	nextSSDID uint16
+	nextMAC   uint64
+	instances []*Instance
+	clients   []*Client
+	started   bool
+}
+
+// NewPod creates an empty pod.
+func NewPod(cfg Config) *Pod {
+	eng := sim.New()
+	return &Pod{
+		Eng:       eng,
+		Pool:      cxl.NewPool(eng, cfg.PoolBytes, cfg.CXL),
+		Switch:    netsw.New(eng, cfg.Switch),
+		NICs:      make(map[uint16]*NIC),
+		SSDs:      make(map[uint16]*SSDDev),
+		cfg:       cfg,
+		nicDir:    make(map[uint16]netsw.MAC),
+		nextNICID: 1,
+		nextSSDID: 1,
+		nextMAC:   0x02_00_00_00_00_01, // locally administered
+	}
+}
+
+// AddHost adds a pod member with a frontend driver.
+func (pod *Pod) AddHost() *Host {
+	pod.mustNotBeStarted()
+	id := len(pod.Hosts)
+	h := host.New(pod.Eng, id, fmt.Sprintf("host%d", id), pod.Pool, pod.cfg.Host)
+	ph := &Host{H: h, FE: netengine.NewFrontend(h, pod.Pool, pod.cfg.Engine)}
+	pod.Hosts = append(pod.Hosts, ph)
+	return ph
+}
+
+// allocMAC hands out a unique locally-administered MAC.
+func (pod *Pod) allocMAC() netsw.MAC {
+	var m netsw.MAC
+	v := pod.nextMAC
+	pod.nextMAC++
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+// AddNIC attaches a pooled NIC to a host and creates its backend driver.
+// backup marks the pod's reserved failover NIC (§3.3.3).
+func (pod *Pod) AddNIC(on *Host, backup bool) *NIC {
+	pod.mustNotBeStarted()
+	id := pod.nextNICID
+	pod.nextNICID++
+	mac := pod.allocMAC()
+	name := fmt.Sprintf("nic%d", id)
+	dev := nic.New(pod.Eng, name, mac, pod.Pool.AttachPort(name+"-dma"), netstack.FlowKey, pod.cfg.NIC)
+	swPort := pod.Switch.AttachPort(name, dev)
+	dev.Connect(swPort)
+	dev.SetSnooper(on.H.Cache) // DMA snoops the owning host's cache (§3.2.1)
+	be, err := netengine.NewBackend(on.H, id, dev, pod.Pool, pod.nicDir, pod.cfg.Engine)
+	if err != nil {
+		panic(err)
+	}
+	pod.nicDir[id] = mac
+	n := &NIC{ID: id, Dev: dev, BE: be, SwPort: swPort, Backup: backup}
+	pod.NICs[id] = n
+	on.BEs = append(on.BEs, be)
+	return n
+}
+
+// AddLocalNIC attaches a NIC served by a Junction-style local driver — the
+// evaluation baseline (§5.1): one intermediary core, no pooling, no message
+// channels. Instances added with AddLocalInstance use it.
+func (pod *Pod) AddLocalNIC(on *Host) *NIC {
+	pod.mustNotBeStarted()
+	if on.LD != nil {
+		panic("oasis: host already has a local driver")
+	}
+	id := pod.nextNICID
+	pod.nextNICID++
+	mac := pod.allocMAC()
+	name := fmt.Sprintf("nic%d", id)
+	dev := nic.New(pod.Eng, name, mac, pod.Pool.AttachPort(name+"-dma"), netstack.FlowKey, pod.cfg.NIC)
+	swPort := pod.Switch.AttachPort(name, dev)
+	dev.Connect(swPort)
+	dev.SetSnooper(on.H.Cache)
+	ld, err := netengine.NewLocalDriver(on.H, dev, pod.Pool, pod.cfg.Engine)
+	if err != nil {
+		panic(err)
+	}
+	on.LD = ld
+	n := &NIC{ID: id, Dev: dev, SwPort: swPort}
+	pod.NICs[id] = n
+	return n
+}
+
+// AddLocalInstance launches an instance on the host's baseline local driver.
+func (pod *Pod) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
+	pod.mustNotBeStarted()
+	if on.LD == nil {
+		panic("oasis: AddLocalInstance requires AddLocalNIC first")
+	}
+	lp, err := on.LD.AddInstance(ip)
+	if err != nil {
+		panic(err)
+	}
+	stack := netstack.NewStack(pod.Eng, fmt.Sprintf("inst-%v", ip), ip, lp.CurrentMAC, lp, pod.cfg.Stack)
+	lp.AttachStack(stack)
+	inst := &Instance{LocalPort: lp, Stack: stack, pod: pod}
+	pod.instances = append(pod.instances, inst)
+	return inst
+}
+
+// AddSSD attaches a pooled SSD of the given capacity (in 4 KiB blocks) to
+// a host and creates its storage backend driver (§3.4).
+func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
+	pod.mustNotBeStarted()
+	id := pod.nextSSDID
+	pod.nextSSDID++
+	name := fmt.Sprintf("ssd%d", id)
+	dev := ssd.New(pod.Eng, name, pod.Pool.AttachPort(name+"-dma"), pod.cfg.SSD)
+	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, pod.cfg.Storage)
+	d := &SSDDev{ID: id, Dev: dev, BE: be}
+	pod.SSDs[id] = d
+	return d
+}
+
+// storageFE returns (creating if needed) a host's storage frontend.
+func (pod *Pod) storageFE(on *Host) *storengine.Frontend {
+	if on.SFE == nil {
+		on.SFE = storengine.NewFrontend(on.H, pod.Pool, pod.cfg.Storage)
+	}
+	return on.SFE
+}
+
+// AddVolume provisions a block volume for an instance on a pooled SSD.
+// Must be called before Start (the registration completes shortly after).
+func (pod *Pod) AddVolume(inst *Instance, ssdID uint16, blocks uint64) *storengine.Volume {
+	pod.mustNotBeStarted()
+	var on *Host
+	for _, ph := range pod.Hosts {
+		if ph.FE == inst.Port.Frontend() {
+			on = ph
+			break
+		}
+	}
+	if on == nil {
+		panic("oasis: instance host not found")
+	}
+	fe := pod.storageFE(on)
+	vol, err := fe.AddVolume(inst.IPAddr(), ssdID, blocks)
+	if err != nil {
+		panic(err)
+	}
+	return vol
+}
+
+// AddInstance launches a container instance on a pod host.
+func (pod *Pod) AddInstance(on *Host, ip netstack.IP) *Instance {
+	pod.mustNotBeStarted()
+	port, err := on.FE.AddInstance(ip)
+	if err != nil {
+		panic(err)
+	}
+	name := fmt.Sprintf("inst-%v", ip)
+	stack := netstack.NewStack(pod.Eng, name, ip, port.CurrentMAC, port, pod.cfg.Stack)
+	port.AttachStack(stack)
+	inst := &Instance{Port: port, Stack: stack, pod: pod}
+	pod.instances = append(pod.instances, inst)
+	return inst
+}
+
+// AddClient attaches a raw load-generator node to the switch.
+func (pod *Pod) AddClient(ip netstack.IP) *Client {
+	pod.mustNotBeStarted()
+	c := &Client{mac: pod.allocMAC()}
+	c.SwPort = pod.Switch.AttachPort(fmt.Sprintf("client-%v", ip), c)
+	mac := c.mac
+	c.Stack = netstack.NewStack(pod.Eng, fmt.Sprintf("client-%v", ip), ip,
+		func() netsw.MAC { return mac }, c, pod.cfg.Stack)
+	pod.clients = append(pod.clients, c)
+	return c
+}
+
+// Start wires the control and data links (frontend↔backend full mesh,
+// allocator links) and launches every driver, device, and stack process.
+// Topology is frozen afterwards.
+func (pod *Pod) Start() {
+	if pod.started {
+		return
+	}
+	pod.started = true
+
+	// Data links: every frontend to every backend.
+	for _, ph := range pod.Hosts {
+		for _, n := range pod.NICs {
+			if n.BE == nil {
+				continue // baseline local NIC: no backend driver
+			}
+			feEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ph.H, n.BE.Host(), pod.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			ph.FE.ConnectBackend(n.ID, n.Dev.MAC(), feEnd)
+			n.BE.ConnectFrontend(ph.H.ID, beEnd)
+		}
+		if ph.SFE != nil {
+			for _, d := range pod.SSDs {
+				feEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ph.H, d.BE.Host(), pod.cfg.Storage.Chan)
+				if err != nil {
+					panic(err)
+				}
+				ph.SFE.ConnectBackend(d.ID, feEnd)
+				d.BE.ConnectFrontend(ph.H.ID, beEnd)
+			}
+		}
+	}
+
+	// Control plane.
+	if !pod.cfg.NoAllocator && len(pod.Hosts) > 0 {
+		ah := pod.Hosts[0].H // allocator runs on host 0
+		pod.Alloc = allocator.New(ah, pod.cfg.Allocator)
+		for _, ph := range pod.Hosts {
+			aEnd, feEnd, err := core.NewDuplexLink(pod.Pool, ah, ph.H, pod.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			pod.Alloc.AddFrontend(ph.H.ID, aEnd)
+			ph.FE.SetControlLink(feEnd)
+		}
+		for _, n := range pod.NICs {
+			if n.BE == nil {
+				continue
+			}
+			aEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ah, n.BE.Host(), pod.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			pod.Alloc.AddNIC(allocator.NICInfo{
+				ID:          n.ID,
+				HostID:      n.BE.Host().ID,
+				CapacityBps: pod.cfg.Switch.PortBandwidth,
+				Backup:      n.Backup,
+			}, aEnd)
+			n.BE.SetControlLink(beEnd)
+		}
+		if pod.cfg.RaftReplicas > 0 {
+			pod.setupRaft()
+		}
+		pod.Alloc.Start()
+	}
+
+	// Launch everything.
+	for _, n := range pod.NICs {
+		n.Dev.Start()
+		if n.BE != nil {
+			n.BE.Start()
+		}
+	}
+	for _, d := range pod.SSDs {
+		d.Dev.Start()
+		d.BE.Start()
+	}
+	for _, ph := range pod.Hosts {
+		ph.FE.Start()
+		if ph.SFE != nil {
+			ph.SFE.Start()
+		}
+		if ph.LD != nil {
+			ph.LD.Start()
+		}
+	}
+	for _, inst := range pod.instances {
+		inst.Stack.Start()
+	}
+	for _, c := range pod.clients {
+		c.Stack.Start()
+	}
+}
+
+// Go spawns an application process.
+func (pod *Pod) Go(name string, fn func(p *Proc)) { pod.Eng.Go(name, fn) }
+
+// Run executes d of virtual time and returns the clock.
+func (pod *Pod) Run(d Duration) Duration { return pod.Eng.RunUntil(d) }
+
+// Shutdown unwinds all processes (end of an experiment).
+func (pod *Pod) Shutdown() { pod.Eng.Shutdown() }
+
+// Now returns the virtual clock.
+func (pod *Pod) Now() Duration { return pod.Eng.Now() }
+
+// FailNICPort injects the paper's §5.3 failure: the switch port connected
+// to the NIC is disabled.
+func (pod *Pod) FailNICPort(id uint16) {
+	if n, ok := pod.NICs[id]; ok {
+		n.SwPort.SetEnabled(false)
+	}
+}
+
+// RestoreNICPort re-enables a failed port.
+func (pod *Pod) RestoreNICPort(id uint16) {
+	if n, ok := pod.NICs[id]; ok {
+		n.SwPort.SetEnabled(true)
+	}
+}
+
+func (pod *Pod) mustNotBeStarted() {
+	if pod.started {
+		panic("oasis: pod topology is frozen after Start")
+	}
+}
+
+// setupRaft builds the allocator's replica group: RaftReplicas nodes on the
+// first hosts, RPCs over 64 B message channels, with the allocator's
+// decisions proposed to the log before being acted on (§3.5).
+func (pod *Pod) setupRaft() {
+	n := pod.cfg.RaftReplicas
+	if n < 3 || n%2 == 0 || n > len(pod.Hosts) {
+		panic(fmt.Sprintf("oasis: RaftReplicas = %d needs an odd count >= 3 and <= hosts", n))
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	trs := make([]*raft.ChannelTransport, n)
+	for i := range trs {
+		trs[i] = raft.NewChannelTransport(pod.Eng, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := trs[i].ConnectPeer(pod.Pool, pod.Hosts[i].H, trs[j], pod.Hosts[j].H); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := raft.DefaultConfig()
+		cfg.Seed = 11
+		if i == 0 {
+			// The allocator runs on host 0; bias it to win the first
+			// election so proposals originate beside the leader.
+			cfg.ElectionMin = 10 * time.Millisecond
+			cfg.ElectionMax = 15 * time.Millisecond
+		} else {
+			cfg.ElectionMin = 40 * time.Millisecond
+			cfg.ElectionMax = 60 * time.Millisecond
+		}
+		node := raft.New(pod.Eng, i, ids, trs[i], nil, cfg)
+		trs[i].Bind(node)
+		pod.Raft = append(pod.Raft, node)
+		node.Start()
+	}
+	pod.Alloc.Replicate(&raftReplicator{node: pod.Raft[0]})
+}
+
+// raftReplicator adapts a raft.Node to the allocator's replication hook:
+// wait (bounded) for local leadership, then propose.
+type raftReplicator struct {
+	node *raft.Node
+}
+
+// Propose blocks until the colocated replica leads and the command commits.
+func (r *raftReplicator) Propose(p *Proc, cmd []byte) bool {
+	deadline := p.Now() + 500*time.Millisecond
+	for !r.node.IsLeader() {
+		if p.Now() >= deadline {
+			return false
+		}
+		p.Sleep(5 * time.Millisecond)
+	}
+	return r.node.Propose(p, cmd)
+}
+
+// StatsReport returns a human-readable dump of the pod's counters: per-NIC
+// traffic, per-port CXL bandwidth by category, driver counters, and
+// allocator decisions. Examples and operators print it after a run.
+func (pod *Pod) StatsReport() string {
+	var b strings.Builder
+	elapsed := pod.Eng.Now()
+	fmt.Fprintf(&b, "pod after %v of virtual time\n", elapsed)
+	ids := make([]int, 0, len(pod.NICs))
+	for id := range pod.NICs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := pod.NICs[uint16(id)]
+		fmt.Fprintf(&b, "  nic%-3d tx %d pkts / %.2f MB, rx %d pkts / %.2f MB, drops(no-desc) %d, link up %v\n",
+			n.ID, n.Dev.TxPackets, float64(n.Dev.TxBytes)/1e6,
+			n.Dev.RxPackets, float64(n.Dev.RxBytes)/1e6, n.Dev.RxNoDesc, n.Dev.LinkUp())
+	}
+	for _, d := range pod.SSDs {
+		fmt.Fprintf(&b, "  ssd%-3d reads %d / writes %d / errors %d\n", d.ID, d.Dev.Reads, d.Dev.Writes, d.Dev.Errors)
+	}
+	for _, ph := range pod.Hosts {
+		if ph.H.CXLPort == nil {
+			continue
+		}
+		rd, wr := ph.H.CXLPort.ReadMeter(), ph.H.CXLPort.WriteMeter()
+		fmt.Fprintf(&b, "  %s CXL rd %.2f MB %v / wr %.2f MB %v\n",
+			ph.H.Name, float64(rd.Total())/1e6, rd.Snapshot(), float64(wr.Total())/1e6, wr.Snapshot())
+		fmt.Fprintf(&b, "  %s fe: tx %d rx %d (channel-full %d)\n",
+			ph.H.Name, ph.FE.TxForwarded, ph.FE.RxDelivered, ph.FE.TxChannelFull)
+	}
+	if pod.Alloc != nil {
+		fmt.Fprintf(&b, "  allocator: placements %d, failovers %d (AER %d), migrations %d, rebalances %d, lease expiries %d\n",
+			pod.Alloc.Placements, pod.Alloc.Failovers, pod.Alloc.AERFailovers,
+			pod.Alloc.Migrations, pod.Alloc.Rebalances, pod.Alloc.LeaseExpiries)
+	}
+	return b.String()
+}

@@ -1,0 +1,598 @@
+package oasis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"oasis/internal/metrics"
+)
+
+// echoPod builds the evaluation topology (§5): hostA runs the instance,
+// hostB owns the NIC serving it, a client drives load from outside the pod.
+type echoPod struct {
+	pod    *Pod
+	hostA  *Host
+	hostB  *Host
+	nic1   *NIC
+	inst   *Instance
+	client *Client
+}
+
+func buildEchoPod(backup bool) *echoPod {
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	hostA := pod.AddHost()
+	hostB := pod.AddHost()
+	n1 := pod.AddNIC(hostB, false)
+	var _ = n1
+	e := &echoPod{pod: pod, hostA: hostA, hostB: hostB, nic1: n1}
+	if backup {
+		hostC := pod.AddHost()
+		pod.AddNIC(hostC, true)
+	}
+	e.inst = pod.AddInstance(hostA, IP(10, 0, 0, 10))
+	e.client = pod.AddClient(IP(10, 0, 99, 1))
+	pod.Start()
+	return e
+}
+
+// startEchoServer runs a UDP echo app on the instance.
+func (e *echoPod) startEchoServer(t *testing.T) {
+	e.pod.Go("echo-server", func(p *Proc) {
+		conn, err := e.inst.Stack.ListenUDP(7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			dg := conn.Recv(p)
+			if err := conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestRemoteNICUDPEcho(t *testing.T) {
+	e := buildEchoPod(false)
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	var rtts []time.Duration
+	payload := bytes.Repeat([]byte{0xEE}, 64)
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond) // registration warmup
+		for i := 0; i < 20; i++ {
+			start := p.Now()
+			if err := conn.SendTo(p, e.inst.IPAddr(), 7, payload); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			dg, ok := conn.RecvTimeout(p, 10*time.Millisecond)
+			if !ok {
+				t.Errorf("echo %d timed out", i)
+				return
+			}
+			if !bytes.Equal(dg.Data, payload) {
+				t.Errorf("echo %d corrupted", i)
+				return
+			}
+			rtts = append(rtts, p.Now()-start)
+			p.Sleep(100 * time.Microsecond)
+		}
+		e.pod.Shutdown()
+	})
+	e.pod.Run(time.Second)
+	if len(rtts) != 20 {
+		t.Fatalf("completed %d echoes, want 20", len(rtts))
+	}
+	med := metrics.ExactPercentile(rtts, 50)
+	// Remote-NIC path: a handful of µs each way (Fig. 10's Oasis curve runs
+	// ~5-10 µs at low load on a small testbed).
+	if med < time.Microsecond || med > 30*time.Microsecond {
+		t.Fatalf("median RTT = %v, want low µs", med)
+	}
+	t.Logf("remote-NIC echo RTT: median=%v", med)
+	// The data path must have used the CXL pool for payloads.
+	if e.hostA.H.CXLPort.WriteMeter().Category("payload") == 0 {
+		t.Fatal("instance TX never wrote payload to the CXL pool")
+	}
+	if e.inst.Port.TxPackets == 0 || e.inst.Port.RxPackets == 0 {
+		t.Fatal("instance port counters did not move")
+	}
+}
+
+func TestTxBuffersRecycled(t *testing.T) {
+	e := buildEchoPod(false)
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	payload := bytes.Repeat([]byte{1}, 1400)
+	done := false
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < 500; i++ {
+			if err := conn.SendTo(p, e.inst.IPAddr(), 7, payload); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, ok := conn.RecvTimeout(p, 10*time.Millisecond); !ok {
+				t.Errorf("echo %d lost", i)
+				return
+			}
+		}
+		done = true
+		// Let completions drain, then check for leaks.
+		p.Sleep(10 * time.Millisecond)
+		e.pod.Shutdown()
+	})
+	e.pod.Run(5 * time.Second)
+	if !done {
+		t.Fatal("client did not finish")
+	}
+	if e.inst.Port.TxDropsNoBuffer != 0 {
+		t.Fatalf("TX buffer drops = %d; area leaked", e.inst.Port.TxDropsNoBuffer)
+	}
+	// All TX buffers must be back (completions recycle them).
+	// All RX buffers must be back in the NIC ring or free list.
+	be := e.nic1.BE
+	if got := be.RxNoRoute; got > 5 {
+		t.Fatalf("unexpected RxNoRoute = %d", got)
+	}
+}
+
+func TestFlowTagFallbackInspectionOnlyForARP(t *testing.T) {
+	e := buildEchoPod(false)
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < 50; i++ {
+			conn.SendTo(p, e.inst.IPAddr(), 7, []byte("x"))
+			conn.RecvTimeout(p, 10*time.Millisecond)
+		}
+		e.pod.Shutdown()
+	})
+	e.pod.Run(time.Second)
+	// UDP data packets are steered by flow tags; only the ARP exchange hits
+	// the inspection fallback.
+	if e.nic1.BE.Inspected > 4 {
+		t.Fatalf("backend inspected %d packets; flow tagging not effective", e.nic1.BE.Inspected)
+	}
+	if e.nic1.BE.RxForwarded < 50 {
+		t.Fatalf("forwarded %d, want >= 50", e.nic1.BE.RxForwarded)
+	}
+}
+
+func TestAllocatorPlacesOnLocalNICFirst(t *testing.T) {
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	nA := pod.AddNIC(hA, false)
+	nB := pod.AddNIC(hB, false)
+	instA := pod.AddInstance(hA, IP(10, 0, 0, 1))
+	instB := pod.AddInstance(hB, IP(10, 0, 0, 2))
+	pod.Start()
+	instA.RequestAllocation()
+	instB.RequestAllocation()
+	ok := false
+	pod.Go("wait", func(p *Proc) {
+		ok = instA.WaitReady(p, 100*time.Millisecond) && instB.WaitReady(p, 100*time.Millisecond)
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if !ok {
+		t.Fatal("instances never became ready")
+	}
+	if got, _ := pod.Alloc.PrimaryOf(instA.IPAddr()); got != nA.ID {
+		t.Fatalf("instA placed on NIC %d, want local %d", got, nA.ID)
+	}
+	if got, _ := pod.Alloc.PrimaryOf(instB.IPAddr()); got != nB.ID {
+		t.Fatalf("instB placed on NIC %d, want local %d", got, nB.ID)
+	}
+}
+
+func TestNICFailoverUDP(t *testing.T) {
+	e := buildEchoPod(true) // with reserved backup NIC
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	var lost, delivered int
+	var gapStart, gapEnd time.Duration
+	failAt := 50 * time.Millisecond
+	e.pod.Eng.At(failAt, func() { e.pod.FailNICPort(e.nic1.ID) })
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		// 1 kHz probe stream for 300 ms of virtual time.
+		for p.Now() < 350*time.Millisecond {
+			sendAt := p.Now()
+			if err := conn.SendTo(p, e.inst.IPAddr(), 7, []byte("probe")); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, ok := conn.RecvTimeout(p, time.Millisecond); ok {
+				delivered++
+				if gapStart != 0 && gapEnd == 0 {
+					gapEnd = sendAt
+				}
+			} else {
+				lost++
+				if gapStart == 0 {
+					gapStart = sendAt
+				}
+			}
+		}
+		e.pod.Shutdown()
+	})
+	e.pod.Run(time.Second)
+	if delivered == 0 || lost == 0 {
+		t.Fatalf("delivered=%d lost=%d; failover scenario did not engage", delivered, lost)
+	}
+	if gapEnd == 0 {
+		t.Fatal("service never recovered after NIC failure")
+	}
+	outage := gapEnd - gapStart
+	t.Logf("failover outage: %v (lost %d probes)", outage, lost)
+	// §5.3: tens of milliseconds — dominated by link-down detection.
+	if outage < 5*time.Millisecond || outage > 120*time.Millisecond {
+		t.Fatalf("outage = %v, want tens of ms", outage)
+	}
+	if e.pod.Alloc.Failovers != 1 {
+		t.Fatalf("allocator failovers = %d, want 1", e.pod.Alloc.Failovers)
+	}
+}
+
+func TestGracefulMigrationNoLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	hC := pod.AddHost()
+	n1 := pod.AddNIC(hB, false)
+	n2 := pod.AddNIC(hC, false)
+	inst := pod.AddInstance(hA, IP(10, 0, 0, 10))
+	client := pod.AddClient(IP(10, 0, 99, 1))
+	pod.Start()
+	inst.RequestAllocation() // lands on n1: least-loaded, first registered
+	_ = n1
+	pod.Go("echo", func(p *Proc) {
+		conn, _ := inst.Stack.ListenUDP(7)
+		for {
+			dg := conn.Recv(p)
+			conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data)
+		}
+	})
+	// Migrate mid-stream.
+	pod.Eng.At(50*time.Millisecond, func() { pod.Alloc.Migrate(inst.IPAddr(), n2.ID) })
+	lost := 0
+	sent := 0
+	pod.Go("client", func(p *Proc) {
+		conn, _ := client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		for p.Now() < 150*time.Millisecond {
+			sent++
+			conn.SendTo(p, inst.IPAddr(), 7, []byte("m"))
+			if _, ok := conn.RecvTimeout(p, 5*time.Millisecond); !ok {
+				lost++
+			}
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if sent < 100 {
+		t.Fatalf("sent only %d probes", sent)
+	}
+	// §3.3.4: graceful migration loses nothing (dual-RX window + GARP).
+	if lost != 0 {
+		t.Fatalf("graceful migration lost %d/%d probes", lost, sent)
+	}
+	if n2.Dev.TxPackets == 0 {
+		t.Fatal("traffic never moved to the new NIC")
+	}
+	if pod.Alloc.Migrations != 1 {
+		t.Fatalf("allocator migrations = %d", pod.Alloc.Migrations)
+	}
+}
+
+func TestTwoInstancesShareOneNIC(t *testing.T) {
+	// The multiplexing premise (§5.2): two instances on different hosts
+	// share one NIC with correct isolation (each sees only its traffic).
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	n1 := pod.AddNIC(hB, false)
+	i1 := pod.AddInstance(hA, IP(10, 0, 0, 1))
+	i2 := pod.AddInstance(hB, IP(10, 0, 0, 2))
+	client := pod.AddClient(IP(10, 0, 99, 1))
+	pod.Start()
+	i1.Assign(n1.ID, 0)
+	i2.Assign(n1.ID, 0)
+	for _, in := range []*Instance{i1, i2} {
+		in := in
+		pod.Go("echo", func(p *Proc) {
+			conn, _ := in.Stack.ListenUDP(7)
+			for {
+				dg := conn.Recv(p)
+				// Tag the echo with the instance's own IP byte to prove
+				// isolation.
+				resp := append([]byte{byte(in.IPAddr())}, dg.Data...)
+				conn.SendTo(p, dg.Src, dg.SrcPort, resp)
+			}
+		})
+	}
+	okCount := 0
+	pod.Go("client", func(p *Proc) {
+		conn, _ := client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < 40; i++ {
+			target := i1.IPAddr()
+			if i%2 == 1 {
+				target = i2.IPAddr()
+			}
+			conn.SendTo(p, target, 7, []byte("q"))
+			dg, ok := conn.RecvTimeout(p, 10*time.Millisecond)
+			if !ok {
+				t.Errorf("probe %d lost", i)
+				return
+			}
+			if dg.Src != target || dg.Data[0] != byte(target) {
+				t.Errorf("probe %d answered by wrong instance", i)
+				return
+			}
+			okCount++
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if okCount != 40 {
+		t.Fatalf("completed %d/40 probes", okCount)
+	}
+}
+
+func TestFailoverWithRaftReplicatedAllocator(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RaftReplicas = 3
+	pod := NewPod(cfg)
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	hC := pod.AddHost()
+	n1 := pod.AddNIC(hB, false)
+	pod.AddNIC(hC, true) // backup
+	inst := pod.AddInstance(hA, IP(10, 0, 0, 10))
+	client := pod.AddClient(IP(10, 0, 99, 1))
+	pod.Start()
+	inst.RequestAllocation()
+	pod.Go("echo", func(p *Proc) {
+		conn, _ := inst.Stack.ListenUDP(7)
+		for {
+			dg := conn.Recv(p)
+			conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data)
+		}
+	})
+	pod.Eng.At(100*time.Millisecond, func() { pod.FailNICPort(n1.ID) })
+	recovered := false
+	pod.Go("client", func(p *Proc) {
+		conn, _ := client.Stack.ListenUDP(0)
+		p.Sleep(30 * time.Millisecond) // raft election + registration
+		for p.Now() < 400*time.Millisecond {
+			conn.SendTo(p, inst.IPAddr(), 7, []byte("x"))
+			if _, ok := conn.RecvTimeout(p, 2*time.Millisecond); ok && p.Now() > 200*time.Millisecond {
+				recovered = true
+			}
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if !recovered {
+		t.Fatal("service did not recover after failover with raft-replicated allocator")
+	}
+	if pod.Alloc.Failovers != 1 {
+		t.Fatalf("failovers = %d", pod.Alloc.Failovers)
+	}
+	// The placement and failover decisions must be in every replica's log.
+	for i, n := range pod.Raft {
+		if n.CommitIndex() < 2 {
+			t.Fatalf("replica %d committed %d entries, want >= 2 (place + failover)", i, n.CommitIndex())
+		}
+	}
+}
+
+func TestPooledSSDVolume(t *testing.T) {
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	pod.AddNIC(hB, false)
+	d := pod.AddSSD(hB, 1<<16)
+	inst := pod.AddInstance(hA, IP(10, 0, 0, 10))
+	vol := pod.AddVolume(inst, d.ID, 4096)
+	pod.Start()
+	ok := false
+	pod.Go("app", func(p *Proc) {
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			t.Error("volume not ready")
+			pod.Shutdown()
+			return
+		}
+		data := bytes.Repeat([]byte{0x42}, 8192)
+		if err := vol.Write(p, 0, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err := vol.Read(p, 0, 2)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		} else if !bytes.Equal(got, data) {
+			t.Error("pooled SSD round trip mismatch")
+		} else {
+			ok = true
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if !ok {
+		t.Fatal("pooled SSD I/O did not complete")
+	}
+}
+
+func TestLargePodDeterministicStress(t *testing.T) {
+	// Eight hosts, three pooled NICs + backup, eight instances all echoing
+	// concurrently: exercises multi-frontend/multi-backend interleaving and
+	// pins down determinism at scale.
+	run := func() (int64, uint64) {
+		cfg := DefaultConfig()
+		pod := NewPod(cfg)
+		var hosts []*Host
+		for i := 0; i < 8; i++ {
+			hosts = append(hosts, pod.AddHost())
+		}
+		pod.AddNIC(hosts[1], false)
+		pod.AddNIC(hosts[3], false)
+		pod.AddNIC(hosts[5], false)
+		pod.AddNIC(hosts[7], true) // backup
+		var insts []*Instance
+		for i := 0; i < 8; i++ {
+			insts = append(insts, pod.AddInstance(hosts[i], IP(10, 0, 0, byte(10+i))))
+		}
+		client := pod.AddClient(IP(10, 0, 99, 1))
+		pod.Start()
+		for _, in := range insts {
+			in.RequestAllocation()
+		}
+		for _, in := range insts {
+			in := in
+			pod.Go("echo", func(p *Proc) {
+				conn, err := in.Stack.ListenUDP(7)
+				if err != nil {
+					return
+				}
+				for {
+					dg := conn.Recv(p)
+					if conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data) != nil {
+						return
+					}
+				}
+			})
+		}
+		var echoed int64
+		pod.Go("client", func(p *Proc) {
+			conn, _ := client.Stack.ListenUDP(0)
+			p.Sleep(5 * time.Millisecond)
+			for round := 0; round < 12; round++ {
+				for _, in := range insts {
+					conn.SendTo(p, in.IPAddr(), 7, []byte{byte(round)})
+					if _, ok := conn.RecvTimeout(p, 10*time.Millisecond); ok {
+						echoed++
+					}
+				}
+			}
+			pod.Shutdown()
+		})
+		end := pod.Run(5 * time.Second)
+		return echoed, uint64(end)
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != 96 {
+		t.Fatalf("echoed %d/96 across 8 instances", e1)
+	}
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("nondeterministic at scale: (%d,%d) vs (%d,%d)", e1, t1, e2, t2)
+	}
+}
+
+func TestPodCXLAccountingConsistency(t *testing.T) {
+	// Sanity invariant: every payload byte an instance transmits shows up
+	// in the pool's write meters, and the NIC's DMA reads at least match
+	// what it put on the wire.
+	e := buildTestEcho(t)
+	e.pod.Run(time.Second)
+	var payloadWrites int64
+	for _, port := range e.pod.Pool.Ports() {
+		payloadWrites += port.WriteMeter().Category("payload")
+	}
+	if payloadWrites == 0 {
+		t.Fatal("no payload writes metered")
+	}
+	if e.nic1.Dev.TxBytes == 0 {
+		t.Fatal("NIC transmitted nothing")
+	}
+	// Line-granular metering means metered bytes >= wire bytes.
+	var dmaReads int64
+	for _, port := range e.pod.Pool.Ports() {
+		dmaReads += port.ReadMeter().Category("payload")
+	}
+	if dmaReads < e.nic1.Dev.TxBytes {
+		t.Fatalf("DMA payload reads (%d) below wire bytes (%d)", dmaReads, e.nic1.Dev.TxBytes)
+	}
+}
+
+// buildTestEcho assembles a 2-host echo pod, runs 50 echoes, and returns it
+// (the pod is shut down by the client process).
+func buildTestEcho(t *testing.T) *echoPod {
+	t.Helper()
+	e := buildEchoPod(false)
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < 50; i++ {
+			conn.SendTo(p, e.inst.IPAddr(), 7, bytes.Repeat([]byte{1}, 1000))
+			conn.RecvTimeout(p, 10*time.Millisecond)
+		}
+		e.pod.Shutdown()
+	})
+	return e
+}
+
+func TestAERProactiveFailoverEndToEnd(t *testing.T) {
+	// A dying NIC (uncorrectable PCIe error burst, link still up) is failed
+	// over proactively by the allocator — no packet-loss window at all,
+	// because TX reroutes before anything is dropped.
+	e := buildEchoPod(true)
+	e.inst.RequestAllocation()
+	e.startEchoServer(t)
+	// Inject an error burst shortly before a telemetry window closes.
+	e.pod.Eng.At(95*time.Millisecond, func() {
+		for i := 0; i < 40; i++ {
+			e.nic1.Dev.InjectAER(true)
+		}
+	})
+	lost := 0
+	e.pod.Go("client", func(p *Proc) {
+		conn, _ := e.client.Stack.ListenUDP(0)
+		p.Sleep(5 * time.Millisecond)
+		for p.Now() < 300*time.Millisecond {
+			conn.SendTo(p, e.inst.IPAddr(), 7, []byte("x"))
+			if _, ok := conn.RecvTimeout(p, 2*time.Millisecond); !ok {
+				lost++
+			}
+		}
+		e.pod.Shutdown()
+	})
+	e.pod.Run(time.Second)
+	if e.pod.Alloc.AERFailovers != 1 {
+		t.Fatalf("AER failovers = %d, want 1", e.pod.Alloc.AERFailovers)
+	}
+	// The switch path never went down: proactive failover loses at most a
+	// couple of in-flight probes.
+	if lost > 3 {
+		t.Fatalf("lost %d probes; proactive failover should be nearly lossless", lost)
+	}
+}
+
+func TestStatsReportCoversComponents(t *testing.T) {
+	e := buildTestEcho(t)
+	e.pod.Run(time.Second)
+	rep := e.pod.StatsReport()
+	for _, want := range []string{"nic1", "host0", "allocator:", "fe: tx"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("stats report missing %q:\n%s", want, rep)
+		}
+	}
+}
