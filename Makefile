@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench fmt
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulation is single-threaded by design (one cooperative engine), so
+# the race detector only has teeth on the packages that never touch the sim
+# engine and may be used from concurrent tooling.
+RACE_PKGS = ./internal/memalloc ./internal/metrics
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .

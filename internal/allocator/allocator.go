@@ -5,10 +5,14 @@
 // graceful migration. It is never on the data path.
 //
 // The allocator converses with every frontend and backend driver over the
-// datapath's message channels. Host failures are inferred from missing
-// telemetry (lease expiry); NIC failures arrive as explicit link-down
-// reports. State can be replicated across peers with the raft package (see
-// Replicate), matching §3.5's "replicated with Raft" design.
+// datapath's message channels, speaking the shared control protocol
+// (core.ControlMsg) that all device engines use. NICs and SSDs share the
+// telemetry/lease path: host failures are inferred from missing telemetry
+// (lease expiry), NIC failures also arrive as explicit link-down reports.
+// A failed NIC triggers transparent failover (§3.3.3); a failed SSD is only
+// marked down — storage errors propagate to the guest (§3.4). State can be
+// replicated across peers with the raft package (see Replicate), matching
+// §3.5's "replicated with Raft" design.
 package allocator
 
 import (
@@ -16,15 +20,15 @@ import (
 
 	"oasis/internal/core"
 	"oasis/internal/host"
-	"oasis/internal/netengine"
 	"oasis/internal/netstack"
 	"oasis/internal/sim"
 )
 
 // Config tunes the allocator.
 type Config struct {
-	// LeaseTimeout is how long a NIC may go silent (no telemetry) before
-	// its host is presumed dead and its instances are failed over.
+	// LeaseTimeout is how long a device may go silent (no telemetry) before
+	// its host is presumed dead: a NIC's instances are failed over, an SSD
+	// is marked down.
 	LeaseTimeout sim.Duration
 	// PollCost is the allocator core's per-iteration cost.
 	PollCost sim.Duration
@@ -63,6 +67,9 @@ func DefaultConfig() Config {
 	}
 }
 
+// idleCap bounds the allocator core's idle backoff.
+const idleCap = 20 * time.Microsecond
+
 // NICInfo describes one pod NIC to the allocator.
 type NICInfo struct {
 	ID          uint16
@@ -71,12 +78,27 @@ type NICInfo struct {
 	Backup      bool // §3.3.3: the reserved per-pod backup NIC
 }
 
+// SSDInfo describes one pod SSD to the allocator.
+type SSDInfo struct {
+	ID     uint16
+	HostID int
+}
+
 type nicState struct {
-	info     NICInfo
-	up       bool
-	lastSeen sim.Duration
-	loadBps  float64 // from telemetry
-	demand   float64 // sum of placed instances' demands
+	info       NICInfo
+	up         bool
+	lastSeen   sim.Duration
+	loadBps    float64 // from telemetry
+	queueDepth uint16  // from telemetry
+	demand     float64 // sum of placed instances' demands
+}
+
+type ssdState struct {
+	info       SSDInfo
+	up         bool
+	lastSeen   sim.Duration
+	loadBps    float64
+	queueDepth uint16
 }
 
 type instState struct {
@@ -92,29 +114,36 @@ type Allocator struct {
 	h   *host.Host
 	cfg Config
 
-	feLinks map[int]*core.LinkEnd // by host id
-	feOrder []int
-	beLinks map[uint16]*core.LinkEnd // by NIC id
-	beOrder []uint16
-	nics    map[uint16]*nicState
-	insts   map[netstack.IP]*instState
+	feLinks  map[int]*core.LinkEnd // by host id
+	feOrder  []int
+	beLinks  map[uint16]*core.LinkEnd // by NIC id
+	beOrder  []uint16
+	ssdLinks map[uint16]*core.LinkEnd // by SSD id
+	ssdOrder []uint16
+	nics     map[uint16]*nicState
+	ssds     map[uint16]*ssdState
+	insts    map[netstack.IP]*instState
 
 	// instDemand lets the deployment declare expected per-instance NIC
 	// bandwidth (the "instance type", §3.1); default if absent.
 	instDemand    map[netstack.IP]float64
 	defaultDemand float64
 
-	cmds    *sim.Queue[func(p *sim.Proc)]
-	rep     replicator
-	started bool
+	cmds       *sim.Queue[func(p *sim.Proc)]
+	rep        replicator
+	timersInit bool
+	nextLease  sim.Duration
+	nextRebal  sim.Duration
+	driver     *core.Driver
 
 	// Stats.
-	Placements    int64
-	Failovers     int64
-	LeaseExpiries int64
-	Migrations    int64
-	Rebalances    int64
-	AERFailovers  int64
+	Placements       int64
+	Failovers        int64
+	LeaseExpiries    int64
+	SSDLeaseExpiries int64
+	Migrations       int64
+	Rebalances       int64
+	AERFailovers     int64
 }
 
 // replicator abstracts the Raft log: Propose blocks conceptually until the
@@ -135,7 +164,9 @@ func New(h *host.Host, cfg Config) *Allocator {
 		cfg:           cfg,
 		feLinks:       make(map[int]*core.LinkEnd),
 		beLinks:       make(map[uint16]*core.LinkEnd),
+		ssdLinks:      make(map[uint16]*core.LinkEnd),
 		nics:          make(map[uint16]*nicState),
+		ssds:          make(map[uint16]*ssdState),
 		insts:         make(map[netstack.IP]*instState),
 		instDemand:    make(map[netstack.IP]float64),
 		defaultDemand: 1e9, // 8 Gbit/s default ask
@@ -157,6 +188,15 @@ func (a *Allocator) AddNIC(info NICInfo, link *core.LinkEnd) {
 	a.nics[info.ID] = &nicState{info: info, up: true}
 	a.beLinks[info.ID] = link
 	a.beOrder = append(a.beOrder, info.ID)
+}
+
+// AddSSD registers a pod SSD and its control link to the storage backend
+// driver. Drives share the NICs' telemetry/lease path but never fail over
+// (§3.4): expiry or failure only marks the drive down.
+func (a *Allocator) AddSSD(info SSDInfo, link *core.LinkEnd) {
+	a.ssds[info.ID] = &ssdState{info: info, up: true}
+	a.ssdLinks[info.ID] = link
+	a.ssdOrder = append(a.ssdOrder, info.ID)
 }
 
 // AddFrontend registers a pod host's frontend control link.
@@ -195,102 +235,130 @@ func (a *Allocator) Migrate(ip netstack.IP, newNIC uint16) {
 		old := st.primary
 		st.primary = newNIC
 		a.shiftDemand(old, newNIC, st.demand)
-		a.sendToFE(p, st.hostID, ctlMsg{op: ctlMigrate, ip: ip, nic: newNIC})
+		a.sendToFE(p, st.hostID, ctlMsg{op: core.CtlMigrate, ip: ip, dev: newNIC})
 		a.Migrations++
 	})
 }
 
-// Start launches the allocator's core.
-func (a *Allocator) Start() {
-	if a.started {
-		return
+// LoopName implements core.EngineLoop.
+func (a *Allocator) LoopName() string { return a.h.Name + "/allocator" }
+
+// Driver returns the core the allocator polls on (nil before Start/Join).
+func (a *Allocator) Driver() *core.Driver { return a.driver }
+
+// Join attaches the allocator to an already-created driver core. Must
+// precede Start.
+func (a *Allocator) Join(d *core.Driver) {
+	if a.driver != nil {
+		panic("allocator: already has a driver core")
 	}
-	a.started = true
-	a.h.Eng.Go(a.h.Name+"/allocator", a.loop)
+	a.driver = d
+	d.Attach(a)
 }
 
-func (a *Allocator) loop(p *sim.Proc) {
-	nextLease := p.Now() + a.cfg.LeaseTimeout
-	nextRebalance := p.Now() + a.cfg.RebalanceEvery
-	idle := sim.Duration(0)
-	for {
-		progress := 0
+// Start launches the allocator's core. No-op if it joined a shared core.
+func (a *Allocator) Start() {
+	if a.driver != nil {
+		a.driver.Start()
+		return
+	}
+	a.driver = core.NewDriver(a.h, a.LoopName(), core.DriverConfig{
+		LoopCost: a.cfg.PollCost, IdleBackoff: idleCap,
+	})
+	a.driver.Attach(a)
+	a.driver.Start()
+}
+
+// PollOnce implements core.EngineLoop: one pass over deferred commands,
+// frontend requests, backend telemetry (NIC and SSD), and the lease and
+// rebalance windows.
+func (a *Allocator) PollOnce(p *sim.Proc) int {
+	if !a.timersInit {
+		a.timersInit = true
+		a.nextLease = p.Now() + a.cfg.LeaseTimeout
+		a.nextRebal = p.Now() + a.cfg.RebalanceEvery
+	}
+	progress := 0
+	for i := 0; i < a.cfg.Burst; i++ {
+		cmd, ok := a.cmds.TryPop()
+		if !ok {
+			break
+		}
+		cmd(p)
+		progress++
+	}
+	for _, hostID := range a.feOrder {
+		l := a.feLinks[hostID]
 		for i := 0; i < a.cfg.Burst; i++ {
-			cmd, ok := a.cmds.TryPop()
+			payload, ok := l.Poll(p)
 			if !ok {
 				break
 			}
-			cmd(p)
+			a.handleFE(p, hostID, payload)
 			progress++
 		}
-		for _, hostID := range a.feOrder {
-			l := a.feLinks[hostID]
-			for i := 0; i < a.cfg.Burst; i++ {
-				payload, ok := l.Poll(p)
-				if !ok {
-					break
-				}
-				a.handleFE(p, hostID, payload)
-				progress++
-			}
-		}
-		for _, nicID := range a.beOrder {
-			l := a.beLinks[nicID]
-			for i := 0; i < a.cfg.Burst; i++ {
-				payload, ok := l.Poll(p)
-				if !ok {
-					break
-				}
-				a.handleBE(p, nicID, payload)
-				progress++
-			}
-		}
-		if p.Now() >= nextLease {
-			nextLease = p.Now() + a.cfg.LeaseTimeout/4
-			a.checkLeases(p)
-		}
-		if a.cfg.Rebalance && p.Now() >= nextRebalance {
-			nextRebalance = p.Now() + a.cfg.RebalanceEvery
-			a.rebalance(p)
-		}
-		for _, hostID := range a.feOrder {
-			a.feLinks[hostID].Flush(p)
-		}
-		for _, nicID := range a.beOrder {
-			a.beLinks[nicID].Flush(p)
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(a.cfg.PollCost)
-			continue
-		}
-		if idle == 0 {
-			idle = a.cfg.PollCost
-		} else if idle *= 2; idle > 20*time.Microsecond {
-			idle = 20 * time.Microsecond
-		}
-		p.Sleep(a.cfg.PollCost + idle)
 	}
+	for _, nicID := range a.beOrder {
+		l := a.beLinks[nicID]
+		for i := 0; i < a.cfg.Burst; i++ {
+			payload, ok := l.Poll(p)
+			if !ok {
+				break
+			}
+			a.handleNIC(p, nicID, payload)
+			progress++
+		}
+	}
+	for _, ssdID := range a.ssdOrder {
+		l := a.ssdLinks[ssdID]
+		for i := 0; i < a.cfg.Burst; i++ {
+			payload, ok := l.Poll(p)
+			if !ok {
+				break
+			}
+			a.handleSSD(p, ssdID, payload)
+			progress++
+		}
+	}
+	if p.Now() >= a.nextLease {
+		a.nextLease = p.Now() + a.cfg.LeaseTimeout/4
+		a.checkLeases(p)
+	}
+	if a.cfg.Rebalance && p.Now() >= a.nextRebal {
+		a.nextRebal = p.Now() + a.cfg.RebalanceEvery
+		a.rebalance(p)
+	}
+	for _, hostID := range a.feOrder {
+		a.feLinks[hostID].Flush(p)
+	}
+	for _, nicID := range a.beOrder {
+		a.beLinks[nicID].Flush(p)
+	}
+	for _, ssdID := range a.ssdOrder {
+		a.ssdLinks[ssdID].Flush(p)
+	}
+	return progress
 }
 
 func (a *Allocator) handleFE(p *sim.Proc, hostID int, payload []byte) {
-	m := netengine.DecodeControl(payload)
+	m := core.DecodeControl(payload)
 	switch m.Op {
-	case netengine.CtlAllocRequest:
+	case core.CtlAllocRequest:
 		a.place(p, hostID, m.IP)
 	}
 }
 
-func (a *Allocator) handleBE(p *sim.Proc, nicID uint16, payload []byte) {
-	m := netengine.DecodeControl(payload)
+func (a *Allocator) handleNIC(p *sim.Proc, nicID uint16, payload []byte) {
+	m := core.DecodeControl(payload)
 	ns := a.nics[nicID]
 	if ns == nil {
 		return
 	}
 	switch m.Op {
-	case netengine.CtlTelemetry:
+	case core.CtlTelemetry:
 		ns.lastSeen = p.Now()
 		ns.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
+		ns.queueDepth = m.QueueDepth
 		ns.up = m.LinkUp
 		if a.cfg.AERFailThreshold > 0 && m.AER >= a.cfg.AERFailThreshold && ns.up && !ns.info.Backup {
 			// A burst of uncorrectable PCIe errors: the device is dying.
@@ -299,15 +367,39 @@ func (a *Allocator) handleBE(p *sim.Proc, nicID uint16, payload []byte) {
 			a.AERFailovers++
 			a.failNIC(p, nicID)
 		}
-	case netengine.CtlLinkDown:
+	case core.CtlLinkDown:
 		ns.lastSeen = p.Now()
 		if ns.up {
 			ns.up = false
 			a.failNIC(p, nicID)
 		}
-	case netengine.CtlLinkUp:
+	case core.CtlLinkUp:
 		ns.lastSeen = p.Now()
 		ns.up = true
+	}
+}
+
+// handleSSD ingests storage-backend telemetry through the same control
+// protocol as NICs. A drive reporting failure (LinkUp=false) is marked
+// down; there is no SSD failover path (§3.4).
+func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
+	m := core.DecodeControl(payload)
+	ds := a.ssds[ssdID]
+	if ds == nil {
+		return
+	}
+	switch m.Op {
+	case core.CtlTelemetry:
+		ds.lastSeen = p.Now()
+		ds.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
+		ds.queueDepth = m.QueueDepth
+		ds.up = m.LinkUp
+	case core.CtlLinkDown:
+		ds.lastSeen = p.Now()
+		ds.up = false
+	case core.CtlLinkUp:
+		ds.lastSeen = p.Now()
+		ds.up = true
 	}
 }
 
@@ -372,7 +464,7 @@ func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
 	}
 	a.nics[pick].demand += demand
 	a.insts[ip] = &instState{ip: ip, hostID: hostID, demand: demand, primary: pick, backup: backup}
-	a.sendToFE(p, hostID, ctlMsg{op: ctlAssign, ip: ip, nic: pick, aux: backup})
+	a.sendToFE(p, hostID, ctlMsg{op: core.CtlAssign, ip: ip, dev: pick, aux: backup})
 	a.Placements++
 }
 
@@ -389,9 +481,9 @@ func (a *Allocator) failNIC(p *sim.Proc, failed uint16) {
 	a.Failovers++
 	// Tell the backup's backend to borrow the MAC first (RX path), then
 	// repoint the frontends (TX path).
-	a.sendToBE(p, backup, ctlMsg{op: ctlBorrowMAC, nic: failed})
+	a.sendToBE(p, backup, ctlMsg{op: core.CtlBorrowMAC, dev: failed})
 	for _, hostID := range a.feOrder {
-		a.sendToFE(p, hostID, ctlMsg{op: ctlFailover, nic: failed, aux: backup})
+		a.sendToFE(p, hostID, ctlMsg{op: core.CtlFailover, dev: failed, aux: backup})
 	}
 	var moved float64
 	for _, st := range a.insts {
@@ -449,13 +541,15 @@ func (a *Allocator) rebalance(p *sim.Proc) {
 	old := victim.primary
 	victim.primary = cold.info.ID
 	a.shiftDemand(old, cold.info.ID, victim.demand)
-	a.sendToFE(p, victim.hostID, ctlMsg{op: ctlMigrate, ip: victim.ip, nic: cold.info.ID})
+	a.sendToFE(p, victim.hostID, ctlMsg{op: core.CtlMigrate, ip: victim.ip, dev: cold.info.ID})
 	a.Migrations++
 	a.Rebalances++
 }
 
-// checkLeases expires NICs whose telemetry went silent — the host-failure
+// checkLeases expires devices whose telemetry went silent — the host-failure
 // path (§3.5 "Host failures are instead inferred from missing telemetry").
+// A NIC's lease expiry fails its instances over; an SSD's only marks the
+// drive down (§3.4: storage errors propagate, redundancy is a layer above).
 func (a *Allocator) checkLeases(p *sim.Proc) {
 	for _, id := range a.beOrder {
 		ns := a.nics[id]
@@ -469,6 +563,16 @@ func (a *Allocator) checkLeases(p *sim.Proc) {
 			ns.up = false
 			a.LeaseExpiries++
 			a.failNIC(p, id)
+		}
+	}
+	for _, id := range a.ssdOrder {
+		ds := a.ssds[id]
+		if !ds.up || ds.lastSeen == 0 {
+			continue
+		}
+		if p.Now()-ds.lastSeen > a.cfg.LeaseTimeout {
+			ds.up = false
+			a.SSDLeaseExpiries++
 		}
 	}
 }
@@ -516,6 +620,30 @@ func (a *Allocator) NICUp(id uint16) bool {
 	return false
 }
 
+// SSDLoad returns the latest telemetry-derived load for an SSD in bytes/s.
+func (a *Allocator) SSDLoad(id uint16) float64 {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.loadBps
+	}
+	return 0
+}
+
+// SSDUp reports the allocator's view of a drive's health.
+func (a *Allocator) SSDUp(id uint16) bool {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.up
+	}
+	return false
+}
+
+// SSDQueueDepth returns the drive's last-reported queue occupancy.
+func (a *Allocator) SSDQueueDepth(id uint16) uint16 {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.queueDepth
+	}
+	return 0
+}
+
 // PrimaryOf returns the allocator's current NIC assignment for an instance.
 func (a *Allocator) PrimaryOf(ip netstack.IP) (uint16, bool) {
 	if st, ok := a.insts[ip]; ok {
@@ -529,23 +657,16 @@ func encodeCmd(kind byte, arg uint32, nic uint16) []byte {
 	return []byte{kind, byte(arg), byte(arg >> 8), byte(arg >> 16), byte(arg >> 24), byte(nic), byte(nic >> 8)}
 }
 
-// ctlMsg is shorthand for building control messages.
+// ctlMsg is shorthand for building NIC-engine control messages.
 type ctlMsg struct {
 	op  byte
 	ip  netstack.IP
-	nic uint16
+	dev uint16
 	aux uint16
 }
 
-const (
-	ctlFailover  = netengine.CtlFailover
-	ctlBorrowMAC = netengine.CtlBorrowMAC
-	ctlMigrate   = netengine.CtlMigrate
-	ctlAssign    = netengine.CtlAssign
-)
-
 func (m ctlMsg) encode(buf []byte) []byte {
-	return netengine.EncodeControl(buf, netengine.ControlMsg{
-		Op: m.op, IP: m.ip, NIC: m.nic, Aux: m.aux,
+	return core.EncodeControl(buf, core.ControlMsg{
+		Op: m.op, Kind: core.DeviceNIC, IP: m.ip, Dev: m.dev, Aux: m.aux,
 	})
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"oasis/internal/netstack"
+)
+
+func TestControlCodecRoundTrip(t *testing.T) {
+	msgs := []ControlMsg{
+		{Op: CtlLinkDown, Kind: DeviceNIC, Dev: 3},
+		{Op: CtlLinkUp, Kind: DeviceNIC, Dev: 9},
+		{Op: CtlTelemetry, Kind: DeviceNIC, Dev: 2, Load: 123456789012, LinkUp: true, AER: 17, QueueDepth: 31},
+		{Op: CtlTelemetry, Kind: DeviceSSD, Dev: 1, Load: 0, LinkUp: false, QueueDepth: 65535},
+		{Op: CtlFailover, Kind: DeviceNIC, Dev: 1, Aux: 2},
+		{Op: CtlBorrowMAC, Kind: DeviceNIC, Dev: 4},
+		{Op: CtlMigrate, Kind: DeviceNIC, IP: netstack.IPv4(10, 1, 2, 3), Dev: 5},
+		{Op: CtlAllocRequest, Kind: DeviceNIC, IP: netstack.IPv4(10, 0, 0, 77)},
+		{Op: CtlAssign, Kind: DeviceNIC, IP: netstack.IPv4(10, 0, 0, 77), Dev: 2, Aux: 6},
+		{Op: CtlLinkDown, Kind: DeviceSSD, Dev: 12},
+	}
+	var buf [15]byte
+	for i, m := range msgs {
+		got := DecodeControl(EncodeControl(buf[:], m))
+		if got != m {
+			t.Fatalf("ctl %d round trip:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+func TestControlPayloadFitsChannelSlot(t *testing.T) {
+	// Every control opcode must fit the 15-byte payload of the smallest
+	// (16 B) channel slot, so the one protocol works on every engine's link.
+	var buf [15]byte
+	for op := byte(CtlLinkDown); op <= CtlAssign; op++ {
+		m := ControlMsg{
+			Op: op, Kind: DeviceSSD, Dev: 65535, Aux: 65535,
+			IP: 0xffffffff, Load: 1 << 60, LinkUp: true, AER: 65535, QueueDepth: 65535,
+		}
+		payload := EncodeControl(buf[:], m)
+		if len(payload) != 15 {
+			t.Fatalf("opcode %d encodes to %d bytes, want exactly 15", op, len(payload))
+		}
+		if !IsControlOp(payload[0]) {
+			t.Fatalf("opcode %d not recognized as control", op)
+		}
+	}
+}
+
+func TestControlTelemetryLoadClamped(t *testing.T) {
+	// Loads beyond 48 bits saturate on the wire rather than wrapping.
+	var buf [15]byte
+	m := ControlMsg{Op: CtlTelemetry, Kind: DeviceNIC, Dev: 1, Load: 1 << 60}
+	got := DecodeControl(EncodeControl(buf[:], m))
+	if got.Load != (1<<48)-1 {
+		t.Fatalf("load = %d, want clamp to 2^48-1", got.Load)
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if DeviceNIC.String() != "nic" || DeviceSSD.String() != "ssd" || DeviceKind(9).String() != "dev" {
+		t.Fatal("DeviceKind.String mismatch")
+	}
+}

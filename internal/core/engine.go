@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"oasis/internal/host"
+	"oasis/internal/sim"
+)
+
+// EngineLoop is one device engine's poll body: the work a driver core does
+// per iteration, with the iteration pacing (loop cost, idle backoff) owned
+// by the Driver that runs it. PollOnce drains whatever is ready — bounded by
+// the engine's own burst limits — and returns how many items it processed.
+//
+// An engine must do all of its work inside PollOnce: queue draining, channel
+// polling, timed duties (telemetry windows, link checks), and flushing of
+// partially-filled message lines. It must never sleep for pacing — the
+// Driver charges the per-iteration cost — though it may sleep to model the
+// cost of the work itself (message handling, cache operations).
+type EngineLoop interface {
+	// LoopName labels the loop in the driver's process name and stats.
+	LoopName() string
+	// PollOnce performs one poll iteration and reports items processed.
+	PollOnce(p *sim.Proc) int
+}
+
+// DriverConfig paces a driver core.
+type DriverConfig struct {
+	// LoopCost is the per-iteration CPU cost charged after every pass over
+	// the attached loops (§5.1's driver-core overhead model).
+	LoopCost sim.Duration
+	// IdleBackoff caps the exponential sleep applied after consecutive
+	// empty iterations. Real driver cores busy-poll; the backoff is a
+	// simulation-speed device bounding added latency to one backoff period.
+	// 0 busy-polls faithfully.
+	IdleBackoff sim.Duration
+}
+
+// Driver is one driver core: a dedicated polling process that multiplexes
+// one or more engine loops (§3.2). The paper dedicates a core per frontend
+// and per backend; attaching several loops to one Driver reproduces §5.1's
+// observation that driver cores "handle other tasks, which delays message
+// passing" — every attached loop shares the core's iterations.
+type Driver struct {
+	h       *host.Host
+	name    string
+	cfg     DriverConfig
+	loops   []EngineLoop
+	started bool
+
+	// Stats.
+	Iterations     int64 // total poll iterations
+	IdleIterations int64 // iterations that processed nothing
+	Processed      int64 // total items processed across all loops
+}
+
+// NewDriver creates a driver core on h. The name labels the core's process.
+func NewDriver(h *host.Host, name string, cfg DriverConfig) *Driver {
+	return &Driver{h: h, name: name, cfg: cfg}
+}
+
+// Host returns the host whose core this driver occupies.
+func (d *Driver) Host() *host.Host { return d.h }
+
+// Name returns the driver core's label.
+func (d *Driver) Name() string { return d.name }
+
+// Attach adds an engine loop to this core. Panics after Start: the paper's
+// drivers fix their duties before polling begins.
+func (d *Driver) Attach(l EngineLoop) {
+	if d.started {
+		panic(fmt.Sprintf("core: attach %q to running driver %q", l.LoopName(), d.name))
+	}
+	d.loops = append(d.loops, l)
+}
+
+// Loops returns the attached engine loops in attach order.
+func (d *Driver) Loops() []EngineLoop { return d.loops }
+
+// Start launches the polling process. Idempotent.
+func (d *Driver) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.h.Eng.Go(d.name, d.run)
+}
+
+// Started reports whether the core is polling.
+func (d *Driver) Started() bool { return d.started }
+
+func (d *Driver) run(p *sim.Proc) {
+	idle := sim.Duration(0)
+	for {
+		progress := 0
+		for _, l := range d.loops {
+			progress += l.PollOnce(p)
+		}
+		d.Iterations++
+		d.Processed += int64(progress)
+		if progress > 0 {
+			idle = 0
+			p.Sleep(d.cfg.LoopCost)
+			continue
+		}
+		d.IdleIterations++
+		idle = NextIdle(idle, d.cfg.LoopCost, d.cfg.IdleBackoff)
+		p.Sleep(d.cfg.LoopCost + idle)
+	}
+}
+
+// NextIdle doubles the idle backoff from start up to cap (0 cap disables).
+func NextIdle(cur, start, cap sim.Duration) sim.Duration {
+	if cap <= 0 {
+		return 0
+	}
+	if cur == 0 {
+		cur = start
+	} else {
+		cur *= 2
+	}
+	if cur > cap {
+		cur = cap
+	}
+	return cur
+}
+
+// EngineStats is the uniform counter block every engine exposes: link-layer
+// accounting from its LinkSet plus buffer-area pressure, so operators see
+// backpressure (full rings, deferred sends) and exhaustion (alloc failures)
+// the same way for every device engine.
+type EngineStats struct {
+	Name          string
+	Links         LinkStats
+	BufAllocs     int64
+	BufFrees      int64
+	BufAllocFails int64
+}
+
+// AccumulateArea folds a buffer area's counters into the stats block.
+func (s *EngineStats) AccumulateArea(a *BufferArea) {
+	if a == nil {
+		return
+	}
+	s.BufAllocs += a.Allocs
+	s.BufFrees += a.Frees
+	s.BufAllocFails += a.AllocFails
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/host"
+	"oasis/internal/sim"
+)
+
+// stubLoop returns 1 item per poll for the first busy polls, then 0 forever.
+type stubLoop struct {
+	name  string
+	busy  int
+	polls int
+}
+
+func (s *stubLoop) LoopName() string { return s.name }
+func (s *stubLoop) PollOnce(p *sim.Proc) int {
+	s.polls++
+	if s.polls <= s.busy {
+		return 1
+	}
+	return 0
+}
+
+func TestDriverMultiplexesLoops(t *testing.T) {
+	eng, pool := testPool()
+	h := host.New(eng, 0, "h", pool, host.DefaultConfig())
+	d := NewDriver(h, "h/engines", DriverConfig{LoopCost: 100 * time.Nanosecond, IdleBackoff: time.Microsecond})
+	a := &stubLoop{name: "h/a", busy: 10}
+	b := &stubLoop{name: "h/b", busy: 25}
+	d.Attach(a)
+	d.Attach(b)
+	if len(d.Loops()) != 2 {
+		t.Fatalf("loops = %d", len(d.Loops()))
+	}
+	d.Start()
+	d.Start() // idempotent
+	eng.RunUntil(sim.Duration(time.Millisecond))
+	// One core, every iteration polls BOTH loops — that is the §5.1 sharing.
+	if a.polls != b.polls {
+		t.Fatalf("loops polled unevenly: %d vs %d", a.polls, b.polls)
+	}
+	if d.Processed != 35 {
+		t.Fatalf("processed = %d, want 10+25", d.Processed)
+	}
+	if d.IdleIterations == 0 || d.IdleIterations >= d.Iterations {
+		t.Fatalf("iterations=%d idle=%d: backoff accounting broken", d.Iterations, d.IdleIterations)
+	}
+	// With a 100ns loop cost and 1µs idle cap, a busy-polling core would run
+	// ~10k iterations/ms; backoff must have cut that well down.
+	if d.Iterations > 5000 {
+		t.Fatalf("%d iterations in 1ms: idle backoff not applied", d.Iterations)
+	}
+}
+
+func TestDriverAttachAfterStartPanics(t *testing.T) {
+	eng, pool := testPool()
+	h := host.New(eng, 0, "h", pool, host.DefaultConfig())
+	d := NewDriver(h, "h/engines", DriverConfig{LoopCost: time.Microsecond})
+	d.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attach after Start accepted")
+		}
+	}()
+	d.Attach(&stubLoop{name: "late"})
+	_ = eng
+}
+
+func TestNextIdleDoublesToCap(t *testing.T) {
+	start, cap := sim.Duration(100), sim.Duration(1000)
+	cur := sim.Duration(0)
+	want := []sim.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, w := range want {
+		cur = NextIdle(cur, start, cap)
+		if cur != w {
+			t.Fatalf("step %d: idle = %v, want %v", i, cur, w)
+		}
+	}
+	if NextIdle(500, 100, 0) != 0 {
+		t.Fatal("zero cap must disable backoff (busy-poll)")
+	}
+}
+
+func TestEngineStatsSurfaceBufferExhaustion(t *testing.T) {
+	_, pool := testPool()
+	region, _ := pool.Alloc(8192)
+	a, err := NewBufferArea(region, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := a.Alloc(); !ok {
+			break
+		}
+	}
+	a.Free(region.Base)
+	// Two more failures on the already-empty area.
+	a.Alloc()
+	a.Alloc()
+	s := EngineStats{Name: "fe", Links: LinkStats{Sent: 3}}
+	s.AccumulateArea(a)
+	s.AccumulateArea(nil) // engines without an RX area pass nil
+	if s.BufAllocs != 5 || s.BufFrees != 1 || s.BufAllocFails != 2 {
+		t.Fatalf("stats = %+v, want allocs 5 frees 1 fails 2", s)
+	}
+	if s.Links.Sent != 3 {
+		t.Fatal("link stats clobbered by area accumulation")
+	}
+}

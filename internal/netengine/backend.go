@@ -12,10 +12,11 @@ import (
 	"oasis/internal/sim"
 )
 
-// feLink is the backend's view of one frontend (one host).
+// feLink is the backend's engine-specific peer state for one frontend (one
+// host), carried in the core link's Meta.
 type feLink struct {
 	hostID int
-	end    *core.LinkEnd
+	link   *core.Link
 }
 
 // registration is one instance served by this backend's NIC.
@@ -32,17 +33,13 @@ type txMeta struct {
 	link *feLink
 }
 
-// pendingMsg is a frontend-bound message that hit a full ring.
-type pendingMsg struct {
-	l *feLink
-	m msg
-}
-
 // Backend is the per-NIC backend driver (§3.3): it forwards TX packets and
 // RX packets/completions between frontends and the NIC's queue pairs via
 // the NIC's native driver, monitors link status, and reports telemetry. It
 // never inspects I/O buffers except on the flow-tag-miss fallback path
-// (§3.3.1 footnote), keeping DMA snoop-free (§3.2.1).
+// (§3.3.1 footnote), keeping DMA snoop-free (§3.2.1). It is an engine loop
+// on the core runtime; messages that hit a full ring park on the core
+// link's bounded pending queue (completions carry buffer ownership).
 type Backend struct {
 	h     *host.Host
 	nicID uint16
@@ -50,23 +47,23 @@ type Backend struct {
 	pool  *cxl.Pool
 	cfg   Config
 
-	rxArea    *core.BufferArea
-	links     []*feLink
-	regs      map[netstack.IP]*registration
-	tags      map[uint32]*registration
-	nextTag   uint32
-	cookies   map[uint64]txMeta
-	nextCook  uint64
-	ctrl      *core.LinkEnd
-	nicDir    map[uint16]netsw.MAC // pod directory: NIC id -> MAC (for borrowing)
-	rxTarget  int                  // RX descriptors to keep posted
-	lastUp    bool
-	nextCheck sim.Duration
-	nextTelem sim.Duration
-	loadSnap  int64
-	aerSnap   int64
-	started   bool
-	pending   []pendingMsg
+	rxArea     *core.BufferArea
+	links      *core.LinkSet // by frontend host id; Meta holds *feLink
+	regs       map[netstack.IP]*registration
+	tags       map[uint32]*registration
+	nextTag    uint32
+	cookies    map[uint64]txMeta
+	nextCook   uint64
+	ctrl       *core.LinkEnd
+	nicDir     map[uint16]netsw.MAC // pod directory: NIC id -> MAC (for borrowing)
+	rxTarget   int                  // RX descriptors to keep posted
+	lastUp     bool
+	timersInit bool
+	nextCheck  sim.Duration
+	nextTelem  sim.Duration
+	loadSnap   int64
+	aerSnap    int64
+	driver     *core.Driver
 
 	suppressBorrow bool
 
@@ -104,6 +101,7 @@ func NewBackend(h *host.Host, nicID uint16, dev *nic.NIC, pool *cxl.Pool, nicDir
 		pool:     pool,
 		cfg:      cfg,
 		rxArea:   area,
+		links:    core.NewLinkSet(cfg.PendingLimit),
 		regs:     make(map[netstack.IP]*registration),
 		tags:     make(map[uint32]*registration),
 		nextTag:  1,
@@ -126,93 +124,105 @@ func (be *Backend) NICID() uint16 { return be.nicID }
 
 // ConnectFrontend wires a frontend's link end into this backend.
 func (be *Backend) ConnectFrontend(hostID int, end *core.LinkEnd) {
-	be.links = append(be.links, &feLink{hostID: hostID, end: end})
+	l := be.links.Add(uint32(hostID), end)
+	l.Meta = &feLink{hostID: hostID, link: l}
 }
 
 // SetControlLink attaches the backend's channel to the pod-wide allocator.
 func (be *Backend) SetControlLink(end *core.LinkEnd) { be.ctrl = end }
 
-// Start launches the backend's dedicated polling core.
-func (be *Backend) Start() {
-	if be.started {
-		return
+// LoopName implements core.EngineLoop.
+func (be *Backend) LoopName() string { return fmt.Sprintf("%s/be%d", be.h.Name, be.nicID) }
+
+// Driver returns the core this backend polls on (nil before Start/Join).
+func (be *Backend) Driver() *core.Driver { return be.driver }
+
+// Join attaches the backend to an already-created driver core. Must precede
+// Start.
+func (be *Backend) Join(d *core.Driver) {
+	if be.driver != nil {
+		panic("netengine: backend already has a driver core")
 	}
-	be.started = true
-	be.h.Eng.Go(fmt.Sprintf("%s/be%d", be.h.Name, be.nicID), be.loop)
+	be.driver = d
+	d.Attach(be)
 }
 
-func (be *Backend) loop(p *sim.Proc) {
-	be.nextCheck = p.Now() + be.cfg.LinkCheckEvery
-	be.nextTelem = p.Now() + be.cfg.TelemetryEvery
-	idle := sim.Duration(0)
-	for {
-		progress := len(be.pending)
-		be.drainPending(p)
-		// Frontend messages.
-		for _, l := range be.links {
-			for i := 0; i < be.cfg.Burst; i++ {
-				payload, ok := l.end.Poll(p)
-				if !ok {
-					break
-				}
-				be.handleFrontendMsg(p, l, decode(payload))
-				progress++
-			}
-		}
-		// NIC completion queues.
-		for i := 0; i < be.cfg.Burst; i++ {
-			tc, ok := be.dev.PollTxCompletion()
-			if !ok {
-				break
-			}
-			be.handleTxCompletion(p, tc)
-			progress++
-		}
-		for i := 0; i < be.cfg.Burst; i++ {
-			rc, ok := be.dev.PollRxCompletion()
-			if !ok {
-				break
-			}
-			be.handleRxCompletion(p, rc)
-			progress++
-		}
-		// Replenish RX descriptors.
-		for be.dev.RxDescCount() < be.rxTarget {
-			addr, ok := be.rxArea.Alloc()
-			if !ok {
-				break
-			}
-			if !be.dev.PostRx(p, nic.RxDesc{Addr: addr, Cap: be.cfg.BufSize}) {
-				be.rxArea.Free(addr)
-				break
-			}
-		}
-		// Control plane.
-		if be.ctrl != nil {
-			for i := 0; i < be.cfg.Burst; i++ {
-				payload, ok := be.ctrl.Poll(p)
-				if !ok {
-					break
-				}
-				be.handleControlMsg(p, decode(payload))
-			}
-			be.maybeCheckLink(p)
-			be.maybeSendTelemetry(p)
-		}
-		for _, l := range be.links {
-			l.end.Flush(p)
-		}
-		if be.ctrl != nil {
-			be.ctrl.Flush(p)
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(be.cfg.LoopCost)
-			continue
-		}
-		idle = nextIdle(idle, be.cfg.LoopCost, be.cfg.IdleBackoff)
-		p.Sleep(be.cfg.LoopCost + idle)
+// Start launches the backend's dedicated polling core. No-op if the backend
+// joined a shared core.
+func (be *Backend) Start() {
+	if be.driver != nil {
+		be.driver.Start()
+		return
 	}
+	be.driver = core.NewDriver(be.h, be.LoopName(), be.cfg.driverConfig())
+	be.driver.Attach(be)
+	be.driver.Start()
+}
+
+// PollOnce implements core.EngineLoop: one pass over parked completions,
+// frontend messages, NIC completion queues, RX replenishment, and the
+// control plane's timed duties.
+func (be *Backend) PollOnce(p *sim.Proc) int {
+	if !be.timersInit {
+		// Telemetry and link-check windows open at first poll, not at
+		// construction, so an engine started late doesn't replay old windows.
+		be.timersInit = true
+		be.nextCheck = p.Now() + be.cfg.LinkCheckEvery
+		be.nextTelem = p.Now() + be.cfg.TelemetryEvery
+	}
+	// Parked completions count as progress: the loop must stay hot until
+	// they are delivered.
+	progress := be.links.PendingCount()
+	be.links.DrainPending(p)
+	// Frontend messages.
+	progress += be.links.PollEach(p, be.cfg.Burst, func(p *sim.Proc, l *core.Link, payload []byte) {
+		be.handleFrontendMsg(p, l.Meta.(*feLink), decode(payload))
+	})
+	// NIC completion queues.
+	for i := 0; i < be.cfg.Burst; i++ {
+		tc, ok := be.dev.PollTxCompletion()
+		if !ok {
+			break
+		}
+		be.handleTxCompletion(p, tc)
+		progress++
+	}
+	for i := 0; i < be.cfg.Burst; i++ {
+		rc, ok := be.dev.PollRxCompletion()
+		if !ok {
+			break
+		}
+		be.handleRxCompletion(p, rc)
+		progress++
+	}
+	// Replenish RX descriptors.
+	for be.dev.RxDescCount() < be.rxTarget {
+		addr, ok := be.rxArea.Alloc()
+		if !ok {
+			break
+		}
+		if !be.dev.PostRx(p, nic.RxDesc{Addr: addr, Cap: be.cfg.BufSize}) {
+			be.rxArea.Free(addr)
+			break
+		}
+	}
+	// Control plane.
+	if be.ctrl != nil {
+		for i := 0; i < be.cfg.Burst; i++ {
+			payload, ok := be.ctrl.Poll(p)
+			if !ok {
+				break
+			}
+			be.handleControlMsg(p, core.DecodeControl(payload))
+		}
+		be.maybeCheckLink(p)
+		be.maybeSendTelemetry(p)
+	}
+	be.links.FlushAll(p)
+	if be.ctrl != nil {
+		be.ctrl.Flush(p)
+	}
+	return progress
 }
 
 func (be *Backend) handleFrontendMsg(p *sim.Proc, l *feLink, m msg) {
@@ -315,13 +325,13 @@ func (be *Backend) inspectAndRoute(p *sim.Proc, rc nic.RxCompletion) *registrati
 // GARP-only recovery).
 func (be *Backend) SuppressMACBorrow() { be.suppressBorrow = true }
 
-func (be *Backend) handleControlMsg(p *sim.Proc, m msg) {
-	switch m.op {
-	case opBorrowMAC:
+func (be *Backend) handleControlMsg(p *sim.Proc, m core.ControlMsg) {
+	switch m.Op {
+	case core.CtlBorrowMAC:
 		if be.suppressBorrow {
 			return
 		}
-		mac, ok := be.nicDir[m.nic]
+		mac, ok := be.nicDir[m.Dev]
 		if !ok {
 			return
 		}
@@ -358,12 +368,14 @@ func (be *Backend) maybeCheckLink(p *sim.Proc) {
 	}
 	be.lastUp = up
 	var buf [15]byte
-	op := byte(opLinkUp)
+	op := byte(core.CtlLinkUp)
 	if !up {
-		op = opLinkDown
+		op = core.CtlLinkDown
 		be.LinkDownEvents++
 	}
-	be.ctrl.Send(p, msg{op: op, nic: be.nicID}.encode(buf[:]))
+	be.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+		Op: op, Kind: core.DeviceNIC, Dev: be.nicID,
+	}))
 	be.ctrl.Flush(p)
 }
 
@@ -381,36 +393,34 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 	if aerDelta > 65535 {
 		aerDelta = 65535
 	}
-	up := uint16(0)
-	if be.dev.LinkUp() {
-		up = 1
+	qdepth := len(be.cookies)
+	if qdepth > 65535 {
+		qdepth = 65535
 	}
 	var buf [15]byte
-	be.ctrl.Send(p, msg{op: opTelemetry, nic: be.nicID, load: uint64(delta), size: up, aer: uint16(aerDelta)}.encode(buf[:]))
+	be.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+		Op:         core.CtlTelemetry,
+		Kind:       core.DeviceNIC,
+		Dev:        be.nicID,
+		Load:       uint64(delta),
+		LinkUp:     be.dev.LinkUp(),
+		AER:        uint16(aerDelta),
+		QueueDepth: uint16(qdepth),
+	}))
 	be.ctrl.Flush(p)
 }
 
-// sendToFE sends a message to a frontend. On a full ring it parks the
-// message on the pending list; the loop retries before new work
-// (completions must not be lost: they carry buffer ownership).
+// sendToFE sends a message to a frontend, parking it on the link's bounded
+// pending queue if the ring is full (completions must not be lost: they
+// carry buffer ownership).
 func (be *Backend) sendToFE(p *sim.Proc, l *feLink, m msg) {
 	var buf [15]byte
-	if !l.end.Send(p, m.encode(buf[:])) {
-		be.pending = append(be.pending, pendingMsg{l, m})
-	}
+	l.link.SendOrQueue(p, m.encode(buf[:]))
 }
 
-// drainPending retries messages that hit full rings.
-func (be *Backend) drainPending(p *sim.Proc) {
-	if len(be.pending) == 0 {
-		return
-	}
-	var buf [15]byte
-	kept := be.pending[:0]
-	for _, pm := range be.pending {
-		if !pm.l.end.Send(p, pm.m.encode(buf[:])) {
-			kept = append(kept, pm)
-		}
-	}
-	be.pending = kept
+// Stats exports the uniform engine counter block.
+func (be *Backend) Stats() core.EngineStats {
+	s := core.EngineStats{Name: be.LoopName(), Links: be.links.Stats()}
+	s.AccumulateArea(be.rxArea)
+	return s
 }

@@ -202,7 +202,9 @@ func TestEngineMigrationCommand(t *testing.T) {
 			r.eng.Shutdown()
 			return
 		}
-		r.ctlFE.Send(p, msg{op: opMigrate, ip: instIP, nic: 2}.encode(buf[:]))
+		r.ctlFE.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+			Op: core.CtlMigrate, Kind: core.DeviceNIC, IP: instIP, Dev: 2,
+		}))
 		r.ctlFE.Flush(p)
 		// Wait for the migration to complete (ack + flip).
 		for i := 0; i < 1000 && r.inst.CurrentMAC() != mac2; i++ {
@@ -242,9 +244,13 @@ func TestEngineFailoverCommand(t *testing.T) {
 		}
 		// Kill nic1's port, command failover + MAC borrow.
 		r.sw.Ports()[0].SetEnabled(false)
-		r.ctlFE.Send(p, msg{op: opFailover, nic: 1, aux: 2}.encode(buf[:]))
+		r.ctlFE.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+			Op: core.CtlFailover, Kind: core.DeviceNIC, Dev: 1, Aux: 2,
+		}))
 		r.ctlFE.Flush(p)
-		r.ctlBE2.Send(p, msg{op: opBorrowMAC, nic: 1}.encode(buf[:]))
+		r.ctlBE2.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+			Op: core.CtlBorrowMAC, Kind: core.DeviceNIC, Dev: 1,
+		}))
 		r.ctlBE2.Flush(p)
 		p.Sleep(5 * time.Millisecond)
 		if r.inst.primary.nicID != 2 {
@@ -293,10 +299,10 @@ func TestEngineTelemetryAndLinkEvents(t *testing.T) {
 				p.Sleep(time.Millisecond)
 				continue
 			}
-			switch decode(payload).op {
-			case opTelemetry:
+			switch core.DecodeControl(payload).Op {
+			case core.CtlTelemetry:
 				gotTelemetry = true
-			case opLinkDown:
+			case core.CtlLinkDown:
 				gotLinkDown = true
 			}
 		}
@@ -324,8 +330,8 @@ func TestEngineUnregisterStopsDelivery(t *testing.T) {
 			t.Error("pre-unregister echo lost")
 		}
 		// Unregister the instance from nic1 directly (fe -> be message).
-		r.fe.links[1].end.Send(p, msg{op: opUnregister, ip: instIP}.encode(buf[:]))
-		r.fe.links[1].end.Flush(p)
+		r.fe.links.Get(1).End.Send(p, msg{op: opUnregister, ip: instIP}.encode(buf[:]))
+		r.fe.links.Get(1).End.Flush(p)
 		p.Sleep(2 * time.Millisecond)
 		before := r.be1.RxNoRoute
 		conn.SendTo(p, instIP, 7, []byte("b"))

@@ -39,6 +39,10 @@ type Config struct {
 	LinkCheckEvery sim.Duration // backend link-status poll period
 	TelemetryEvery sim.Duration // backend telemetry period (§3.5: 100 ms)
 	MigrationGrace sim.Duration // §3.3.4: dual-NIC RX window (5 s)
+
+	// PendingLimit bounds each peer link's queue of messages parked on a
+	// full ring before the link reports backpressure (core.LinkSet).
+	PendingLimit int
 }
 
 // DefaultConfig returns the engine defaults.
@@ -55,7 +59,13 @@ func DefaultConfig() Config {
 		LinkCheckEvery: time.Millisecond,
 		TelemetryEvery: 100 * time.Millisecond,
 		MigrationGrace: 5 * time.Second,
+		PendingLimit:   core.DefaultPendingLimit,
 	}
+}
+
+// driverConfig derives the core runtime pacing from the engine config.
+func (c Config) driverConfig() core.DriverConfig {
+	return core.DriverConfig{LoopCost: c.LoopCost, IdleBackoff: c.IdleBackoff}
 }
 
 // txReq is one packet an instance queued for transmission.
@@ -64,11 +74,12 @@ type txReq struct {
 	size int
 }
 
-// beLink is the frontend's view of one backend (one NIC).
+// beLink is the frontend's engine-specific peer state for one backend (one
+// NIC), carried in the core link's Meta.
 type beLink struct {
 	nicID uint16
 	mac   netsw.MAC
-	end   *core.LinkEnd
+	link  *core.Link
 }
 
 // feCmd is deferred work executed on the frontend's core.
@@ -77,20 +88,20 @@ type feCmd func(p *sim.Proc)
 // Frontend is the per-host frontend driver (§3.3): it owns the host's
 // instances' TX buffer areas, forwards packets and completions between
 // instances and backends, and applies the allocator's failover/migration
-// commands.
+// commands. It is an engine loop on the core runtime — Start gives it a
+// dedicated driver core, Join multiplexes it onto a shared one.
 type Frontend struct {
 	h    *host.Host
 	pool *cxl.Pool
 	cfg  Config
 
-	links     map[uint16]*beLink
-	linkOrder []uint16
+	links     *core.LinkSet // by NIC id; Meta holds *beLink
 	insts     map[netstack.IP]*InstancePort
 	instOrder []netstack.IP
 	ctrl      *core.LinkEnd
 	cmds      *sim.Queue[feCmd]
 	scratch   []byte
-	started   bool
+	driver    *core.Driver
 
 	// Stats.
 	TxForwarded, RxDelivered int64
@@ -108,7 +119,7 @@ func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
 		h:       h,
 		pool:    pool,
 		cfg:     cfg,
-		links:   make(map[uint16]*beLink),
+		links:   core.NewLinkSet(cfg.PendingLimit),
 		insts:   make(map[netstack.IP]*InstancePort),
 		cmds:    sim.NewQueue[feCmd](h.Eng),
 		scratch: make([]byte, cfg.BufSize),
@@ -122,8 +133,17 @@ func (fe *Frontend) Host() *host.Host { return fe.h }
 // link. mac is the backend NIC's address (from the pod directory), which
 // instances served by that NIC use as their source MAC.
 func (fe *Frontend) ConnectBackend(nicID uint16, mac netsw.MAC, end *core.LinkEnd) {
-	fe.links[nicID] = &beLink{nicID: nicID, mac: mac, end: end}
-	fe.linkOrder = append(fe.linkOrder, nicID)
+	l := fe.links.Add(uint32(nicID), end)
+	l.Meta = &beLink{nicID: nicID, mac: mac, link: l}
+}
+
+// beLink returns the engine state for a NIC's link, or nil.
+func (fe *Frontend) beLink(nicID uint16) *beLink {
+	l := fe.links.Get(uint32(nicID))
+	if l == nil {
+		return nil
+	}
+	return l.Meta.(*beLink)
 }
 
 // SetControlLink attaches the frontend's channel to the pod-wide allocator.
@@ -236,16 +256,16 @@ func (ip *InstancePort) Transmit(p *sim.Proc, frame []byte) {
 func (ip *InstancePort) Assign(primary, backup uint16) {
 	fe := ip.fe
 	fe.cmds.Push(func(p *sim.Proc) {
-		pl, ok := fe.links[primary]
-		if !ok {
+		pl := fe.beLink(primary)
+		if pl == nil {
 			panic(fmt.Sprintf("netengine: assign to unknown NIC %d", primary))
 		}
 		ip.primary = pl
 		ip.curMAC = pl.mac
 		fe.sendRegister(p, pl, ip.ip)
 		if backup != 0 {
-			bl, ok := fe.links[backup]
-			if !ok {
+			bl := fe.beLink(backup)
+			if bl == nil {
 				panic(fmt.Sprintf("netengine: backup NIC %d unknown", backup))
 			}
 			ip.backup = bl
@@ -263,7 +283,9 @@ func (ip *InstancePort) RequestAllocation() {
 			panic("netengine: RequestAllocation without a control link")
 		}
 		var buf [15]byte
-		fe.ctrl.Send(p, msg{op: opAllocRequest, ip: ip.ip}.encode(buf[:]))
+		fe.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+			Op: core.CtlAllocRequest, Kind: core.DeviceNIC, IP: ip.ip,
+		}))
 		fe.ctrl.Flush(p)
 	})
 }
@@ -272,105 +294,93 @@ func (ip *InstancePort) RequestAllocation() {
 // effectively never full for control traffic).
 func (fe *Frontend) sendRegister(p *sim.Proc, l *beLink, ip netstack.IP) {
 	var buf [15]byte
-	if !l.end.Send(p, msg{op: opRegister, ip: ip}.encode(buf[:])) {
+	if !l.link.Send(p, msg{op: opRegister, ip: ip}.encode(buf[:])) {
 		// Ring full: retry via the command queue.
 		fe.cmds.Push(func(p *sim.Proc) { fe.sendRegister(p, l, ip) })
 		return
 	}
-	l.end.Flush(p)
+	l.link.Flush(p)
 }
 
-// Start launches the frontend's dedicated polling core (§3.3).
+// LoopName implements core.EngineLoop.
+func (fe *Frontend) LoopName() string { return fe.h.Name + "/fe" }
+
+// Driver returns the core this frontend polls on (nil before Start/Join).
+func (fe *Frontend) Driver() *core.Driver { return fe.driver }
+
+// Join attaches the frontend to an already-created driver core, letting one
+// core multiplex several engine loops (§5.1). Must precede Start.
+func (fe *Frontend) Join(d *core.Driver) {
+	if fe.driver != nil {
+		panic("netengine: frontend already has a driver core")
+	}
+	fe.driver = d
+	d.Attach(fe)
+}
+
+// Start launches the frontend's dedicated polling core (§3.3). No-op if the
+// frontend joined a shared core.
 func (fe *Frontend) Start() {
-	if fe.started {
+	if fe.driver != nil {
+		fe.driver.Start()
 		return
 	}
-	fe.started = true
-	fe.h.Eng.Go(fe.h.Name+"/fe", fe.loop)
+	fe.driver = core.NewDriver(fe.h, fe.LoopName(), fe.cfg.driverConfig())
+	fe.driver.Attach(fe)
+	fe.driver.Start()
 }
 
-func (fe *Frontend) loop(p *sim.Proc) {
-	idle := sim.Duration(0)
-	for {
-		progress := 0
-		// Deferred commands (assignments, migration steps).
+// PollOnce implements core.EngineLoop: one pass over deferred commands,
+// instance TX queues, backend messages, and allocator commands.
+func (fe *Frontend) PollOnce(p *sim.Proc) int {
+	// Parked completion messages keep the loop hot until delivered.
+	progress := fe.links.PendingCount()
+	fe.links.DrainPending(p)
+	// Deferred commands (assignments, migration steps).
+	for i := 0; i < fe.cfg.Burst; i++ {
+		cmd, ok := fe.cmds.TryPop()
+		if !ok {
+			break
+		}
+		cmd(p)
+		progress++
+	}
+	// Instance TX queues -> backends.
+	for _, ipAddr := range fe.instOrder {
+		inst := fe.insts[ipAddr]
+		if !inst.Ready() {
+			continue
+		}
 		for i := 0; i < fe.cfg.Burst; i++ {
-			cmd, ok := fe.cmds.TryPop()
+			req, ok := inst.txQ.TryPop()
 			if !ok {
 				break
 			}
-			cmd(p)
+			fe.forwardTx(p, inst, req)
 			progress++
 		}
-		// Instance TX queues -> backends.
-		for _, ipAddr := range fe.instOrder {
-			inst := fe.insts[ipAddr]
-			if !inst.Ready() {
-				continue
-			}
-			for i := 0; i < fe.cfg.Burst; i++ {
-				req, ok := inst.txQ.TryPop()
-				if !ok {
-					break
-				}
-				fe.forwardTx(p, inst, req)
-				progress++
-			}
-		}
-		// Backend messages.
-		for _, nicID := range fe.linkOrder {
-			l := fe.links[nicID]
-			for i := 0; i < fe.cfg.Burst; i++ {
-				payload, ok := l.end.Poll(p)
-				if !ok {
-					break
-				}
-				fe.handleBackendMsg(p, l, decode(payload))
-				progress++
-			}
-		}
-		// Allocator commands.
-		if fe.ctrl != nil {
-			for i := 0; i < fe.cfg.Burst; i++ {
-				payload, ok := fe.ctrl.Poll(p)
-				if !ok {
-					break
-				}
-				fe.handleControlMsg(p, decode(payload))
-				progress++
-			}
-		}
-		// Push partial message lines promptly at low rates (§3.2.2).
-		for _, nicID := range fe.linkOrder {
-			fe.links[nicID].end.Flush(p)
-		}
-		if fe.ctrl != nil {
-			fe.ctrl.Flush(p)
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(fe.cfg.LoopCost)
-			continue
-		}
-		idle = nextIdle(idle, fe.cfg.LoopCost, fe.cfg.IdleBackoff)
-		p.Sleep(fe.cfg.LoopCost + idle)
 	}
-}
-
-// nextIdle doubles the idle backoff up to the cap.
-func nextIdle(cur, start, cap sim.Duration) sim.Duration {
-	if cap <= 0 {
-		return 0
+	// Backend messages.
+	progress += fe.links.PollEach(p, fe.cfg.Burst, func(p *sim.Proc, l *core.Link, payload []byte) {
+		fe.handleBackendMsg(p, l.Meta.(*beLink), decode(payload))
+	})
+	// Allocator commands.
+	if fe.ctrl != nil {
+		for i := 0; i < fe.cfg.Burst; i++ {
+			payload, ok := fe.ctrl.Poll(p)
+			if !ok {
+				break
+			}
+			fe.handleControlMsg(p, core.DecodeControl(payload))
+			progress++
+		}
 	}
-	if cur == 0 {
-		cur = start
-	} else {
-		cur *= 2
+	// Push partial message lines promptly at low rates (§3.2.2).
+	fe.links.FlushAll(p)
+	if fe.ctrl != nil {
+		fe.ctrl.Flush(p)
 	}
-	if cur > cap {
-		cur = cap
-	}
-	return cur
+	return progress
 }
 
 // forwardTx publishes the packet buffer and signals the backend (§3.3.1 TX).
@@ -379,7 +389,7 @@ func (fe *Frontend) forwardTx(p *sim.Proc, inst *InstancePort, req txReq) {
 	core.WritebackRange(p, fe.h.Cache, req.addr, req.size, "payload")
 	var buf [15]byte
 	m := msg{op: opTxPacket, addr: req.addr, size: uint16(req.size), ip: inst.ip}
-	if !inst.primary.end.Send(p, m.encode(buf[:])) {
+	if !inst.primary.link.Send(p, m.encode(buf[:])) {
 		fe.TxChannelFull++
 		inst.txQ.PushFront(req)
 		return
@@ -438,19 +448,20 @@ func (fe *Frontend) deliverRx(p *sim.Proc, l *beLink, inst *InstancePort, m msg)
 	}
 }
 
+// sendRxComplete recycles an RX buffer to its backend. The message carries
+// buffer ownership, so a full ring parks it on the link's bounded pending
+// queue rather than dropping it.
 func (fe *Frontend) sendRxComplete(p *sim.Proc, l *beLink, addr int64) {
 	var buf [15]byte
-	if !l.end.Send(p, msg{op: opRxComplete, addr: addr}.encode(buf[:])) {
-		fe.cmds.Push(func(p *sim.Proc) { fe.sendRxComplete(p, l, addr) })
-	}
+	l.link.SendOrQueue(p, msg{op: opRxComplete, addr: addr}.encode(buf[:]))
 }
 
-func (fe *Frontend) handleControlMsg(p *sim.Proc, m msg) {
-	switch m.op {
-	case opFailover:
-		failed, backup := m.nic, m.aux
-		bl, ok := fe.links[backup]
-		if !ok {
+func (fe *Frontend) handleControlMsg(p *sim.Proc, m core.ControlMsg) {
+	switch m.Op {
+	case core.CtlFailover:
+		failed, backup := m.Dev, m.Aux
+		bl := fe.beLink(backup)
+		if bl == nil {
 			return
 		}
 		for _, ipAddr := range fe.instOrder {
@@ -466,30 +477,30 @@ func (fe *Frontend) handleControlMsg(p *sim.Proc, m msg) {
 				fe.FailoversApplied++
 			}
 		}
-	case opAssign:
-		inst, ok := fe.insts[m.ip]
+	case core.CtlAssign:
+		inst, ok := fe.insts[m.IP]
 		if !ok {
 			return
 		}
 		backup := uint16(0)
-		if m.aux != 0 {
-			backup = m.aux
+		if m.Aux != 0 {
+			backup = m.Aux
 		}
-		inst.Assign(m.nic, backup)
-	case opMigrate:
-		inst, ok := fe.insts[m.ip]
+		inst.Assign(m.Dev, backup)
+	case core.CtlMigrate:
+		inst, ok := fe.insts[m.IP]
 		if !ok {
 			return
 		}
-		fe.startMigration(p, inst, m.nic)
+		fe.startMigration(p, inst, m.Dev)
 	}
 }
 
 // startMigration begins a graceful migration (§3.3.4): register with the
 // new NIC; the flip happens when the ack arrives.
 func (fe *Frontend) startMigration(p *sim.Proc, inst *InstancePort, newNIC uint16) {
-	nl, ok := fe.links[newNIC]
-	if !ok {
+	nl := fe.beLink(newNIC)
+	if nl == nil {
 		return
 	}
 	inst.pendingPrimary = newNIC
@@ -504,7 +515,7 @@ func (fe *Frontend) startMigration(p *sim.Proc, inst *InstancePort, newNIC uint1
 // gratuitous ARP, and unregisters from the old NIC after the grace period.
 func (fe *Frontend) completeMigration(p *sim.Proc, inst *InstancePort, newNIC uint16) {
 	old := inst.primary
-	inst.primary = fe.links[newNIC]
+	inst.primary = fe.beLink(newNIC)
 	inst.pendingPrimary = 0
 	inst.curMAC = inst.primary.mac
 	if inst.stack != nil {
@@ -514,11 +525,21 @@ func (fe *Frontend) completeMigration(p *sim.Proc, inst *InstancePort, newNIC ui
 		fe.h.Eng.After(fe.cfg.MigrationGrace, func() {
 			fe.cmds.Push(func(p *sim.Proc) {
 				var buf [15]byte
-				if old.end.Send(p, msg{op: opUnregister, ip: inst.ip}.encode(buf[:])) {
-					old.end.Flush(p)
+				if old.link.Send(p, msg{op: opUnregister, ip: inst.ip}.encode(buf[:])) {
+					old.link.Flush(p)
 					delete(inst.ready, old.nicID)
 				}
 			})
 		})
 	}
+}
+
+// Stats exports the uniform engine counter block (link traffic,
+// backpressure, buffer-area pressure across all instances' TX areas).
+func (fe *Frontend) Stats() core.EngineStats {
+	s := core.EngineStats{Name: fe.LoopName(), Links: fe.links.Stats()}
+	for _, ip := range fe.instOrder {
+		s.AccumulateArea(fe.insts[ip].area)
+	}
+	return s
 }

@@ -33,7 +33,7 @@ type LocalDriver struct {
 	nextCook  uint64
 	rxTarget  int
 	scratch   []byte
-	started   bool
+	driver    *core.Driver
 
 	// Stats.
 	TxForwarded, RxDelivered int64
@@ -131,78 +131,101 @@ func (lp *LocalPort) Transmit(p *sim.Proc, frame []byte) {
 	lp.txQ.Push(txReq{addr: addr, size: len(frame)})
 }
 
-// Start launches the driver's polling core.
-func (d *LocalDriver) Start() {
-	if d.started {
-		return
+// LoopName implements core.EngineLoop.
+func (d *LocalDriver) LoopName() string { return d.h.Name + "/iokernel" }
+
+// Driver returns the core this driver polls on (nil before Start/Join).
+func (d *LocalDriver) Driver() *core.Driver { return d.driver }
+
+// Join attaches the baseline driver to an already-created core. Must
+// precede Start.
+func (d *LocalDriver) Join(drv *core.Driver) {
+	if d.driver != nil {
+		panic("netengine: local driver already has a driver core")
 	}
-	d.started = true
-	d.h.Eng.Go(d.h.Name+"/iokernel", d.loop)
+	d.driver = drv
+	drv.Attach(d)
 }
 
-func (d *LocalDriver) loop(p *sim.Proc) {
-	idle := sim.Duration(0)
-	for {
-		progress := 0
-		for _, ip := range d.instOrder {
-			inst := d.insts[ip]
-			for i := 0; i < d.cfg.Burst; i++ {
-				req, ok := inst.txQ.TryPop()
-				if !ok {
-					break
-				}
-				// Publish the buffer for DMA, then post straight to the NIC
-				// — the single-intermediary baseline path.
-				core.WritebackRange(p, d.h.Cache, req.addr, req.size, "payload")
-				cookie := d.nextCook
-				d.nextCook++
-				d.cookies[cookie] = localTxMeta{addr: req.addr, inst: inst}
-				if !d.dev.PostTx(p, nic.WQE{Addr: req.addr, Len: req.size, Cookie: cookie}) {
-					delete(d.cookies, cookie)
-					inst.area.Free(req.addr)
-					continue
-				}
-				d.TxForwarded++
-				progress++
-			}
-		}
-		for i := 0; i < d.cfg.Burst; i++ {
-			tc, ok := d.dev.PollTxCompletion()
-			if !ok {
-				break
-			}
-			if meta, hit := d.cookies[tc.Cookie]; hit {
-				delete(d.cookies, tc.Cookie)
-				meta.inst.area.Free(meta.addr)
-			}
-			progress++
-		}
-		for i := 0; i < d.cfg.Burst; i++ {
-			rc, ok := d.dev.PollRxCompletion()
-			if !ok {
-				break
-			}
-			d.deliverRx(p, rc)
-			progress++
-		}
-		for d.dev.RxDescCount() < d.rxTarget {
-			addr, ok := d.rxArea.Alloc()
-			if !ok {
-				break
-			}
-			if !d.dev.PostRx(p, nic.RxDesc{Addr: addr, Cap: d.cfg.BufSize}) {
-				d.rxArea.Free(addr)
-				break
-			}
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(d.cfg.LoopCost)
-			continue
-		}
-		idle = nextIdle(idle, d.cfg.LoopCost, d.cfg.IdleBackoff)
-		p.Sleep(d.cfg.LoopCost + idle)
+// Start launches the driver's polling core. No-op if it joined a shared
+// core.
+func (d *LocalDriver) Start() {
+	if d.driver != nil {
+		d.driver.Start()
+		return
 	}
+	d.driver = core.NewDriver(d.h, d.LoopName(), d.cfg.driverConfig())
+	d.driver.Attach(d)
+	d.driver.Start()
+}
+
+// PollOnce implements core.EngineLoop: instance TX rings, NIC completions,
+// and RX replenishment — the single-intermediary baseline pass.
+func (d *LocalDriver) PollOnce(p *sim.Proc) int {
+	progress := 0
+	for _, ip := range d.instOrder {
+		inst := d.insts[ip]
+		for i := 0; i < d.cfg.Burst; i++ {
+			req, ok := inst.txQ.TryPop()
+			if !ok {
+				break
+			}
+			// Publish the buffer for DMA, then post straight to the NIC
+			// — the single-intermediary baseline path.
+			core.WritebackRange(p, d.h.Cache, req.addr, req.size, "payload")
+			cookie := d.nextCook
+			d.nextCook++
+			d.cookies[cookie] = localTxMeta{addr: req.addr, inst: inst}
+			if !d.dev.PostTx(p, nic.WQE{Addr: req.addr, Len: req.size, Cookie: cookie}) {
+				delete(d.cookies, cookie)
+				inst.area.Free(req.addr)
+				continue
+			}
+			d.TxForwarded++
+			progress++
+		}
+	}
+	for i := 0; i < d.cfg.Burst; i++ {
+		tc, ok := d.dev.PollTxCompletion()
+		if !ok {
+			break
+		}
+		if meta, hit := d.cookies[tc.Cookie]; hit {
+			delete(d.cookies, tc.Cookie)
+			meta.inst.area.Free(meta.addr)
+		}
+		progress++
+	}
+	for i := 0; i < d.cfg.Burst; i++ {
+		rc, ok := d.dev.PollRxCompletion()
+		if !ok {
+			break
+		}
+		d.deliverRx(p, rc)
+		progress++
+	}
+	for d.dev.RxDescCount() < d.rxTarget {
+		addr, ok := d.rxArea.Alloc()
+		if !ok {
+			break
+		}
+		if !d.dev.PostRx(p, nic.RxDesc{Addr: addr, Cap: d.cfg.BufSize}) {
+			d.rxArea.Free(addr)
+			break
+		}
+	}
+	return progress
+}
+
+// Stats exports the uniform engine counter block (no message links; the
+// baseline driver talks to instances over local IPC only).
+func (d *LocalDriver) Stats() core.EngineStats {
+	s := core.EngineStats{Name: d.LoopName()}
+	s.AccumulateArea(d.rxArea)
+	for _, ip := range d.instOrder {
+		s.AccumulateArea(d.insts[ip].area)
+	}
+	return s
 }
 
 func (d *LocalDriver) deliverRx(p *sim.Proc, rc nic.RxCompletion) {

@@ -1,7 +1,11 @@
 // Package netengine implements the Oasis network engine (§3.3): a frontend
 // driver per host giving instances packet I/O, and a backend driver per
 // NIC-owning host operating the NIC's queues — connected across hosts by
-// the datapath's 16-byte message channels.
+// the datapath's 16-byte message channels. Both drivers are instantiations
+// of the core engine runtime (core.Driver + core.LinkSet); this file
+// defines only the engine's typed data-plane payload. Control-plane traffic
+// (telemetry, link events, failover/migration commands) uses the shared
+// core control codec.
 package netengine
 
 import (
@@ -12,7 +16,8 @@ import (
 
 // Opcodes for the engine's 16 B messages (15 B payload after the epoch
 // byte). The data-plane layout matches §3.3.1: an 8 B buffer pointer, a 2 B
-// packet size, a 1 B opcode, and a 4 B instance IP.
+// packet size, a 1 B opcode, and a 4 B instance IP. Control opcodes live in
+// the core runtime (core.Ctl*) and share the opcode byte's upper range.
 const (
 	opTxPacket    = 1 // fe -> be: transmit buffer
 	opTxComplete  = 2 // be -> fe: buffer transmitted, free it
@@ -21,29 +26,15 @@ const (
 	opRegister    = 5 // fe -> be: register instance IP
 	opRegisterAck = 6 // be -> fe: registration complete
 	opUnregister  = 7 // fe -> be: remove instance
-
-	// Control-plane opcodes (driver <-> pod-wide allocator, §3.5).
-	opLinkDown  = 16 // be -> allocator: local NIC lost link
-	opTelemetry = 17 // be -> allocator: periodic load record
-	opFailover  = 18 // allocator -> fe: reroute from failed NIC to backup
-	opBorrowMAC = 19 // allocator -> be: impersonate failed NIC's MAC
-	opMigrate   = 20 // allocator -> fe: gracefully move instance to NIC
-	opLinkUp    = 21 // be -> allocator: local NIC link restored
-
-	opAllocRequest = 22 // fe -> allocator: pick NICs for a new instance
-	opAssign       = 23 // allocator -> fe: primary (nic) + backup (aux)
 )
 
-// msg is the decoded form of a 15 B payload.
+// msg is the decoded form of a 15 B data-plane payload.
 type msg struct {
 	op   byte
 	addr int64
 	size uint16
 	ip   netstack.IP
-	nic  uint16 // control plane: NIC id (reuses the size field's bytes)
-	aux  uint16 // control plane: second NIC id
-	load uint64 // telemetry: bytes served in the last window
-	aer  uint16 // telemetry: uncorrectable AER errors in the last window
+	nic  uint16 // register ack: the acking NIC's id
 }
 
 // encode packs m into a 15-byte payload.
@@ -56,23 +47,9 @@ func (m msg) encode(buf []byte) []byte {
 		binary.LittleEndian.PutUint64(b[0:8], uint64(m.addr))
 		binary.LittleEndian.PutUint16(b[8:10], m.size)
 		binary.LittleEndian.PutUint32(b[10:14], uint32(m.ip))
-	case opRegister, opRegisterAck, opUnregister, opMigrate, opAllocRequest, opAssign:
+	case opRegister, opRegisterAck, opUnregister:
 		binary.LittleEndian.PutUint32(b[10:14], uint32(m.ip))
 		binary.LittleEndian.PutUint16(b[0:2], m.nic)
-		binary.LittleEndian.PutUint16(b[2:4], m.aux)
-	case opLinkDown, opLinkUp, opBorrowMAC:
-		binary.LittleEndian.PutUint16(b[0:2], m.nic)
-	case opFailover:
-		binary.LittleEndian.PutUint16(b[0:2], m.nic)
-		binary.LittleEndian.PutUint16(b[2:4], m.aux)
-	case opTelemetry:
-		binary.LittleEndian.PutUint16(b[0:2], m.nic)
-		binary.LittleEndian.PutUint64(b[2:10], m.load)
-		// byte 10: link status
-		if m.size != 0 {
-			b[10] = 1
-		}
-		binary.LittleEndian.PutUint16(b[11:13], m.aer)
 	}
 	return append(buf, b[:]...)
 }
@@ -87,62 +64,9 @@ func decode(payload []byte) msg {
 		m.addr = int64(binary.LittleEndian.Uint64(b[0:8]))
 		m.size = binary.LittleEndian.Uint16(b[8:10])
 		m.ip = netstack.IP(binary.LittleEndian.Uint32(b[10:14]))
-	case opRegister, opRegisterAck, opUnregister, opMigrate, opAllocRequest, opAssign:
+	case opRegister, opRegisterAck, opUnregister:
 		m.ip = netstack.IP(binary.LittleEndian.Uint32(b[10:14]))
 		m.nic = binary.LittleEndian.Uint16(b[0:2])
-		m.aux = binary.LittleEndian.Uint16(b[2:4])
-	case opLinkDown, opLinkUp, opBorrowMAC:
-		m.nic = binary.LittleEndian.Uint16(b[0:2])
-	case opFailover:
-		m.nic = binary.LittleEndian.Uint16(b[0:2])
-		m.aux = binary.LittleEndian.Uint16(b[2:4])
-	case opTelemetry:
-		m.nic = binary.LittleEndian.Uint16(b[0:2])
-		m.load = binary.LittleEndian.Uint64(b[2:10])
-		m.size = uint16(b[10])
-		m.aer = binary.LittleEndian.Uint16(b[11:13])
 	}
 	return m
-}
-
-// ControlMsg is the exported form of a control-plane message, used by the
-// allocator package (the drivers use the internal codec directly).
-type ControlMsg struct {
-	Op     byte
-	IP     netstack.IP
-	NIC    uint16
-	Aux    uint16
-	Load   uint64
-	LinkUp bool
-	AER    uint16 // uncorrectable AER errors in the telemetry window
-}
-
-// Exported control opcodes for the allocator.
-const (
-	CtlLinkDown     = opLinkDown
-	CtlTelemetry    = opTelemetry
-	CtlFailover     = opFailover
-	CtlBorrowMAC    = opBorrowMAC
-	CtlMigrate      = opMigrate
-	CtlLinkUp       = opLinkUp
-	CtlAllocRequest = opAllocRequest
-	CtlAssign       = opAssign
-)
-
-// EncodeControl packs a control message into a 15-byte channel payload.
-func EncodeControl(buf []byte, m ControlMsg) []byte {
-	im := msg{op: m.Op, ip: m.IP, nic: m.NIC, aux: m.Aux, load: m.Load, aer: m.AER}
-	if m.LinkUp {
-		im.size = 1
-	}
-	return im.encode(buf)
-}
-
-// DecodeControl unpacks a control message from a channel payload.
-func DecodeControl(payload []byte) ControlMsg {
-	im := decode(payload)
-	return ControlMsg{
-		Op: im.op, IP: im.ip, NIC: im.nic, Aux: im.aux,
-		Load: im.load, LinkUp: im.size != 0, AER: im.aer,
-	}
 }

@@ -9,6 +9,10 @@
 //   - no transparent failover: a drive failure propagates an I/O error to
 //     the guest; redundancy is the layer above's job (§3.4).
 //
+// Both drivers are instantiations of the core engine runtime (core.Driver +
+// core.LinkSet) and the backend reports telemetry to the pod-wide allocator
+// over the shared control protocol (§3.5) — the same path NIC backends use.
+//
 // The paper designs but does not implement this engine; it is implemented
 // here to the section's specification.
 package storengine
@@ -39,6 +43,11 @@ type Config struct {
 	LoopCost    sim.Duration
 	Burst       int
 	IdleBackoff sim.Duration
+	// TelemetryEvery is the backend's load-report period (§3.5: 100 ms).
+	TelemetryEvery sim.Duration
+	// PendingLimit bounds each peer link's queue of messages parked on a
+	// full ring before the link reports backpressure (core.LinkSet).
+	PendingLimit int
 }
 
 // DefaultConfig: 64 KiB buffers (16 blocks per request max).
@@ -46,17 +55,24 @@ func DefaultConfig() Config {
 	ch := msgchan.DefaultConfig()
 	ch.MsgSize = 64 // §3.4: storage messages mirror the 64 B NVMe command
 	return Config{
-		BufAreaBytes: 8 << 20,
-		BufSize:      16 * ssd.BlockSize,
-		Chan:         ch,
-		LoopCost:     60 * time.Nanosecond,
-		Burst:        32,
-		IdleBackoff:  time.Microsecond,
+		BufAreaBytes:   8 << 20,
+		BufSize:        16 * ssd.BlockSize,
+		Chan:           ch,
+		LoopCost:       60 * time.Nanosecond,
+		Burst:          32,
+		IdleBackoff:    time.Microsecond,
+		TelemetryEvery: 100 * time.Millisecond,
+		PendingLimit:   core.DefaultPendingLimit,
 	}
 }
 
 // MaxBlocksPerRequest is the per-request span bound.
 func (c Config) MaxBlocksPerRequest() int { return c.BufSize / ssd.BlockSize }
+
+// driverConfig derives the core runtime pacing from the engine config.
+func (c Config) driverConfig() core.DriverConfig {
+	return core.DriverConfig{LoopCost: c.LoopCost, IdleBackoff: c.IdleBackoff}
+}
 
 // Message opcodes.
 const (
@@ -123,26 +139,29 @@ type ioReq struct {
 	sig    *sim.Signal
 }
 
-// sbeLink is the frontend's view of one storage backend (one SSD).
+// sbeLink is the frontend's engine-specific peer state for one storage
+// backend (one SSD), carried in the core link's Meta.
 type sbeLink struct {
 	ssdID uint16
-	end   *core.LinkEnd
+	link  *core.Link
 }
 
 // Frontend is the per-host storage frontend driver: it exposes block
-// volumes to local instances and forwards requests/completions.
+// volumes to local instances and forwards requests/completions. It is an
+// engine loop on the core runtime — Start gives it a dedicated driver
+// core, Join multiplexes it onto a shared one.
 type Frontend struct {
 	h    *host.Host
 	pool *cxl.Pool
 	cfg  Config
 
-	links   map[uint16]*sbeLink
-	order   []uint16
-	vols    map[netstack.IP]*Volume
-	reqQ    *sim.Queue[*ioReq]
-	pending map[uint16]*ioReq
-	nextCID uint16
-	started bool
+	links    *core.LinkSet // by SSD id; Meta holds *sbeLink
+	vols     map[netstack.IP]*Volume
+	volOrder []netstack.IP
+	reqQ     *sim.Queue[*ioReq]
+	pending  map[uint16]*ioReq
+	nextCID  uint16
+	driver   *core.Driver
 
 	// Stats.
 	Reads, Writes, Errors int64
@@ -157,7 +176,7 @@ func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
 		h:       h,
 		pool:    pool,
 		cfg:     cfg,
-		links:   make(map[uint16]*sbeLink),
+		links:   core.NewLinkSet(cfg.PendingLimit),
 		vols:    make(map[netstack.IP]*Volume),
 		reqQ:    sim.NewQueue[*ioReq](h.Eng),
 		pending: make(map[uint16]*ioReq),
@@ -166,8 +185,17 @@ func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
 
 // ConnectBackend wires this frontend to a storage backend.
 func (fe *Frontend) ConnectBackend(ssdID uint16, end *core.LinkEnd) {
-	fe.links[ssdID] = &sbeLink{ssdID: ssdID, end: end}
-	fe.order = append(fe.order, ssdID)
+	l := fe.links.Add(uint32(ssdID), end)
+	l.Meta = &sbeLink{ssdID: ssdID, link: l}
+}
+
+// sbeLink returns the engine state for an SSD's link, or nil.
+func (fe *Frontend) sbeLink(ssdID uint16) *sbeLink {
+	l := fe.links.Get(uint32(ssdID))
+	if l == nil {
+		return nil
+	}
+	return l.Meta.(*sbeLink)
 }
 
 // Volume is an instance's block device: a slice of a pooled SSD reached
@@ -208,6 +236,7 @@ func (fe *Frontend) AddVolume(ip netstack.IP, ssdID uint16, blocks uint64) (*Vol
 		sig: sim.NewSignal(fe.h.Eng),
 	}
 	fe.vols[ip] = v
+	fe.volOrder = append(fe.volOrder, ip)
 	// Registration rides the request queue so it is sent from the driver
 	// core after Start.
 	fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: blocks})
@@ -293,56 +322,52 @@ func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []by
 	return req, nil
 }
 
-// Start launches the frontend's dedicated core.
-func (fe *Frontend) Start() {
-	if fe.started {
-		return
+// LoopName implements core.EngineLoop.
+func (fe *Frontend) LoopName() string { return fe.h.Name + "/storage-fe" }
+
+// Driver returns the core this frontend polls on (nil before Start/Join).
+func (fe *Frontend) Driver() *core.Driver { return fe.driver }
+
+// Join attaches the frontend to an already-created driver core, letting one
+// core multiplex several engine loops (§5.1). Must precede Start.
+func (fe *Frontend) Join(d *core.Driver) {
+	if fe.driver != nil {
+		panic("storengine: frontend already has a driver core")
 	}
-	fe.started = true
-	fe.h.Eng.Go(fe.h.Name+"/storage-fe", fe.loop)
+	fe.driver = d
+	d.Attach(fe)
 }
 
-func (fe *Frontend) loop(p *sim.Proc) {
-	idle := sim.Duration(0)
-	var buf [63]byte
-	for {
-		progress := 0
-		for i := 0; i < fe.cfg.Burst; i++ {
-			req, ok := fe.reqQ.TryPop()
-			if !ok {
-				break
-			}
-			fe.forward(p, req, buf[:])
-			progress++
-		}
-		for _, id := range fe.order {
-			l := fe.links[id]
-			for i := 0; i < fe.cfg.Burst; i++ {
-				payload, ok := l.end.Poll(p)
-				if !ok {
-					break
-				}
-				fe.handleBackendMsg(p, sdecode(payload))
-				progress++
-			}
-		}
-		for _, id := range fe.order {
-			fe.links[id].end.Flush(p)
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(fe.cfg.LoopCost)
-			continue
-		}
-		if fe.cfg.IdleBackoff > 0 {
-			if idle == 0 {
-				idle = fe.cfg.LoopCost
-			} else if idle *= 2; idle > fe.cfg.IdleBackoff {
-				idle = fe.cfg.IdleBackoff
-			}
-		}
-		p.Sleep(fe.cfg.LoopCost + idle)
+// Start launches the frontend's dedicated core. No-op if the frontend
+// joined a shared core.
+func (fe *Frontend) Start() {
+	if fe.driver != nil {
+		fe.driver.Start()
+		return
 	}
+	fe.driver = core.NewDriver(fe.h, fe.LoopName(), fe.cfg.driverConfig())
+	fe.driver.Attach(fe)
+	fe.driver.Start()
+}
+
+// PollOnce implements core.EngineLoop: one pass over the request queue and
+// backend completions.
+func (fe *Frontend) PollOnce(p *sim.Proc) int {
+	var buf [63]byte
+	progress := 0
+	for i := 0; i < fe.cfg.Burst; i++ {
+		req, ok := fe.reqQ.TryPop()
+		if !ok {
+			break
+		}
+		fe.forward(p, req, buf[:])
+		progress++
+	}
+	progress += fe.links.PollEach(p, fe.cfg.Burst, func(p *sim.Proc, l *core.Link, payload []byte) {
+		fe.handleBackendMsg(p, sdecode(payload))
+	})
+	fe.links.FlushAll(p)
+	return progress
 }
 
 // forward publishes a request to the backend (§3.4: the frontend performs
@@ -350,14 +375,14 @@ func (fe *Frontend) loop(p *sim.Proc) {
 func (fe *Frontend) forward(p *sim.Proc, req *ioReq, buf []byte) {
 	if req.op == sOpRegister {
 		if req.vol.link == nil {
-			req.vol.link = fe.links[req.vol.ssdID]
+			req.vol.link = fe.sbeLink(req.vol.ssdID)
 		}
 		if req.vol.link == nil {
 			fe.reqQ.Push(req) // backend not wired yet; retry
 			return
 		}
 		m := smsg{op: sOpRegister, ip: req.vol.ip, size: req.lba}
-		if !req.vol.link.end.Send(p, m.encode(buf)) {
+		if !req.vol.link.link.Send(p, m.encode(buf)) {
 			fe.reqQ.Push(req)
 		}
 		return
@@ -372,7 +397,7 @@ func (fe *Frontend) forward(p *sim.Proc, req *ioReq, buf []byte) {
 		op: req.op, cid: cid, lba: req.lba, blocks: uint16(req.blocks),
 		buf: req.buf, ip: req.vol.ip,
 	}
-	if !req.vol.link.end.Send(p, m.encode(buf)) {
+	if !req.vol.link.link.Send(p, m.encode(buf)) {
 		delete(fe.pending, cid)
 		fe.reqQ.Push(req)
 		return
@@ -420,10 +445,21 @@ func (fe *Frontend) handleBackendMsg(p *sim.Proc, m smsg) {
 	}
 }
 
-// sfeLink is the backend's view of one frontend.
+// Stats exports the uniform engine counter block (link traffic plus all
+// volumes' buffer-area pressure).
+func (fe *Frontend) Stats() core.EngineStats {
+	s := core.EngineStats{Name: fe.LoopName(), Links: fe.links.Stats()}
+	for _, ip := range fe.volOrder {
+		s.AccumulateArea(fe.vols[ip].area)
+	}
+	return s
+}
+
+// sfeLink is the backend's engine-specific peer state for one frontend,
+// carried in the core link's Meta.
 type sfeLink struct {
 	hostID int
-	end    *core.LinkEnd
+	link   *core.Link
 }
 
 // svol is a granted volume on the backend.
@@ -442,25 +478,33 @@ type pendingIO struct {
 
 // Backend is the per-SSD storage backend driver: it translates channel
 // messages to SSD submissions and routes completions back, enforcing
-// per-volume LBA bounds (isolation).
+// per-volume LBA bounds (isolation). Like the NIC backends, it reports
+// 100 ms load/queue-depth telemetry to the pod-wide allocator over the
+// shared control protocol; unlike them, a failed drive is only marked down
+// — errors propagate to the guest, never transparent failover (§3.4).
 type Backend struct {
 	h     *host.Host
 	ssdID uint16
 	dev   *ssd.SSD
 	cfg   Config
 
-	links    []*sfeLink
-	vols     map[netstack.IP]*svol
-	nextLBA  uint64
-	capacity uint64
-	inflight map[uint16]pendingIO
-	nextCID  uint16
-	started  bool
+	links      *core.LinkSet // by frontend host id; Meta holds *sfeLink
+	vols       map[netstack.IP]*svol
+	nextLBA    uint64
+	capacity   uint64
+	inflight   map[uint16]pendingIO
+	nextCID    uint16
+	ctrl       *core.LinkEnd
+	timersInit bool
+	nextTelem  sim.Duration
+	loadSnap   int64
+	driver     *core.Driver
 
 	// Stats.
 	Submitted, Completed int64
 	BoundsViolations     int64
 	RegistrationsDenied  int64
+	TelemetrySent        int64
 }
 
 // NewBackend creates the backend for an SSD whose namespace 1 has the given
@@ -472,6 +516,7 @@ func NewBackend(h *host.Host, ssdID uint16, dev *ssd.SSD, capacityBlocks uint64,
 		ssdID:    ssdID,
 		dev:      dev,
 		cfg:      cfg,
+		links:    core.NewLinkSet(cfg.PendingLimit),
 		vols:     make(map[netstack.IP]*svol),
 		capacity: capacityBlocks,
 		inflight: make(map[uint16]pendingIO),
@@ -489,58 +534,101 @@ func (be *Backend) Device() *ssd.SSD { return be.dev }
 
 // ConnectFrontend wires a frontend's link end.
 func (be *Backend) ConnectFrontend(hostID int, end *core.LinkEnd) {
-	be.links = append(be.links, &sfeLink{hostID: hostID, end: end})
+	l := be.links.Add(uint32(hostID), end)
+	l.Meta = &sfeLink{hostID: hostID, link: l}
 }
 
-// Start launches the backend's dedicated core.
+// SetControlLink attaches the backend's channel to the pod-wide allocator.
+func (be *Backend) SetControlLink(end *core.LinkEnd) { be.ctrl = end }
+
+// LoopName implements core.EngineLoop.
+func (be *Backend) LoopName() string { return fmt.Sprintf("%s/storage-be%d", be.h.Name, be.ssdID) }
+
+// Driver returns the core this backend polls on (nil before Start/Join).
+func (be *Backend) Driver() *core.Driver { return be.driver }
+
+// Join attaches the backend to an already-created driver core. Must precede
+// Start.
+func (be *Backend) Join(d *core.Driver) {
+	if be.driver != nil {
+		panic("storengine: backend already has a driver core")
+	}
+	be.driver = d
+	d.Attach(be)
+}
+
+// Start launches the backend's dedicated core. No-op if the backend joined
+// a shared core.
 func (be *Backend) Start() {
-	if be.started {
+	if be.driver != nil {
+		be.driver.Start()
 		return
 	}
-	be.started = true
-	be.h.Eng.Go(fmt.Sprintf("%s/storage-be%d", be.h.Name, be.ssdID), be.loop)
+	be.driver = core.NewDriver(be.h, be.LoopName(), be.cfg.driverConfig())
+	be.driver.Attach(be)
+	be.driver.Start()
 }
 
-func (be *Backend) loop(p *sim.Proc) {
-	idle := sim.Duration(0)
-	var buf [63]byte
-	for {
-		progress := 0
-		for _, l := range be.links {
-			for i := 0; i < be.cfg.Burst; i++ {
-				payload, ok := l.end.Poll(p)
-				if !ok {
-					break
-				}
-				be.handleFrontendMsg(p, l, sdecode(payload), buf[:])
-				progress++
-			}
-		}
-		for i := 0; i < be.cfg.Burst; i++ {
-			comp, ok := be.dev.PollCompletion()
-			if !ok {
-				break
-			}
-			be.handleCompletion(p, comp, buf[:])
-			progress++
-		}
-		for _, l := range be.links {
-			l.end.Flush(p)
-		}
-		if progress > 0 {
-			idle = 0
-			p.Sleep(be.cfg.LoopCost)
-			continue
-		}
-		if be.cfg.IdleBackoff > 0 {
-			if idle == 0 {
-				idle = be.cfg.LoopCost
-			} else if idle *= 2; idle > be.cfg.IdleBackoff {
-				idle = be.cfg.IdleBackoff
-			}
-		}
-		p.Sleep(be.cfg.LoopCost + idle)
+// PollOnce implements core.EngineLoop: one pass over parked completions,
+// frontend messages, device completions, and the telemetry window.
+func (be *Backend) PollOnce(p *sim.Proc) int {
+	if !be.timersInit {
+		be.timersInit = true
+		be.nextTelem = p.Now() + be.cfg.TelemetryEvery
 	}
+	var buf [63]byte
+	// Parked completions count as progress: the loop must stay hot until
+	// they are delivered.
+	progress := be.links.PendingCount()
+	be.links.DrainPending(p)
+	progress += be.links.PollEach(p, be.cfg.Burst, func(p *sim.Proc, l *core.Link, payload []byte) {
+		be.handleFrontendMsg(p, l.Meta.(*sfeLink), sdecode(payload), buf[:])
+	})
+	for i := 0; i < be.cfg.Burst; i++ {
+		comp, ok := be.dev.PollCompletion()
+		if !ok {
+			break
+		}
+		be.handleCompletion(p, comp, buf[:])
+		progress++
+	}
+	if be.ctrl != nil {
+		be.maybeSendTelemetry(p)
+	}
+	be.links.FlushAll(p)
+	if be.ctrl != nil {
+		be.ctrl.Flush(p)
+	}
+	return progress
+}
+
+// maybeSendTelemetry emits the periodic load record (§3.5: every 100 ms)
+// through the same control path NIC backends use, tagged DeviceSSD so the
+// allocator tracks drive leases and load alongside NICs.
+func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
+	if p.Now() < be.nextTelem {
+		return
+	}
+	be.nextTelem = p.Now() + be.cfg.TelemetryEvery
+	load := be.dev.BytesRead + be.dev.BytesWritten
+	delta := load - be.loadSnap
+	be.loadSnap = load
+	qdepth := len(be.inflight)
+	if qdepth > 65535 {
+		qdepth = 65535
+	}
+	var buf [15]byte
+	be.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+		Op:         core.CtlTelemetry,
+		Kind:       core.DeviceSSD,
+		Dev:        be.ssdID,
+		Load:       uint64(delta),
+		LinkUp:     !be.dev.Failed(),
+		AER:        0,
+		QueueDepth: uint16(qdepth),
+	}))
+	be.ctrl.Flush(p)
+	be.TelemetrySent++
 }
 
 func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte) {
@@ -549,19 +637,19 @@ func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte
 		blocks := m.size
 		if be.nextLBA+blocks > be.capacity {
 			be.RegistrationsDenied++
-			l.end.Send(p, smsg{op: sOpRegisterAck, ip: m.ip, base: 0, size: 0}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: 0, size: 0}.encode(buf))
 			return
 		}
 		v := &svol{ip: m.ip, base: be.nextLBA, blocks: blocks, link: l}
 		be.nextLBA += blocks
 		be.vols[m.ip] = v
-		l.end.Send(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks}.encode(buf))
+		l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks}.encode(buf))
 	case sOpRead, sOpWrite:
 		v, ok := be.vols[m.ip]
 		if !ok || uint64(m.lba)+uint64(m.blocks) > v.blocks {
 			// Bounds violation: reject without touching the device.
 			be.BoundsViolations++
-			l.end.Send(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusLBARange}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusLBARange}.encode(buf))
 			return
 		}
 		op := uint8(ssd.OpRead)
@@ -579,7 +667,7 @@ func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte
 		// straight into the submission queue.
 		if !be.dev.Submit(p, cmd) {
 			delete(be.inflight, devCID)
-			l.end.Send(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusDeviceFault}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusDeviceFault}.encode(buf))
 			return
 		}
 		be.Submitted++
@@ -593,5 +681,10 @@ func (be *Backend) handleCompletion(p *sim.Proc, comp ssd.Completion, buf []byte
 	}
 	delete(be.inflight, comp.CID)
 	be.Completed++
-	io.link.end.Send(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status}.encode(buf))
+	io.link.link.SendOrQueue(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status}.encode(buf))
+}
+
+// Stats exports the uniform engine counter block.
+func (be *Backend) Stats() core.EngineStats {
+	return core.EngineStats{Name: be.LoopName(), Links: be.links.Stats()}
 }

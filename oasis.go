@@ -72,6 +72,14 @@ type Config struct {
 	// NoAllocator disables the pod-wide allocator; instances must then be
 	// assigned to NICs explicitly with Instance.Assign.
 	NoAllocator bool
+	// SharedHostCore multiplexes each host's engine loops — network
+	// frontend, storage frontend, and any locally-attached NIC/SSD backends
+	// — onto ONE driver core per host instead of a dedicated core per
+	// driver. This reproduces §5.1's observation that "the frontend and
+	// backend driver cores also handle other tasks, which delays message
+	// passing": all loops share the core's iterations. The baseline local
+	// driver and the allocator keep their own cores.
+	SharedHostCore bool
 	// RaftReplicas replicates the allocator's decision log with Raft over
 	// 64 B message channels across the first N pod hosts (§3.5). 0 disables
 	// replication; otherwise it must be an odd count ≥ 3 and ≤ len(hosts).
@@ -105,6 +113,9 @@ type Host struct {
 	SFE *storengine.Frontend
 	// LD is the baseline Junction-style local driver (set by AddLocalNIC).
 	LD *netengine.LocalDriver
+	// Driver is the host's shared driver core when Config.SharedHostCore is
+	// set: every engine loop on this host polls from it.
+	Driver *core.Driver
 }
 
 // SSDDev is one pooled SSD: the device and its storage backend driver.
@@ -371,18 +382,41 @@ func (pod *Pod) AddClient(ip netstack.IP) *Client {
 	return c
 }
 
+// nicIDs returns the pooled NIC ids in ascending order, so pod wiring and
+// reports never depend on map iteration order (determinism).
+func (pod *Pod) nicIDs() []uint16 {
+	ids := make([]uint16, 0, len(pod.NICs))
+	for id := range pod.NICs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ssdIDs returns the pooled SSD ids in ascending order.
+func (pod *Pod) ssdIDs() []uint16 {
+	ids := make([]uint16, 0, len(pod.SSDs))
+	for id := range pod.SSDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Start wires the control and data links (frontend↔backend full mesh,
-// allocator links) and launches every driver, device, and stack process.
-// Topology is frozen afterwards.
+// allocator links for every device backend) and launches every driver,
+// device, and stack process. Topology is frozen afterwards.
 func (pod *Pod) Start() {
 	if pod.started {
 		return
 	}
 	pod.started = true
+	nicIDs, ssdIDs := pod.nicIDs(), pod.ssdIDs()
 
 	// Data links: every frontend to every backend.
 	for _, ph := range pod.Hosts {
-		for _, n := range pod.NICs {
+		for _, id := range nicIDs {
+			n := pod.NICs[id]
 			if n.BE == nil {
 				continue // baseline local NIC: no backend driver
 			}
@@ -394,7 +428,8 @@ func (pod *Pod) Start() {
 			n.BE.ConnectFrontend(ph.H.ID, beEnd)
 		}
 		if ph.SFE != nil {
-			for _, d := range pod.SSDs {
+			for _, id := range ssdIDs {
+				d := pod.SSDs[id]
 				feEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ph.H, d.BE.Host(), pod.cfg.Storage.Chan)
 				if err != nil {
 					panic(err)
@@ -405,7 +440,8 @@ func (pod *Pod) Start() {
 		}
 	}
 
-	// Control plane.
+	// Control plane: the allocator gets a link to every frontend and every
+	// device backend — NIC and SSD backends report through the same path.
 	if !pod.cfg.NoAllocator && len(pod.Hosts) > 0 {
 		ah := pod.Hosts[0].H // allocator runs on host 0
 		pod.Alloc = allocator.New(ah, pod.cfg.Allocator)
@@ -417,7 +453,8 @@ func (pod *Pod) Start() {
 			pod.Alloc.AddFrontend(ph.H.ID, aEnd)
 			ph.FE.SetControlLink(feEnd)
 		}
-		for _, n := range pod.NICs {
+		for _, id := range nicIDs {
+			n := pod.NICs[id]
 			if n.BE == nil {
 				continue
 			}
@@ -433,20 +470,59 @@ func (pod *Pod) Start() {
 			}, aEnd)
 			n.BE.SetControlLink(beEnd)
 		}
+		for _, id := range ssdIDs {
+			d := pod.SSDs[id]
+			aEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ah, d.BE.Host(), pod.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			pod.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID}, aEnd)
+			d.BE.SetControlLink(beEnd)
+		}
 		if pod.cfg.RaftReplicas > 0 {
 			pod.setupRaft()
 		}
 		pod.Alloc.Start()
 	}
 
+	// Shared host cores (§5.1): one driver core per host multiplexes the
+	// host's frontend loops and locally-attached backend loops. Joins must
+	// precede each engine's Start (which then just starts the shared core).
+	if pod.cfg.SharedHostCore {
+		for _, ph := range pod.Hosts {
+			ph.Driver = core.NewDriver(ph.H, ph.H.Name+"/engines", core.DriverConfig{
+				LoopCost:    pod.cfg.Engine.LoopCost,
+				IdleBackoff: pod.cfg.Engine.IdleBackoff,
+			})
+			ph.FE.Join(ph.Driver)
+			if ph.SFE != nil {
+				ph.SFE.Join(ph.Driver)
+			}
+			for _, be := range ph.BEs {
+				be.Join(ph.Driver)
+			}
+		}
+		for _, id := range ssdIDs {
+			d := pod.SSDs[id]
+			for _, ph := range pod.Hosts {
+				if ph.H == d.BE.Host() {
+					d.BE.Join(ph.Driver)
+					break
+				}
+			}
+		}
+	}
+
 	// Launch everything.
-	for _, n := range pod.NICs {
+	for _, id := range nicIDs {
+		n := pod.NICs[id]
 		n.Dev.Start()
 		if n.BE != nil {
 			n.BE.Start()
 		}
 	}
-	for _, d := range pod.SSDs {
+	for _, id := range ssdIDs {
+		d := pod.SSDs[id]
 		d.Dev.Start()
 		d.BE.Start()
 	}
@@ -579,7 +655,8 @@ func (pod *Pod) StatsReport() string {
 			n.ID, n.Dev.TxPackets, float64(n.Dev.TxBytes)/1e6,
 			n.Dev.RxPackets, float64(n.Dev.RxBytes)/1e6, n.Dev.RxNoDesc, n.Dev.LinkUp())
 	}
-	for _, d := range pod.SSDs {
+	for _, id := range pod.ssdIDs() {
+		d := pod.SSDs[id]
 		fmt.Fprintf(&b, "  ssd%-3d reads %d / writes %d / errors %d\n", d.ID, d.Dev.Reads, d.Dev.Writes, d.Dev.Errors)
 	}
 	for _, ph := range pod.Hosts {
@@ -589,13 +666,19 @@ func (pod *Pod) StatsReport() string {
 		rd, wr := ph.H.CXLPort.ReadMeter(), ph.H.CXLPort.WriteMeter()
 		fmt.Fprintf(&b, "  %s CXL rd %.2f MB %v / wr %.2f MB %v\n",
 			ph.H.Name, float64(rd.Total())/1e6, rd.Snapshot(), float64(wr.Total())/1e6, wr.Snapshot())
-		fmt.Fprintf(&b, "  %s fe: tx %d rx %d (channel-full %d)\n",
-			ph.H.Name, ph.FE.TxForwarded, ph.FE.RxDelivered, ph.FE.TxChannelFull)
+		fs := ph.FE.Stats()
+		fmt.Fprintf(&b, "  %s fe: tx %d rx %d (channel-full %d), link sends %d deferred %d, buf alloc-fails %d\n",
+			ph.H.Name, ph.FE.TxForwarded, ph.FE.RxDelivered, ph.FE.TxChannelFull,
+			fs.Links.Sent, fs.Links.Deferred, fs.BufAllocFails)
+		if ph.Driver != nil {
+			fmt.Fprintf(&b, "  %s core: %d loops, %d iters (%d idle), %d msgs\n",
+				ph.H.Name, len(ph.Driver.Loops()), ph.Driver.Iterations, ph.Driver.IdleIterations, ph.Driver.Processed)
+		}
 	}
 	if pod.Alloc != nil {
-		fmt.Fprintf(&b, "  allocator: placements %d, failovers %d (AER %d), migrations %d, rebalances %d, lease expiries %d\n",
+		fmt.Fprintf(&b, "  allocator: placements %d, failovers %d (AER %d), migrations %d, rebalances %d, lease expiries %d (ssd %d)\n",
 			pod.Alloc.Placements, pod.Alloc.Failovers, pod.Alloc.AERFailovers,
-			pod.Alloc.Migrations, pod.Alloc.Rebalances, pod.Alloc.LeaseExpiries)
+			pod.Alloc.Migrations, pod.Alloc.Rebalances, pod.Alloc.LeaseExpiries, pod.Alloc.SSDLeaseExpiries)
 	}
 	return b.String()
 }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 verification gate: everything a change must pass before merging.
+# Run from the repository root (or via `make verify`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+# The simulator itself is single-threaded (one cooperative engine), so the
+# race detector is only meaningful on packages that never enter the sim:
+# pure data-structure/statistics code usable from concurrent tooling.
+echo "== go test -race (non-simulation packages) =="
+go test -race ./internal/memalloc ./internal/metrics
+
+echo "verify: OK"
