@@ -16,7 +16,7 @@ test:
 # The simulation is single-threaded by design (one cooperative engine), so
 # the race detector only has teeth on the packages that never touch the sim
 # engine and may be used from concurrent tooling.
-RACE_PKGS = ./internal/memalloc ./internal/metrics
+RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)

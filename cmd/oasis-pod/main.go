@@ -5,6 +5,7 @@
 //	oasis-pod -hosts 4 -nics 2 -instances 6 -duration 200ms
 //	oasis-pod -hosts 3 -nics 1 -backup -instances 2 -fail-at 100ms -duration 300ms
 //	oasis-pod -hosts 2 -nics 1 -ssds 1 -instances 1 -workload kv
+//	oasis-pod -hosts 2 -nics 1 -instances 1 -stats json > stats.json
 package main
 
 import (
@@ -29,7 +30,13 @@ func main() {
 	failAt := flag.Duration("fail-at", 0, "inject a NIC-port failure on nic1 at this time (0 = never)")
 	raft := flag.Bool("raft", false, "replicate the allocator with Raft (needs ≥3 hosts)")
 	sharedCore := flag.Bool("shared-core", false, "multiplex each host's engine loops on one driver core (§5.1)")
+	stats := flag.String("stats", "text", "stats output format: text | json | prom")
 	flag.Parse()
+
+	if *stats != "text" && *stats != "json" && *stats != "prom" {
+		fmt.Fprintf(os.Stderr, "oasis-pod: unknown -stats format %q (want text, json, or prom)\n", *stats)
+		os.Exit(2)
+	}
 
 	if *hosts < 1 || *nics < 1 || *instances < 1 {
 		fmt.Fprintln(os.Stderr, "oasis-pod: need at least 1 host, 1 NIC, 1 instance")
@@ -167,7 +174,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oasis-pod: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	fmt.Print(pod.StatsReport())
+	snap := pod.Stats()
+	switch *stats {
+	case "json":
+		os.Stdout.Write(snap.JSON())
+		fmt.Println()
+	case "prom":
+		fmt.Print(snap.PromText())
+	default:
+		fmt.Print(snap.String())
+	}
 }
 
 func max(a, b int) int {

@@ -16,11 +16,13 @@
 package allocator
 
 import (
+	"fmt"
 	"time"
 
 	"oasis/internal/core"
 	"oasis/internal/host"
 	"oasis/internal/netstack"
+	"oasis/internal/obs"
 	"oasis/internal/sim"
 )
 
@@ -136,6 +138,10 @@ type Allocator struct {
 	nextRebal  sim.Duration
 	driver     *core.Driver
 
+	// events receives decision trace events when RegisterObs hooked the
+	// allocator to a pod trace ring (nil-safe otherwise).
+	events *obs.TraceRing
+
 	// Stats.
 	Placements       int64
 	Failovers        int64
@@ -237,6 +243,7 @@ func (a *Allocator) Migrate(ip netstack.IP, newNIC uint16) {
 		a.shiftDemand(old, newNIC, st.demand)
 		a.sendToFE(p, st.hostID, ctlMsg{op: core.CtlMigrate, ip: ip, dev: newNIC})
 		a.Migrations++
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("migrate ip=%v nic%d -> nic%d", ip, old, newNIC))
 	})
 }
 
@@ -365,6 +372,7 @@ func (a *Allocator) handleNIC(p *sim.Proc, nicID uint16, payload []byte) {
 			// Fail over proactively instead of waiting for link-down.
 			ns.up = false
 			a.AERFailovers++
+			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("aer burst on nic%d: proactive failover", nicID))
 			a.failNIC(p, nicID)
 		}
 	case core.CtlLinkDown:
@@ -466,6 +474,7 @@ func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
 	a.insts[ip] = &instState{ip: ip, hostID: hostID, demand: demand, primary: pick, backup: backup}
 	a.sendToFE(p, hostID, ctlMsg{op: core.CtlAssign, ip: ip, dev: pick, aux: backup})
 	a.Placements++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("placement ip=%v nic=%d backup=%d", ip, pick, backup))
 }
 
 // failNIC reroutes every instance on the failed NIC to the backup and has
@@ -479,6 +488,7 @@ func (a *Allocator) failNIC(p *sim.Proc, failed uint16) {
 		return
 	}
 	a.Failovers++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("failover nic%d -> nic%d", failed, backup))
 	// Tell the backup's backend to borrow the MAC first (RX path), then
 	// repoint the frontends (TX path).
 	a.sendToBE(p, backup, ctlMsg{op: core.CtlBorrowMAC, dev: failed})
@@ -544,6 +554,7 @@ func (a *Allocator) rebalance(p *sim.Proc) {
 	a.sendToFE(p, victim.hostID, ctlMsg{op: core.CtlMigrate, ip: victim.ip, dev: cold.info.ID})
 	a.Migrations++
 	a.Rebalances++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("rebalance ip=%v nic%d -> nic%d", victim.ip, old, cold.info.ID))
 }
 
 // checkLeases expires devices whose telemetry went silent — the host-failure
@@ -562,6 +573,7 @@ func (a *Allocator) checkLeases(p *sim.Proc) {
 		if p.Now()-ns.lastSeen > a.cfg.LeaseTimeout {
 			ns.up = false
 			a.LeaseExpiries++
+			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("lease expired for nic%d", id))
 			a.failNIC(p, id)
 		}
 	}
@@ -573,6 +585,7 @@ func (a *Allocator) checkLeases(p *sim.Proc) {
 		if p.Now()-ds.lastSeen > a.cfg.LeaseTimeout {
 			ds.up = false
 			a.SSDLeaseExpiries++
+			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("lease expired for ssd%d", id))
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package allocator
+
+import (
+	"fmt"
+
+	"oasis/internal/obs"
+)
+
+// RegisterObs registers the allocator's decision counters, its view of
+// device health/load, and its control-channel delivery latencies under
+// prefix/* (conventionally alloc). It also hooks the allocator to the
+// registry's trace ring so every decision leaves an event.
+func (a *Allocator) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/placements", func() int64 { return a.Placements })
+	r.Counter(prefix+"/failovers", func() int64 { return a.Failovers })
+	r.Counter(prefix+"/aer_failovers", func() int64 { return a.AERFailovers })
+	r.Counter(prefix+"/migrations", func() int64 { return a.Migrations })
+	r.Counter(prefix+"/rebalances", func() int64 { return a.Rebalances })
+	r.Counter(prefix+"/lease_expiries", func() int64 { return a.LeaseExpiries })
+	r.Counter(prefix+"/ssd_lease_expiries", func() int64 { return a.SSDLeaseExpiries })
+	for _, id := range a.beOrder {
+		id := id
+		npfx := fmt.Sprintf("%s/nic/nic%d", prefix, id)
+		r.Gauge(npfx+"/load_bps", func() float64 { return a.NICLoad(id) })
+		r.Gauge(npfx+"/up", func() float64 { return boolGauge(a.NICUp(id)) })
+	}
+	for _, id := range a.ssdOrder {
+		id := id
+		spfx := fmt.Sprintf("%s/ssd/ssd%d", prefix, id)
+		r.Gauge(spfx+"/up", func() float64 { return boolGauge(a.SSDUp(id)) })
+		r.Gauge(spfx+"/queue_depth", func() float64 { return float64(a.SSDQueueDepth(id)) })
+	}
+	for _, hostID := range a.feOrder {
+		if h := a.feLinks[hostID].InLatency(); h != nil {
+			r.Histogram(fmt.Sprintf("%s/chan/host%d/rx_lat", prefix, hostID), h)
+		}
+	}
+	for _, id := range a.beOrder {
+		if h := a.beLinks[id].InLatency(); h != nil {
+			r.Histogram(fmt.Sprintf("%s/chan/nic%d/rx_lat", prefix, id), h)
+		}
+	}
+	for _, id := range a.ssdOrder {
+		if h := a.ssdLinks[id].InLatency(); h != nil {
+			r.Histogram(fmt.Sprintf("%s/chan/ssd%d/rx_lat", prefix, id), h)
+		}
+	}
+	a.events = r.Events
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+package cache
+
+import "oasis/internal/obs"
+
+// RegisterObs registers the cache's counters under prefix/* (conventionally
+// <host>/cache).
+func (c *Cache) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/hits", func() int64 { return c.stats.Hits })
+	r.Counter(prefix+"/misses", func() int64 { return c.stats.Misses })
+	r.Counter(prefix+"/fill_waits", func() int64 { return c.stats.FillWaits })
+	r.Counter(prefix+"/prefetch_issued", func() int64 { return c.stats.PrefetchIssued })
+	r.Counter(prefix+"/prefetch_ignored", func() int64 { return c.stats.PrefetchIgnored })
+	r.Counter(prefix+"/writebacks", func() int64 { return c.stats.Writebacks })
+	r.Counter(prefix+"/evictions", func() int64 { return c.stats.Evictions })
+	r.Counter(prefix+"/snoop_writebacks", func() int64 { return c.stats.SnoopWritebacks })
+	r.Counter(prefix+"/snoop_drops", func() int64 { return c.stats.SnoopDrops })
+	r.Counter(prefix+"/back_invalidations", func() int64 { return c.stats.BackInvalidations })
+	r.Counter(prefix+"/ddio_installs", func() int64 { return c.stats.DDIOInstalls })
+}

@@ -20,6 +20,7 @@ import (
 	"oasis/internal/cache"
 	"oasis/internal/cxl"
 	"oasis/internal/host"
+	"oasis/internal/metrics"
 	"oasis/internal/msgchan"
 	"oasis/internal/sim"
 )
@@ -119,18 +120,77 @@ func InvalidateRange(p *sim.Proc, c *cache.Cache, addr int64, n int, category st
 	c.Fence(p)
 }
 
+// ChanLatency measures one channel direction's message delivery latency —
+// the Fig. 6 metric: virtual time from a successful TrySend (which includes
+// any line-batching delay downstream) to the receiver's Poll that drains the
+// message. Rings are FIFO and lossless once a send is accepted, so the
+// sender's stamp queue pairs stamps with deliveries in order; its length is
+// bounded by the ring's in-flight capacity. All samples land in Hist.
+type ChanLatency struct {
+	stamps []sim.Duration
+	head   int
+	Hist   metrics.Histogram
+}
+
+func (cl *ChanLatency) stamp(at sim.Duration) {
+	if cl == nil {
+		return
+	}
+	cl.stamps = append(cl.stamps, at)
+}
+
+func (cl *ChanLatency) observe(at sim.Duration) {
+	if cl == nil || cl.head >= len(cl.stamps) {
+		return
+	}
+	sent := cl.stamps[cl.head]
+	cl.head++
+	if cl.head == len(cl.stamps) {
+		cl.stamps = cl.stamps[:0]
+		cl.head = 0
+	}
+	cl.Hist.Record(at - sent)
+}
+
 // LinkEnd is one driver's end of a duplex message link: a sender toward the
-// peer and a receiver from the peer.
+// peer and a receiver from the peer, plus the latency trackers for both
+// directions (shared with the peer end by NewDuplexLink; nil trackers on
+// hand-built ends simply record nothing).
 type LinkEnd struct {
 	Out *msgchan.Sender
 	In  *msgchan.Receiver
+
+	outLat *ChanLatency // stamps accepted sends (the peer's inbound direction)
+	inLat  *ChanLatency // resolves stamps on Poll (this end's inbound direction)
+}
+
+// InLatency returns the histogram of inbound delivery latencies — the
+// virtual time messages spent in the channel before this end polled them.
+// Nil if the end was built without trackers.
+func (l *LinkEnd) InLatency() *metrics.Histogram {
+	if l.inLat == nil {
+		return nil
+	}
+	return &l.inLat.Hist
 }
 
 // Poll drains one inbound message if available.
-func (l *LinkEnd) Poll(p *sim.Proc) ([]byte, bool) { return l.In.Poll(p) }
+func (l *LinkEnd) Poll(p *sim.Proc) ([]byte, bool) {
+	payload, ok := l.In.Poll(p)
+	if ok {
+		l.inLat.observe(p.Now())
+	}
+	return payload, ok
+}
 
 // Send transmits one message, returning false if the ring is full.
-func (l *LinkEnd) Send(p *sim.Proc, payload []byte) bool { return l.Out.TrySend(p, payload) }
+func (l *LinkEnd) Send(p *sim.Proc, payload []byte) bool {
+	if !l.Out.TrySend(p, payload) {
+		return false
+	}
+	l.outLat.stamp(p.Now())
+	return true
+}
 
 // Flush pushes any partially-filled sender line.
 func (l *LinkEnd) Flush(p *sim.Proc) { l.Out.Flush(p) }
@@ -161,5 +221,7 @@ func NewDuplexLink(pool *cxl.Pool, a, b *host.Host, cfg msgchan.Config) (aEnd, b
 	if err != nil {
 		return nil, nil, err
 	}
-	return &LinkEnd{Out: abS, In: baR}, &LinkEnd{Out: baS, In: abR}, nil
+	abLat, baLat := &ChanLatency{}, &ChanLatency{}
+	return &LinkEnd{Out: abS, In: baR, outLat: abLat, inLat: baLat},
+		&LinkEnd{Out: baS, In: abR, outLat: baLat, inLat: abLat}, nil
 }

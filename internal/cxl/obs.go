@@ -1,0 +1,11 @@
+package cxl
+
+import "oasis/internal/obs"
+
+// RegisterObs registers the port's per-category byte meters under prefix/*
+// (conventionally cxl/port/<port name>), one snapshot point per traffic
+// category — Table 3's payload-vs-message breakdown falls out directly.
+func (pt *Port) RegisterObs(r *obs.Registry, prefix string) {
+	r.Meter(prefix+"/rd_bytes", pt.rdMeter)
+	r.Meter(prefix+"/wr_bytes", pt.wrMeter)
+}

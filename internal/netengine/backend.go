@@ -9,6 +9,7 @@ import (
 	"oasis/internal/netstack"
 	"oasis/internal/netsw"
 	"oasis/internal/nic"
+	"oasis/internal/obs"
 	"oasis/internal/sim"
 )
 
@@ -66,6 +67,11 @@ type Backend struct {
 	driver     *core.Driver
 
 	suppressBorrow bool
+
+	// events receives link-state transitions when RegisterObs hooked the
+	// backend to a pod trace ring (nil-safe otherwise).
+	events   *obs.TraceRing
+	eventSrc string
 
 	// Stats.
 	TxPosted, RxForwarded int64
@@ -373,6 +379,11 @@ func (be *Backend) maybeCheckLink(p *sim.Proc) {
 		op = core.CtlLinkDown
 		be.LinkDownEvents++
 	}
+	state := "up"
+	if !up {
+		state = "down"
+	}
+	be.events.Emit(p.Now(), be.eventSrc, fmt.Sprintf("nic%d link %s", be.nicID, state))
 	be.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
 		Op: op, Kind: core.DeviceNIC, Dev: be.nicID,
 	}))

@@ -1,0 +1,23 @@
+package nic
+
+import "oasis/internal/obs"
+
+// RegisterObs registers the device's counters under prefix/* (conventionally
+// the NIC's pod name, e.g. nic1).
+func (n *NIC) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/tx_packets", func() int64 { return n.TxPackets })
+	r.Counter(prefix+"/tx_bytes", func() int64 { return n.TxBytes })
+	r.Counter(prefix+"/rx_packets", func() int64 { return n.RxPackets })
+	r.Counter(prefix+"/rx_bytes", func() int64 { return n.RxBytes })
+	r.Counter(prefix+"/rx_no_desc", func() int64 { return n.RxNoDesc })
+	r.Counter(prefix+"/tx_ring_full", func() int64 { return n.TxRingFull })
+	r.Counter(prefix+"/oversize", func() int64 { return n.Oversize })
+	r.Counter(prefix+"/aer_correctable", func() int64 { return n.AERCorrectable })
+	r.Counter(prefix+"/aer_uncorrectable", func() int64 { return n.AERUncorrectable })
+	r.Gauge(prefix+"/link_up", func() float64 {
+		if n.linkUp {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,18 @@
+package raft
+
+import "oasis/internal/obs"
+
+// RegisterObs registers the replica's counters under prefix/*
+// (conventionally raft/<id>).
+func (n *Node) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/elections", func() int64 { return n.Elections })
+	r.Counter(prefix+"/terms_seen", func() int64 { return int64(n.TermsSeen) })
+	r.Counter(prefix+"/applied", func() int64 { return n.AppliedCnt })
+	r.Gauge(prefix+"/commit_index", func() float64 { return float64(n.commitIndex) })
+	r.Gauge(prefix+"/is_leader", func() float64 {
+		if n.role == leader {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,14 @@
+package ssd
+
+import "oasis/internal/obs"
+
+// RegisterObs registers the drive's counters under prefix/* (conventionally
+// the SSD's pod name, e.g. ssd1).
+func (d *SSD) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/reads", func() int64 { return d.Reads })
+	r.Counter(prefix+"/writes", func() int64 { return d.Writes })
+	r.Counter(prefix+"/errors", func() int64 { return d.Errors })
+	r.Counter(prefix+"/bytes_read", func() int64 { return d.BytesRead })
+	r.Counter(prefix+"/bytes_written", func() int64 { return d.BytesWritten })
+	r.Counter(prefix+"/queue_full_rejects", func() int64 { return d.QueueFullRejects })
+}

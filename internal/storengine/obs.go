@@ -1,0 +1,34 @@
+package storengine
+
+import (
+	"fmt"
+
+	"oasis/internal/obs"
+)
+
+// RegisterObs registers the storage frontend's counters, its volumes'
+// counters, and its per-SSD channel series under prefix/* (conventionally
+// <host>/sfe).
+func (fe *Frontend) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/reads", func() int64 { return fe.Reads })
+	r.Counter(prefix+"/writes", func() int64 { return fe.Writes })
+	r.Counter(prefix+"/errors", func() int64 { return fe.Errors })
+	fe.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("ssd%d", peer) })
+	for _, ip := range fe.volOrder {
+		v := fe.vols[ip]
+		vpfx := fmt.Sprintf("%s/vol/%v", prefix, ip)
+		r.Counter(vpfx+"/io_errors", func() int64 { return v.IOErrors })
+		v.area.RegisterObs(r, vpfx)
+	}
+}
+
+// RegisterObs registers the storage backend's counters and its per-host
+// channel series under prefix/* (conventionally <host>/sbe<ssd>).
+func (be *Backend) RegisterObs(r *obs.Registry, prefix string) {
+	r.Counter(prefix+"/submitted", func() int64 { return be.Submitted })
+	r.Counter(prefix+"/completed", func() int64 { return be.Completed })
+	r.Counter(prefix+"/bounds_violations", func() int64 { return be.BoundsViolations })
+	r.Counter(prefix+"/registrations_denied", func() int64 { return be.RegistrationsDenied })
+	r.Counter(prefix+"/telemetry_sent", func() int64 { return be.TelemetrySent })
+	be.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("host%d", peer) })
+}

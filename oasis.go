@@ -24,12 +24,31 @@
 //
 // Everything runs in virtual time: pod.Run(d) executes d of simulated time
 // deterministically.
+//
+// # Builder errors and migration
+//
+// Every Add* builder has two forms. The AddNICErr/AddSSDErr/AddVolumeErr/
+// AddInstanceErr (and AddLocalNICErr/AddLocalInstanceErr) forms return
+// (T, error) and are the preferred API: wiring mistakes — duplicate
+// instance IPs, exhausted pool memory, a frozen topology — come back as
+// errors the caller can handle. The original AddNIC/AddSSD/AddVolume/
+// AddInstance forms are kept as thin legacy wrappers that panic on those
+// same errors, which is fine for tests and examples where a wiring bug
+// should abort loudly. New code should migrate to the Err forms; the panic
+// wrappers will not grow new capabilities.
+//
+// # Observability
+//
+// Pod.Stats() samples every component's registered instruments into a
+// typed, deterministic Snapshot (sorted series, JSON-marshalable, plus a
+// Prometheus-style text encoding); Pod.StatsReport() is Snapshot.String().
+// See internal/obs and DESIGN.md's observability section for the
+// instrument taxonomy and naming scheme.
 package oasis
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"oasis/internal/allocator"
@@ -40,6 +59,7 @@ import (
 	"oasis/internal/netstack"
 	"oasis/internal/netsw"
 	"oasis/internal/nic"
+	"oasis/internal/obs"
 	"oasis/internal/raft"
 	"oasis/internal/sim"
 	"oasis/internal/ssd"
@@ -141,18 +161,40 @@ type Instance struct {
 	Port      *netengine.InstancePort
 	LocalPort *netengine.LocalPort
 	Stack     *netstack.Stack
+	host      *Host
 	pod       *Pod
 }
 
 // IPAddr returns the instance's address.
 func (i *Instance) IPAddr() netstack.IP { return i.Stack.IP() }
 
+// Host returns the pod host the instance runs on.
+func (i *Instance) Host() *Host { return i.host }
+
+// IsPooled reports whether the instance attaches to the pooled datapath
+// (an Oasis frontend port) rather than a baseline local driver.
+func (i *Instance) IsPooled() bool { return i.Port != nil }
+
 // Assign sets the instance's primary and backup NICs directly (bypassing
-// the allocator). backup may be 0. Panics for baseline local instances.
-func (i *Instance) Assign(primary, backup uint16) { i.Port.Assign(primary, backup) }
+// the allocator). backup may be 0. Baseline local instances have no pooled
+// frontend port to assign; that returns a descriptive error instead of the
+// historical nil-pointer panic.
+func (i *Instance) Assign(primary, backup uint16) error {
+	if i.Port == nil {
+		return fmt.Errorf("oasis: Assign on baseline local instance %v: it has no pooled frontend port (AddLocalInstance attaches to the host's local driver; use AddInstance for the pooled datapath)", i.IPAddr())
+	}
+	i.Port.Assign(primary, backup)
+	return nil
+}
 
 // RequestAllocation asks the pod-wide allocator for a NIC assignment.
-func (i *Instance) RequestAllocation() { i.Port.RequestAllocation() }
+// Baseline local instances need no assignment; the request is ignored.
+func (i *Instance) RequestAllocation() {
+	if i.Port == nil {
+		return
+	}
+	i.Port.RequestAllocation()
+}
 
 // WaitReady blocks until the instance can transmit. Baseline local
 // instances are ready immediately.
@@ -197,6 +239,7 @@ type Pod struct {
 	Raft []*raft.Node
 
 	cfg       Config
+	obs       *obs.Registry
 	nicDir    map[uint16]netsw.MAC
 	nextNICID uint16
 	nextSSDID uint16
@@ -216,6 +259,7 @@ func NewPod(cfg Config) *Pod {
 		NICs:      make(map[uint16]*NIC),
 		SSDs:      make(map[uint16]*SSDDev),
 		cfg:       cfg,
+		obs:       obs.New(),
 		nicDir:    make(map[uint16]netsw.MAC),
 		nextNICID: 1,
 		nextSSDID: 1,
@@ -245,10 +289,12 @@ func (pod *Pod) allocMAC() netsw.MAC {
 	return m
 }
 
-// AddNIC attaches a pooled NIC to a host and creates its backend driver.
+// AddNICErr attaches a pooled NIC to a host and creates its backend driver.
 // backup marks the pod's reserved failover NIC (§3.3.3).
-func (pod *Pod) AddNIC(on *Host, backup bool) *NIC {
-	pod.mustNotBeStarted()
+func (pod *Pod) AddNICErr(on *Host, backup bool) (*NIC, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
 	id := pod.nextNICID
 	pod.nextNICID++
 	mac := pod.allocMAC()
@@ -259,22 +305,33 @@ func (pod *Pod) AddNIC(on *Host, backup bool) *NIC {
 	dev.SetSnooper(on.H.Cache) // DMA snoops the owning host's cache (§3.2.1)
 	be, err := netengine.NewBackend(on.H, id, dev, pod.Pool, pod.nicDir, pod.cfg.Engine)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	pod.nicDir[id] = mac
 	n := &NIC{ID: id, Dev: dev, BE: be, SwPort: swPort, Backup: backup}
 	pod.NICs[id] = n
 	on.BEs = append(on.BEs, be)
+	return n, nil
+}
+
+// AddNIC is the legacy panic-on-error wrapper around AddNICErr.
+func (pod *Pod) AddNIC(on *Host, backup bool) *NIC {
+	n, err := pod.AddNICErr(on, backup)
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
 
-// AddLocalNIC attaches a NIC served by a Junction-style local driver — the
-// evaluation baseline (§5.1): one intermediary core, no pooling, no message
-// channels. Instances added with AddLocalInstance use it.
-func (pod *Pod) AddLocalNIC(on *Host) *NIC {
-	pod.mustNotBeStarted()
+// AddLocalNICErr attaches a NIC served by a Junction-style local driver —
+// the evaluation baseline (§5.1): one intermediary core, no pooling, no
+// message channels. Instances added with AddLocalInstance use it.
+func (pod *Pod) AddLocalNICErr(on *Host) (*NIC, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
 	if on.LD != nil {
-		panic("oasis: host already has a local driver")
+		return nil, fmt.Errorf("oasis: host %s already has a local driver", on.H.Name)
 	}
 	id := pod.nextNICID
 	pod.nextNICID++
@@ -286,35 +343,59 @@ func (pod *Pod) AddLocalNIC(on *Host) *NIC {
 	dev.SetSnooper(on.H.Cache)
 	ld, err := netengine.NewLocalDriver(on.H, dev, pod.Pool, pod.cfg.Engine)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	on.LD = ld
 	n := &NIC{ID: id, Dev: dev, SwPort: swPort}
 	pod.NICs[id] = n
-	return n
+	return n, nil
 }
 
-// AddLocalInstance launches an instance on the host's baseline local driver.
-func (pod *Pod) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
-	pod.mustNotBeStarted()
-	if on.LD == nil {
-		panic("oasis: AddLocalInstance requires AddLocalNIC first")
-	}
-	lp, err := on.LD.AddInstance(ip)
+// AddLocalNIC is the legacy panic-on-error wrapper around AddLocalNICErr.
+func (pod *Pod) AddLocalNIC(on *Host) *NIC {
+	n, err := pod.AddLocalNICErr(on)
 	if err != nil {
 		panic(err)
 	}
+	return n
+}
+
+// AddLocalInstanceErr launches an instance on the host's baseline local
+// driver.
+func (pod *Pod) AddLocalInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
+	if on.LD == nil {
+		return nil, fmt.Errorf("oasis: AddLocalInstance requires AddLocalNIC first")
+	}
+	lp, err := on.LD.AddInstance(ip)
+	if err != nil {
+		return nil, err
+	}
 	stack := netstack.NewStack(pod.Eng, fmt.Sprintf("inst-%v", ip), ip, lp.CurrentMAC, lp, pod.cfg.Stack)
 	lp.AttachStack(stack)
-	inst := &Instance{LocalPort: lp, Stack: stack, pod: pod}
+	inst := &Instance{LocalPort: lp, Stack: stack, host: on, pod: pod}
 	pod.instances = append(pod.instances, inst)
+	return inst, nil
+}
+
+// AddLocalInstance is the legacy panic-on-error wrapper around
+// AddLocalInstanceErr.
+func (pod *Pod) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
+	inst, err := pod.AddLocalInstanceErr(on, ip)
+	if err != nil {
+		panic(err)
+	}
 	return inst
 }
 
-// AddSSD attaches a pooled SSD of the given capacity (in 4 KiB blocks) to
-// a host and creates its storage backend driver (§3.4).
-func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
-	pod.mustNotBeStarted()
+// AddSSDErr attaches a pooled SSD of the given capacity (in 4 KiB blocks)
+// to a host and creates its storage backend driver (§3.4).
+func (pod *Pod) AddSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
 	id := pod.nextSSDID
 	pod.nextSSDID++
 	name := fmt.Sprintf("ssd%d", id)
@@ -322,6 +403,15 @@ func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
 	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, pod.cfg.Storage)
 	d := &SSDDev{ID: id, Dev: dev, BE: be}
 	pod.SSDs[id] = d
+	return d, nil
+}
+
+// AddSSD is the legacy panic-on-error wrapper around AddSSDErr.
+func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
+	d, err := pod.AddSSDErr(on, capacityBlocks)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
@@ -333,40 +423,53 @@ func (pod *Pod) storageFE(on *Host) *storengine.Frontend {
 	return on.SFE
 }
 
-// AddVolume provisions a block volume for an instance on a pooled SSD.
+// AddVolumeErr provisions a block volume for an instance on a pooled SSD.
 // Must be called before Start (the registration completes shortly after).
+// The instance's host is taken from the instance itself (recorded at
+// AddInstance time), so no pod-wide scan is needed.
+func (pod *Pod) AddVolumeErr(inst *Instance, ssdID uint16, blocks uint64) (*storengine.Volume, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
+	if inst == nil || inst.host == nil {
+		return nil, fmt.Errorf("oasis: AddVolume: instance has no host (not built by AddInstance/AddLocalInstance)")
+	}
+	fe := pod.storageFE(inst.host)
+	return fe.AddVolume(inst.IPAddr(), ssdID, blocks)
+}
+
+// AddVolume is the legacy panic-on-error wrapper around AddVolumeErr.
 func (pod *Pod) AddVolume(inst *Instance, ssdID uint16, blocks uint64) *storengine.Volume {
-	pod.mustNotBeStarted()
-	var on *Host
-	for _, ph := range pod.Hosts {
-		if ph.FE == inst.Port.Frontend() {
-			on = ph
-			break
-		}
-	}
-	if on == nil {
-		panic("oasis: instance host not found")
-	}
-	fe := pod.storageFE(on)
-	vol, err := fe.AddVolume(inst.IPAddr(), ssdID, blocks)
+	vol, err := pod.AddVolumeErr(inst, ssdID, blocks)
 	if err != nil {
 		panic(err)
 	}
 	return vol
 }
 
-// AddInstance launches a container instance on a pod host.
-func (pod *Pod) AddInstance(on *Host, ip netstack.IP) *Instance {
-	pod.mustNotBeStarted()
+// AddInstanceErr launches a container instance on a pod host.
+func (pod *Pod) AddInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
 	port, err := on.FE.AddInstance(ip)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	name := fmt.Sprintf("inst-%v", ip)
 	stack := netstack.NewStack(pod.Eng, name, ip, port.CurrentMAC, port, pod.cfg.Stack)
 	port.AttachStack(stack)
-	inst := &Instance{Port: port, Stack: stack, pod: pod}
+	inst := &Instance{Port: port, Stack: stack, host: on, pod: pod}
 	pod.instances = append(pod.instances, inst)
+	return inst, nil
+}
+
+// AddInstance is the legacy panic-on-error wrapper around AddInstanceErr.
+func (pod *Pod) AddInstance(on *Host, ip netstack.IP) *Instance {
+	inst, err := pod.AddInstanceErr(on, ip)
+	if err != nil {
+		panic(err)
+	}
 	return inst
 }
 
@@ -541,6 +644,88 @@ func (pod *Pod) Start() {
 	for _, c := range pod.clients {
 		c.Stack.Start()
 	}
+
+	pod.registerObs()
+}
+
+// registerObs walks the frozen topology and registers every component's
+// instruments with the pod registry. Runs once, at the end of Start, so
+// channel-latency trackers and driver loops already exist. Registration
+// order is deterministic (sorted device ids, host insertion order), and
+// Snapshot re-sorts by name anyway.
+func (pod *Pod) registerObs() {
+	r := pod.obs
+	seen := make(map[*core.Driver]bool)
+	regDriver := func(d *core.Driver, prefix string) {
+		if d == nil || seen[d] {
+			return
+		}
+		seen[d] = true
+		d.RegisterObs(r, prefix)
+	}
+	for _, id := range pod.nicIDs() {
+		n := pod.NICs[id]
+		n.Dev.RegisterObs(r, fmt.Sprintf("nic%d", id))
+		if n.BE != nil {
+			n.BE.RegisterObs(r, n.BE.LoopName())
+		}
+	}
+	for _, id := range pod.ssdIDs() {
+		d := pod.SSDs[id]
+		d.Dev.RegisterObs(r, fmt.Sprintf("ssd%d", id))
+		d.BE.RegisterObs(r, d.BE.LoopName())
+	}
+	for _, pt := range pod.Pool.Ports() {
+		pt.RegisterObs(r, "cxl/port/"+pt.Name())
+	}
+	for _, ph := range pod.Hosts {
+		if ph.H.Cache != nil {
+			ph.H.Cache.RegisterObs(r, ph.H.Name+"/cache")
+		}
+		ph.FE.RegisterObs(r, ph.FE.LoopName())
+		if ph.SFE != nil {
+			ph.SFE.RegisterObs(r, ph.SFE.LoopName())
+		}
+		if ph.LD != nil {
+			ph.LD.RegisterObs(r, ph.LD.LoopName())
+		}
+		// The shared host core (if any) registers under core/<host>; the
+		// dedicated per-engine drivers below dedupe against it by pointer
+		// and register under core/<loop name> instead.
+		regDriver(ph.Driver, "core/"+ph.H.Name)
+		if d := ph.FE.Driver(); d != nil {
+			regDriver(d, "core/"+d.Name())
+		}
+		if ph.SFE != nil {
+			if d := ph.SFE.Driver(); d != nil {
+				regDriver(d, "core/"+d.Name())
+			}
+		}
+		if ph.LD != nil {
+			if d := ph.LD.Driver(); d != nil {
+				regDriver(d, "core/"+d.Name())
+			}
+		}
+		for _, be := range ph.BEs {
+			if d := be.Driver(); d != nil {
+				regDriver(d, "core/"+d.Name())
+			}
+		}
+	}
+	for _, id := range pod.ssdIDs() {
+		if d := pod.SSDs[id].BE.Driver(); d != nil {
+			regDriver(d, "core/"+d.Name())
+		}
+	}
+	if pod.Alloc != nil {
+		pod.Alloc.RegisterObs(r, "alloc")
+		if d := pod.Alloc.Driver(); d != nil {
+			regDriver(d, "core/"+d.Name())
+		}
+	}
+	for i, node := range pod.Raft {
+		node.RegisterObs(r, fmt.Sprintf("raft/%d", i))
+	}
 }
 
 // Go spawns an application process.
@@ -570,9 +755,18 @@ func (pod *Pod) RestoreNICPort(id uint16) {
 	}
 }
 
-func (pod *Pod) mustNotBeStarted() {
+// frozenErr reports whether the pod topology is frozen (Start has run).
+// The ...Err builder forms return it; the legacy wrappers panic on it.
+func (pod *Pod) frozenErr() error {
 	if pod.started {
-		panic("oasis: pod topology is frozen after Start")
+		return fmt.Errorf("oasis: pod topology is frozen after Start")
+	}
+	return nil
+}
+
+func (pod *Pod) mustNotBeStarted() {
+	if err := pod.frozenErr(); err != nil {
+		panic(err)
 	}
 }
 
@@ -637,48 +831,22 @@ func (r *raftReplicator) Propose(p *Proc, cmd []byte) bool {
 	return r.node.Propose(p, cmd)
 }
 
+// Snapshot is the structured result of Pod.Stats: a sorted, deterministic
+// view of every registered series plus the retained trace events. It
+// marshals to stable JSON and renders to Prometheus text via PromText.
+type Snapshot = obs.Snapshot
+
+// Obs exposes the pod's metrics registry so applications and tests can
+// register their own instruments alongside the built-in ones.
+func (pod *Pod) Obs() *obs.Registry { return pod.obs }
+
+// Stats samples every registered instrument at the current virtual time and
+// returns a typed, deterministically ordered snapshot. Instruments are only
+// read here — sampling costs no virtual time and never perturbs the run.
+func (pod *Pod) Stats() Snapshot { return pod.obs.Snapshot(pod.Eng.Now()) }
+
 // StatsReport returns a human-readable dump of the pod's counters: per-NIC
 // traffic, per-port CXL bandwidth by category, driver counters, and
-// allocator decisions. Examples and operators print it after a run.
-func (pod *Pod) StatsReport() string {
-	var b strings.Builder
-	elapsed := pod.Eng.Now()
-	fmt.Fprintf(&b, "pod after %v of virtual time\n", elapsed)
-	ids := make([]int, 0, len(pod.NICs))
-	for id := range pod.NICs {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		n := pod.NICs[uint16(id)]
-		fmt.Fprintf(&b, "  nic%-3d tx %d pkts / %.2f MB, rx %d pkts / %.2f MB, drops(no-desc) %d, link up %v\n",
-			n.ID, n.Dev.TxPackets, float64(n.Dev.TxBytes)/1e6,
-			n.Dev.RxPackets, float64(n.Dev.RxBytes)/1e6, n.Dev.RxNoDesc, n.Dev.LinkUp())
-	}
-	for _, id := range pod.ssdIDs() {
-		d := pod.SSDs[id]
-		fmt.Fprintf(&b, "  ssd%-3d reads %d / writes %d / errors %d\n", d.ID, d.Dev.Reads, d.Dev.Writes, d.Dev.Errors)
-	}
-	for _, ph := range pod.Hosts {
-		if ph.H.CXLPort == nil {
-			continue
-		}
-		rd, wr := ph.H.CXLPort.ReadMeter(), ph.H.CXLPort.WriteMeter()
-		fmt.Fprintf(&b, "  %s CXL rd %.2f MB %v / wr %.2f MB %v\n",
-			ph.H.Name, float64(rd.Total())/1e6, rd.Snapshot(), float64(wr.Total())/1e6, wr.Snapshot())
-		fs := ph.FE.Stats()
-		fmt.Fprintf(&b, "  %s fe: tx %d rx %d (channel-full %d), link sends %d deferred %d, buf alloc-fails %d\n",
-			ph.H.Name, ph.FE.TxForwarded, ph.FE.RxDelivered, ph.FE.TxChannelFull,
-			fs.Links.Sent, fs.Links.Deferred, fs.BufAllocFails)
-		if ph.Driver != nil {
-			fmt.Fprintf(&b, "  %s core: %d loops, %d iters (%d idle), %d msgs\n",
-				ph.H.Name, len(ph.Driver.Loops()), ph.Driver.Iterations, ph.Driver.IdleIterations, ph.Driver.Processed)
-		}
-	}
-	if pod.Alloc != nil {
-		fmt.Fprintf(&b, "  allocator: placements %d, failovers %d (AER %d), migrations %d, rebalances %d, lease expiries %d (ssd %d)\n",
-			pod.Alloc.Placements, pod.Alloc.Failovers, pod.Alloc.AERFailovers,
-			pod.Alloc.Migrations, pod.Alloc.Rebalances, pod.Alloc.LeaseExpiries, pod.Alloc.SSDLeaseExpiries)
-	}
-	return b.String()
-}
+// allocator decisions. Examples and operators print it after a run. It is
+// exactly Stats().String(); use Stats for programmatic access.
+func (pod *Pod) StatsReport() string { return pod.Stats().String() }

@@ -590,10 +590,22 @@ func TestStatsReportCoversComponents(t *testing.T) {
 	e := buildTestEcho(t)
 	e.pod.Run(time.Second)
 	rep := e.pod.StatsReport()
-	for _, want := range []string{"nic1", "host0", "allocator:", "fe: tx"} {
+	for _, want := range []string{
+		"nic1/tx_packets", "host0/cache/hits", "alloc/placements",
+		"host0/fe/tx_forwarded", "cxl/port/host0/rd_bytes{payload}",
+		"host0/fe/chan/nic1/rx_lat",
+	} {
 		if !strings.Contains(rep, want) {
 			t.Fatalf("stats report missing %q:\n%s", want, rep)
 		}
+	}
+	// The same data is available as a typed snapshot.
+	snap := e.pod.Stats()
+	if snap.Value("alloc/placements") != 1 {
+		t.Fatalf("alloc/placements = %v, want 1", snap.Value("alloc/placements"))
+	}
+	if snap.Value("nic1/tx_packets") == 0 {
+		t.Fatal("nic1/tx_packets = 0, want traffic")
 	}
 }
 
@@ -687,8 +699,111 @@ func TestSharedHostCoreRunsNetAndStorage(t *testing.T) {
 	if hB.Driver.Processed == 0 {
 		t.Fatal("hostB shared core processed no messages")
 	}
-	rep := pod.StatsReport()
-	if !strings.Contains(rep, "core: 3 loops") {
-		t.Fatalf("stats report missing shared-core line:\n%s", rep)
+	snap := pod.Stats()
+	if got := snap.Value("core/host1/loops"); got != 3 {
+		t.Fatalf("core/host1/loops = %v, want 3:\n%s", got, snap.String())
 	}
+	if snap.Value("core/host1/processed") == 0 {
+		t.Fatal("core/host1/processed = 0, want messages through the shared core")
+	}
+}
+
+func TestChannelLatencyHistogram(t *testing.T) {
+	// Fig. 6-style measurement: one-way delivery latency on the message
+	// channel feeding host0's frontend from nic1's backend. The paper
+	// reports single-digit-microsecond channel latencies; the simulated
+	// CXL timings land the median in the same low-microsecond band.
+	e := buildTestEcho(t)
+	e.pod.Run(time.Second)
+	h := e.pod.Stats().Histogram("host0/fe/chan/nic1/rx_lat")
+	if h == nil {
+		t.Fatal("no rx_lat histogram registered for host0/fe/chan/nic1")
+	}
+	if h.Count < 50 {
+		t.Fatalf("rx_lat count = %d, want >= 50 (one per echo)", h.Count)
+	}
+	if h.P50 <= 0 || h.P50 > 20*time.Microsecond {
+		t.Fatalf("rx_lat p50 = %v, want low-microsecond one-way latency", h.P50)
+	}
+	if h.P99 < h.P50 || h.Max < h.P99 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v max=%v", h.P50, h.P99, h.Max)
+	}
+}
+
+func TestPodSnapshotJSONDeterministic(t *testing.T) {
+	// Two identical runs must serialize to byte-identical JSON: same series,
+	// same order, same values, same trace events at the same virtual times.
+	run := func() []byte {
+		e := buildTestEcho(t)
+		e.pod.Run(time.Second)
+		return e.pod.Stats().JSON()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON differs across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestBuilderErrForms(t *testing.T) {
+	cfg := DefaultConfig()
+	pod := NewPod(cfg)
+	h := pod.AddHost()
+	n, err := pod.AddNICErr(h, false)
+	if err != nil || n == nil {
+		t.Fatalf("AddNICErr: %v", err)
+	}
+	inst, err := pod.AddInstanceErr(h, IP(10, 0, 0, 1))
+	if err != nil {
+		t.Fatalf("AddInstanceErr: %v", err)
+	}
+	if inst.Host() != h {
+		t.Fatal("instance did not record its host")
+	}
+	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 1)); err == nil {
+		t.Fatal("duplicate instance IP accepted")
+	}
+	if _, err := pod.AddVolumeErr(&Instance{}, 1, 64); err == nil {
+		t.Fatal("AddVolumeErr accepted an instance with no host")
+	}
+	pod.Start()
+	// Topology is frozen: every Err builder must refuse, not panic.
+	if _, err := pod.AddNICErr(h, false); err == nil {
+		t.Fatal("AddNICErr after Start should fail")
+	}
+	if _, err := pod.AddSSDErr(h, 1024); err == nil {
+		t.Fatal("AddSSDErr after Start should fail")
+	}
+	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 2)); err == nil {
+		t.Fatal("AddInstanceErr after Start should fail")
+	}
+	if _, err := pod.AddLocalNICErr(h); err == nil {
+		t.Fatal("AddLocalNICErr after Start should fail")
+	}
+	if _, err := pod.AddLocalInstanceErr(h, IP(10, 0, 0, 3)); err == nil {
+		t.Fatal("AddLocalInstanceErr after Start should fail")
+	}
+	if _, err := pod.AddVolumeErr(inst, 1, 64); err == nil {
+		t.Fatal("AddVolumeErr after Start should fail")
+	}
+	pod.Shutdown()
+}
+
+func TestAssignOnLocalInstanceErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoAllocator = true
+	pod := NewPod(cfg)
+	h := pod.AddHost()
+	pod.AddLocalNIC(h)
+	inst := pod.AddLocalInstance(h, IP(10, 0, 0, 1))
+	if inst.IsPooled() {
+		t.Fatal("local instance reported as pooled")
+	}
+	err := inst.Assign(1, 0)
+	if err == nil {
+		t.Fatal("Assign on a local instance should error, not panic")
+	}
+	if !strings.Contains(err.Error(), "local instance") {
+		t.Fatalf("Assign error not descriptive: %v", err)
+	}
+	pod.Shutdown()
 }

@@ -24,8 +24,10 @@ go test ./...
 
 # The simulator itself is single-threaded (one cooperative engine), so the
 # race detector is only meaningful on packages that never enter the sim:
-# pure data-structure/statistics code usable from concurrent tooling.
+# pure data-structure/statistics code usable from concurrent tooling. The
+# obs registry is explicitly safe to snapshot from outside the sim loop,
+# and core carries the channel-latency trackers it samples.
 echo "== go test -race (non-simulation packages) =="
-go test -race ./internal/memalloc ./internal/metrics
+go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/...
 
 echo "verify: OK"
