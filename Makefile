@@ -13,19 +13,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# The simulation is single-threaded by design (one cooperative engine), so
-# the race detector only has teeth on the packages that never touch the sim
-# engine and may be used from concurrent tooling.
+# One engine is single-threaded by design (cooperative scheduling), so the
+# race detector has teeth on two fronts: packages used from concurrent
+# tooling, and the experiments harness whose parallel runner fans whole
+# engines out across workers. For experiments only the parallel-runner
+# tests run under race — the full suite re-runs every figure at ~10x race
+# overhead without touching any additional concurrency.
 RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race $(RACE_PKGS) ./internal/par
+	$(GO) test -race -run Parallel ./internal/experiments
 
 verify:
 	./scripts/verify.sh
 
+# Regenerate the per-experiment benchmark suite and snapshot it as
+# BENCH_results.json: parsed ns/op + headline paper metrics for trend
+# tracking across PRs, plus the raw lines (`jq -r '.raw[]'`) for benchstat.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run XXX -bench . -benchtime=1x -benchmem . | tee /dev/stderr | $(GO) run scripts/benchjson.go > BENCH_results.json
 
 fmt:
 	gofmt -l -w .

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"oasis/internal/experiments"
+	"oasis/internal/par"
 )
 
 func main() {
@@ -23,6 +25,9 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	scale := flag.Float64("scale", 1.0, "measurement scale in (0,1]: shrinks windows/loads")
 	values := flag.Bool("values", false, "also print machine-readable values")
+	parallel := flag.Bool("parallel", false,
+		"fan independent experiments and their inner sweeps out across all CPUs; "+
+			"results are printed in the same order with identical bytes (only wall times differ)")
 	flag.Parse()
 
 	if *list {
@@ -53,17 +58,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, id := range ids {
-		runner, _ := experiments.Lookup(id)
+	workers := 1
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+		experiments.SetParallelism(workers)
+	}
+
+	// Each experiment renders into its own buffer; buffers are flushed in
+	// the requested order as soon as all earlier ones have finished, so the
+	// byte stream matches a serial run line for line (wall times aside).
+	outs := make([]string, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go par.Do(workers, len(ids), func(i int) {
+		defer close(done[i])
+		runner, _ := experiments.Lookup(ids[i])
+		var b strings.Builder
 		start := time.Now()
 		report := runner(*scale)
-		fmt.Print(report.String())
+		b.WriteString(report.String())
 		if *values {
 			for _, k := range sortedKeys(report.Values) {
-				fmt.Printf("  value %s = %.4f\n", k, report.Values[k])
+				fmt.Fprintf(&b, "  value %s = %.4f\n", k, report.Values[k])
 			}
 		}
-		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&b, "(%s completed in %v wall time)\n\n", ids[i], time.Since(start).Round(time.Millisecond))
+		outs[i] = b.String()
+	})
+	for i := range ids {
+		<-done[i]
+		fmt.Print(outs[i])
 	}
 }
 

@@ -1,0 +1,92 @@
+// Package bufpool provides a size-classed free list for the simulation
+// datapath's short-lived byte buffers: per-packet copies, cache-line
+// snapshots, and RPC scratch space.
+//
+// A Pool is deliberately NOT safe for concurrent use. Each sim.Engine owns
+// one (Engine.Bufs), and the engine is cooperatively single-threaded —
+// exactly one process or callback runs at a time — so pool operations can
+// never interleave. Parallel experiment runs each construct their own
+// engine and therefore their own pool; nothing is shared between workers.
+//
+// Get returns a buffer whose contents are unspecified: callers must write
+// every byte they later read. All adopted call sites immediately copy over
+// the full length, so recycled garbage is never observable and runs remain
+// byte-identical to the allocating implementation.
+package bufpool
+
+import "math/bits"
+
+const (
+	minShift = 6  // 64 B: one CXL cache line
+	maxShift = 16 // 64 KiB: largest pooled buffer (bulk DMA scratch)
+	nClasses = maxShift - minShift + 1
+
+	// perClassCap bounds each class's free list so a transient burst (a
+	// deep retransmit queue, a flood of in-flight lines) cannot pin an
+	// unbounded amount of memory for the rest of the run.
+	perClassCap = 1024
+)
+
+// Pool is a size-classed buffer free list. The zero value is unusable; call
+// New.
+type Pool struct {
+	free [nClasses][][]byte
+
+	// Stats, exposed for tests and diagnostics.
+	Gets, Puts, Hits int64
+}
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{} }
+
+// classFor returns the smallest size class holding n bytes, or -1 when n is
+// out of the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxShift {
+		return -1
+	}
+	c := bits.Len(uint(n-1)) - minShift
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Get returns a buffer of length n. Buffers beyond the pooled size range
+// fall through to the allocator. The contents are unspecified.
+func (p *Pool) Get(n int) []byte {
+	p.Gets++
+	c := classFor(n)
+	if c < 0 {
+		if n <= 0 {
+			return nil
+		}
+		return make([]byte, n)
+	}
+	if s := p.free[c]; len(s) > 0 {
+		buf := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.free[c] = s[:len(s)-1]
+		p.Hits++
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<(c+minShift))
+}
+
+// Put returns a buffer to the pool. Only buffers whose capacity is an exact
+// class size are kept (i.e. buffers that came from Get); anything else —
+// including nil and foreign slices — is dropped, so Put is always safe to
+// call on a buffer whose provenance is unknown. The caller must not touch
+// the buffer afterwards.
+func (p *Pool) Put(buf []byte) {
+	p.Puts++
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 || c < 1<<minShift || c > 1<<maxShift {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1 - minShift
+	if len(p.free[cl]) >= perClassCap {
+		return
+	}
+	p.free[cl] = append(p.free[cl], buf[:c])
+}

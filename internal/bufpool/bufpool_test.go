@@ -1,0 +1,99 @@
+package bufpool
+
+import "testing"
+
+func TestGetLenAndClassCap(t *testing.T) {
+	p := New()
+	for _, n := range []int{1, 63, 64, 65, 100, 1 << 12, 1 << 16} {
+		buf := p.Get(n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len=%d", n, len(buf))
+		}
+		if c := cap(buf); c&(c-1) != 0 || c < n {
+			t.Fatalf("Get(%d): cap=%d not a covering power of two", n, c)
+		}
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	p := New()
+	a := p.Get(100)
+	a[0] = 0xAB
+	p.Put(a)
+	b := p.Get(70) // same 128 B class
+	if p.Hits != 1 {
+		t.Fatalf("expected a pool hit, got %d", p.Hits)
+	}
+	if cap(b) != 128 {
+		t.Fatalf("recycled cap=%d, want 128", cap(b))
+	}
+	// Same class, different length: the recycled buffer is re-sliced.
+	if len(b) != 70 {
+		t.Fatalf("recycled len=%d, want 70", len(b))
+	}
+}
+
+func TestOversizeAndZeroFallThrough(t *testing.T) {
+	p := New()
+	if buf := p.Get(0); buf != nil {
+		t.Fatalf("Get(0) = %v, want nil", buf)
+	}
+	big := p.Get(1<<16 + 1)
+	if len(big) != 1<<16+1 {
+		t.Fatalf("oversize len=%d", len(big))
+	}
+	p.Put(big) // dropped: cap exceeds the pooled range
+	if got := p.Get(1<<16 + 1); &got[0] == &big[0] {
+		t.Fatal("oversize buffer was pooled")
+	}
+}
+
+func TestPutForeignSliceDropped(t *testing.T) {
+	p := New()
+	p.Put(make([]byte, 100)) // cap 100: not a class size, dropped
+	if buf := p.Get(100); cap(buf) != 128 {
+		t.Fatalf("foreign slice entered the pool: cap=%d", cap(buf))
+	}
+	if p.Hits != 0 {
+		t.Fatalf("unexpected hit count %d", p.Hits)
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestPerClassCapBounded(t *testing.T) {
+	p := New()
+	bufs := make([][]byte, 0, perClassCap+10)
+	for i := 0; i < perClassCap+10; i++ {
+		bufs = append(bufs, make([]byte, 64, 64))
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if n := len(p.free[0]); n != perClassCap {
+		t.Fatalf("class 0 holds %d buffers, want cap %d", n, perClassCap)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 16, nClasses - 1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Fatalf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	if classFor(0) != -1 || classFor(1<<16+1) != -1 {
+		t.Fatal("out-of-range sizes must return -1")
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	p := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(1500)
+		p.Put(buf)
+	}
+}

@@ -25,7 +25,6 @@
 package cache
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 
@@ -83,7 +82,9 @@ type line struct {
 	pending bool         // fill in flight
 	readyAt sim.Duration // when the in-flight fill lands
 	gen     uint64       // invalidation cancels stale fill completions
-	lru     *list.Element
+	// Intrusive LRU links (head = most recently used). Embedding the links
+	// avoids a list-element allocation per fill on the datapath hot path.
+	prev, next *line
 }
 
 // Cache is one host's cache over the CXL pool, reached through one port.
@@ -92,8 +93,35 @@ type Cache struct {
 	port   *cxl.Port
 	params Params
 	lines  map[int64]*line
-	order  *list.List // front = most recently used
-	stats  Stats
+	// Intrusive LRU list over the resident lines.
+	lruHead, lruTail *line
+	// Dropped lines are recycled here. A recycled line keeps its gen counter
+	// (monotonically increasing for the struct's whole lifetime), so a stale
+	// in-flight fill completion can never mistake a reused struct for the
+	// fill it was issued for.
+	freeLines []*line
+	freeFills []*fillOp // recycled fill-completion ops (engine-local, no lock)
+	stats     Stats
+}
+
+// fillOp is the pooled completion of an asynchronous line fill; firing it as
+// a sim.Timer avoids a closure allocation per fill (see sim.Timer). The gen
+// snapshot makes a stale completion for an invalidated-and-reused line a
+// no-op, exactly as the closure it replaced did.
+type fillOp struct {
+	c   *Cache
+	ln  *line
+	gen uint64
+}
+
+func (f *fillOp) Fire() {
+	c, ln := f.c, f.ln
+	if ln.gen == f.gen && ln.pending {
+		c.port.CollectLine(ln.addr, ln.data[:])
+		ln.pending = false
+	}
+	f.c, f.ln = nil, nil
+	c.freeFills = append(c.freeFills, f)
 }
 
 // New returns an empty cache in front of port. When the pool runs in
@@ -108,7 +136,6 @@ func New(eng *sim.Engine, port *cxl.Port, params Params) *Cache {
 		port:   port,
 		params: params,
 		lines:  make(map[int64]*line),
-		order:  list.New(),
 	}
 	port.Pool().RegisterBI(c)
 	return c
@@ -120,8 +147,11 @@ func New(eng *sim.Engine, port *cxl.Port, params Params) *Cache {
 func (c *Cache) BackInvalidate(lineAddr int64) {
 	if ln, ok := c.lines[lineAddr]; ok {
 		ln.gen++ // cancel in-flight fills
-		c.order.Remove(ln.lru)
+		c.lruUnlink(ln)
 		delete(c.lines, lineAddr)
+		if !ln.pending {
+			c.recycleLine(ln)
+		}
 		c.stats.BackInvalidations++
 	}
 }
@@ -132,21 +162,79 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Port returns the CXL port this cache fills from.
 func (c *Cache) Port() *cxl.Port { return c.port }
 
-// touch moves a line to the MRU position.
-func (c *Cache) touch(ln *line) { c.order.MoveToFront(ln.lru) }
+// lruPushFront links a line at the MRU position.
+func (c *Cache) lruPushFront(ln *line) {
+	ln.prev = nil
+	ln.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = ln
+	}
+	c.lruHead = ln
+	if c.lruTail == nil {
+		c.lruTail = ln
+	}
+}
+
+// lruUnlink detaches a line from the LRU list.
+func (c *Cache) lruUnlink(ln *line) {
+	if ln.prev != nil {
+		ln.prev.next = ln.next
+	} else {
+		c.lruHead = ln.next
+	}
+	if ln.next != nil {
+		ln.next.prev = ln.prev
+	} else {
+		c.lruTail = ln.prev
+	}
+	ln.prev, ln.next = nil, nil
+}
+
+// touch moves a line to the MRU position. A line dropped while a waiter
+// slept on its fill is orphaned (unlinked); touching it is a no-op, exactly
+// as moving a removed container/list element was.
+func (c *Cache) touch(ln *line) {
+	if c.lruHead == ln {
+		return
+	}
+	if ln.prev == nil {
+		return // orphaned: not the head and not linked
+	}
+	c.lruUnlink(ln)
+	c.lruPushFront(ln)
+}
+
+// newLine returns a recycled (or fresh) line for addr. Recycled lines keep
+// their gen counter; every other field is reset.
+func (c *Cache) newLine(addr int64) *line {
+	if n := len(c.freeLines); n > 0 {
+		ln := c.freeLines[n-1]
+		c.freeLines[n-1] = nil
+		c.freeLines = c.freeLines[:n-1]
+		ln.addr = addr
+		ln.dirty, ln.pending = false, false
+		ln.readyAt = 0
+		return ln
+	}
+	return &line{addr: addr}
+}
+
+// recycleLine puts a dropped line on the free list.
+func (c *Cache) recycleLine(ln *line) {
+	c.freeLines = append(c.freeLines, ln)
+}
 
 // insert adds a line, evicting LRU entries over capacity.
 func (c *Cache) insert(ln *line) {
-	ln.lru = c.order.PushFront(ln)
+	c.lruPushFront(ln)
 	c.lines[ln.addr] = ln
-	attempts := c.order.Len()
+	attempts := len(c.lines)
 	for len(c.lines) > c.params.CapacityLines && attempts > 0 {
 		attempts--
-		el := c.order.Back()
-		victim := el.Value.(*line)
+		victim := c.lruTail
 		if victim.pending {
 			// Never evict an in-flight fill; promote it instead.
-			c.order.MoveToFront(el)
+			c.touch(victim)
 			continue
 		}
 		c.dropLine(victim, "evict")
@@ -161,22 +249,30 @@ func (c *Cache) dropLine(ln *line, category string) {
 		c.stats.Writebacks++
 	}
 	ln.gen++ // cancels any in-flight fill completion
-	c.order.Remove(ln.lru)
+	c.lruUnlink(ln)
 	delete(c.lines, ln.addr)
+	// A pending line may still be referenced by a waiter parked on its fill;
+	// leave it orphaned rather than letting a reuse corrupt the waiter's view.
+	if !ln.pending {
+		c.recycleLine(ln)
+	}
 }
 
 // startFill begins an asynchronous fill for an absent line and returns it.
 func (c *Cache) startFill(addr int64, category string) *line {
-	ln := &line{addr: addr, pending: true}
+	ln := c.newLine(addr)
+	ln.pending = true
 	ln.readyAt = c.port.FetchLine(addr, category)
-	gen := ln.gen
-	c.eng.At(ln.readyAt, func() {
-		if ln.gen != gen || !ln.pending {
-			return // invalidated while in flight
-		}
-		c.port.CollectLine(addr, ln.data[:])
-		ln.pending = false
-	})
+	var f *fillOp
+	if n := len(c.freeFills); n > 0 {
+		f = c.freeFills[n-1]
+		c.freeFills[n-1] = nil
+		c.freeFills = c.freeFills[:n-1]
+	} else {
+		f = &fillOp{}
+	}
+	f.c, f.ln, f.gen = c, ln, ln.gen
+	c.eng.AtTimer(ln.readyAt, f)
 	c.insert(ln)
 	return ln
 }
@@ -284,7 +380,7 @@ func (c *Cache) Write(p *sim.Proc, addr int64, data []byte, category string) {
 	for a := first; a <= last; a += cxl.LineSize {
 		ln, ok := c.lines[a]
 		if !ok {
-			ln = &line{addr: a}
+			ln = c.newLine(a)
 			c.port.Pool().Peek(a, ln.data[:])
 			c.insert(ln)
 		} else {
@@ -395,7 +491,7 @@ func (c *Cache) InstallLine(addr int64, data []byte) {
 	a := cxl.LineAddr(addr)
 	ln, ok := c.lines[a]
 	if !ok {
-		ln = &line{addr: a}
+		ln = c.newLine(a)
 		c.insert(ln)
 	} else {
 		ln.pending = false

@@ -67,7 +67,7 @@ type Pool struct {
 	eng     *sim.Engine
 	params  Params
 	size    int64
-	pages   map[int64][]byte
+	pages   [][]byte // sparse backing store, indexed by addr/pageSize
 	ports   []*Port
 	alloc   *memalloc.Allocator
 	classes []classSpan // sorted latency-class overrides
@@ -142,7 +142,7 @@ func NewPool(eng *sim.Engine, size int64, params Params) *Pool {
 		eng:    eng,
 		params: params,
 		size:   size,
-		pages:  make(map[int64][]byte),
+		pages:  make([][]byte, (size+pageSize-1)/pageSize),
 		alloc:  memalloc.New(size, LineSize),
 	}
 }
@@ -216,11 +216,11 @@ func (p *Pool) FreeBytes() int64 { return p.alloc.FreeBytes() }
 
 // page returns the backing page for addr, allocating it on first touch.
 func (p *Pool) page(addr int64) []byte {
-	base := addr &^ (pageSize - 1)
-	pg, ok := p.pages[base]
-	if !ok {
+	i := addr / pageSize
+	pg := p.pages[i]
+	if pg == nil {
 		pg = make([]byte, pageSize)
-		p.pages[base] = pg
+		p.pages[i] = pg
 	}
 	return pg
 }
@@ -288,6 +288,8 @@ type Port struct {
 
 	rdMeter *metrics.Meter
 	wrMeter *metrics.Meter
+
+	freeWrites []*postedWrite // recycled posted-write ops (engine-local, no lock)
 
 	// QoS (§6): Intel RDT-style bandwidth throttling. A category with a
 	// share is serialized on its own sub-link at share × PortBandwidth,
@@ -385,13 +387,44 @@ func (pt *Port) WriteLine(addr int64, data []byte, category string) sim.Duration
 	pt.wrMeter.Add(category, LineSize)
 	_, write := pt.pool.classFor(addr)
 	done := pt.reserveWr(category, LineSize) + write
-	snap := make([]byte, LineSize)
+	// The in-flight snapshot is recycled once it lands in pool memory; its
+	// ownership provably ends after poke.
+	snap := pt.pool.eng.Bufs().Get(LineSize)
 	copy(snap, data)
-	pt.pool.eng.At(done, func() {
-		pt.pool.poke(addr, snap)
-		pt.pool.backInvalidate(addr, LineSize)
-	})
+	pt.postWrite(addr, snap, done)
 	return done
+}
+
+// postedWrite is the pooled in-flight half of WriteLine/DMAWrite: the
+// snapshot lands in pool memory at the scheduled time. Pooling the op (and
+// firing it as a sim.Timer rather than a closure) keeps posted writes — the
+// single hottest allocation site in cache-heavy runs — off the heap.
+type postedWrite struct {
+	pt   *Port
+	addr int64
+	snap []byte
+}
+
+func (w *postedWrite) Fire() {
+	pt := w.pt
+	pt.pool.poke(w.addr, w.snap)
+	pt.pool.backInvalidate(w.addr, len(w.snap))
+	pt.pool.eng.Bufs().Put(w.snap)
+	w.pt, w.snap = nil, nil
+	pt.freeWrites = append(pt.freeWrites, w)
+}
+
+func (pt *Port) postWrite(addr int64, snap []byte, done sim.Duration) {
+	var w *postedWrite
+	if n := len(pt.freeWrites); n > 0 {
+		w = pt.freeWrites[n-1]
+		pt.freeWrites[n-1] = nil
+		pt.freeWrites = pt.freeWrites[:n-1]
+	} else {
+		w = &postedWrite{}
+	}
+	w.pt, w.addr, w.snap = pt, addr, snap
+	pt.pool.eng.AtTimer(done, w)
 }
 
 // DMARead models a device reading n bytes from the pool (bypassing CPU
@@ -416,12 +449,9 @@ func (pt *Port) DMAWrite(addr int64, data []byte, category string) sim.Duration 
 	pt.wrMeter.Add(category, int64(lines*LineSize))
 	_, write := pt.pool.classFor(addr)
 	done := pt.reserveWr(category, lines*LineSize) + write
-	snap := make([]byte, len(data))
+	snap := pt.pool.eng.Bufs().Get(len(data))
 	copy(snap, data)
-	pt.pool.eng.At(done, func() {
-		pt.pool.poke(addr, snap)
-		pt.pool.backInvalidate(addr, len(snap))
-	})
+	pt.postWrite(addr, snap, done)
 	return done
 }
 

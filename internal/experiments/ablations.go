@@ -48,14 +48,19 @@ func AblCounterBatch(scale float64) *Report {
 	}
 	batches := []int{1, 16, 256, 4096}
 	r.addf("%-12s %12s %14s %14s", "batch", "MOp/s", "counter wr/s", "sender rereads/s")
-	for _, batch := range batches {
-		tput, updates, rereads := runCounterBatch(batch, window)
-		r.addf("%-12d %12.1f %14.0f %14.0f", batch, tput, updates, rereads)
+	type cbOut struct{ tput, updates, rereads float64 }
+	results := parRun(len(batches), func(i int) cbOut {
+		tput, updates, rereads := runCounterBatch(batches[i], window)
+		return cbOut{tput, updates, rereads}
+	})
+	for i, batch := range batches {
+		res := results[i]
+		r.addf("%-12d %12.1f %14.0f %14.0f", batch, res.tput, res.updates, res.rereads)
 		if batch == 1 {
-			r.Values["batch1"] = tput
+			r.Values["batch1"] = res.tput
 		}
 		if batch == 4096 {
-			r.Values["batch4096"] = tput
+			r.Values["batch4096"] = res.tput
 		}
 	}
 	r.addf("paper (§4): the receiver updates the counter only after a large batch")
@@ -125,8 +130,17 @@ func AblBackendInspect(scale float64) *Report {
 		st := e.nic.BE.Host().Cache.Stats()
 		return &hist, e.nic.BE.Inspected, st.SnoopWritebacks + st.SnoopDrops
 	}
-	tagged, _, _ := run(false)
-	inspected, nInspected, snoops := run(true)
+	type inspOut struct {
+		hist      *metrics.Histogram
+		inspected int64
+		snoops    int64
+	}
+	results := parRun(2, func(i int) inspOut {
+		h, n, s := run(i == 1)
+		return inspOut{h, n, s}
+	})
+	tagged := results[0].hist
+	inspected, nInspected, snoops := results[1].hist, results[1].inspected, results[1].snoops
 	r.addf("%-22s %10s %10s %12s %8s", "config", "p50", "p99", "inspected", "snoops")
 	r.addf("%-22s %10v %10v %12d %8s", "flow tagging", tagged.Percentile(50), tagged.Percentile(99), 0, "-")
 	r.addf("%-22s %10v %10v %12d %8d", "backend inspects", inspected.Percentile(50), inspected.Percentile(99), nInspected, snoops)
@@ -150,8 +164,10 @@ func AblFailoverMechanism(scale float64) *Report {
 	if span < time.Second {
 		span = time.Second
 	}
-	borrow := measureFailover(span, true)
-	garpOnly := measureFailover(span, false)
+	trials := parRun(2, func(i int) time.Duration {
+		return measureFailover(span, i == 0)
+	})
+	borrow, garpOnly := trials[0], trials[1]
 	r.addf("%-22s %14s", "mechanism", "interruption")
 	r.addf("%-22s %14v", "MAC borrowing", borrow)
 	r.addf("%-22s %14v", "GARP-only", garpOnly)
@@ -287,8 +303,16 @@ func AblHWCoherent(scale float64) *Report {
 		eng.Shutdown()
 		return float64(rx.Received) / window.Seconds() / 1e6, hist.Percentile(50)
 	}
-	swTput, swLat := run(false)
-	hwTput, hwLat := run(true)
+	type cohOut struct {
+		tput float64
+		lat  time.Duration
+	}
+	results := parRun(2, func(i int) cohOut {
+		tput, lat := run(i == 1)
+		return cohOut{tput, lat}
+	})
+	swTput, swLat := results[0].tput, results[0].lat
+	hwTput, hwLat := results[1].tput, results[1].lat
 	r.addf("%-34s %12s %12s", "mode", "MOp/s", "median lat")
 	r.addf("%-34s %12.1f %12v", "software coherence (design ④)", swTput, swLat)
 	r.addf("%-34s %12.1f %12v", "hardware Back Invalidation", hwTput, hwLat)
@@ -311,9 +335,13 @@ func AblSharding(scale float64) *Report {
 		window = 500 * time.Microsecond
 	}
 	r.addf("%-10s %14s %16s", "shards", "total MOp/s", "per-shard MOp/s")
+	shardCounts := []int{1, 2, 4, 8}
+	totals := parRun(len(shardCounts), func(i int) float64 {
+		return runSharded(shardCounts[i], window)
+	})
 	var base float64
-	for _, shards := range []int{1, 2, 4, 8} {
-		total := runSharded(shards, window)
+	for i, shards := range shardCounts {
+		total := totals[i]
 		if shards == 1 {
 			base = total
 		}
@@ -448,8 +476,8 @@ func AblQoS(scale float64) *Report {
 		eng.Shutdown()
 		return hist.Percentile(99)
 	}
-	noQoS := run(false)
-	withQoS := run(true)
+	results := parRun(2, func(i int) time.Duration { return run(i == 1) })
+	noQoS, withQoS := results[0], results[1]
 	r.addf("%-28s %14s", "config", "message p99")
 	r.addf("%-28s %14v", "OLAP flood, no QoS", noQoS)
 	r.addf("%-28s %14v", "OLAP throttled to 70%", withQoS)
@@ -472,8 +500,17 @@ func AblStorage(scale float64) *Report {
 		window = 5 * time.Millisecond
 	}
 	r.addf("%-8s %12s %12s %12s", "depth", "kIOPS", "p50", "p99")
-	for _, depth := range []int{1, 4, 16, 64} {
-		iops, p50, p99 := runStorageDepth(depth, window)
+	depths := []int{1, 4, 16, 64}
+	type sdOut struct {
+		iops     float64
+		p50, p99 time.Duration
+	}
+	results := parRun(len(depths), func(i int) sdOut {
+		iops, p50, p99 := runStorageDepth(depths[i], window)
+		return sdOut{iops, p50, p99}
+	})
+	for i, depth := range depths {
+		iops, p50, p99 := results[i].iops, results[i].p50, results[i].p99
 		r.addf("%-8d %12.1f %12v %12v", depth, iops/1e3, p50, p99)
 		r.Values[fmt.Sprintf("d%d_kiops", depth)] = iops / 1e3
 		if depth == 1 {

@@ -111,14 +111,33 @@ func Fig6(scale float64) *Report {
 	}
 	loads := []float64{1, 2, 4, 8, 14, 20, 30, 50}
 	r.addf("%-24s %10s %10s %12s", "design", "offered", "achieved", "median lat")
-	for _, d := range designs {
-		sat := runMsgChannel(d, 0, window)
-		r.Values[fmt.Sprintf("sat_%d", int(d))] = sat.achieved
+	// Stage 1: saturation runs decide each design's load grid; stage 2 fans
+	// the surviving (design, load) points out. Assembly stays in grid order.
+	sats := parRun(len(designs), func(i int) fig6Point {
+		return runMsgChannel(designs[i], 0, window)
+	})
+	type loadJob struct {
+		design msgchan.Design
+		load   float64
+	}
+	var jobs []loadJob
+	for i, d := range designs {
 		for _, load := range loads {
-			if load > sat.achieved*1.05 {
+			if load > sats[i].achieved*1.05 {
 				continue // beyond this design's ceiling
 			}
-			pt := runMsgChannel(d, load, window)
+			jobs = append(jobs, loadJob{d, load})
+		}
+	}
+	points := parRun(len(jobs), func(i int) fig6Point {
+		return runMsgChannel(jobs[i].design, jobs[i].load, window)
+	})
+	next := 0
+	for i, d := range designs {
+		sat := sats[i]
+		r.Values[fmt.Sprintf("sat_%d", int(d))] = sat.achieved
+		for ; next < len(jobs) && jobs[next].design == d; next++ {
+			load, pt := jobs[next].load, points[next]
 			r.addf("%-24s %7.1f M/s %7.1f M/s %12v", d, pt.offered, pt.achieved, pt.medianLat)
 			if d == msgchan.DesignInvalidateConsumed && load == 14 {
 				r.Values["lat14_invConsumed_us"] = float64(pt.medianLat) / 1e3

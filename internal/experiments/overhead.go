@@ -28,10 +28,27 @@ func runRRComparison(r *Report, apps []appModel, scale float64) {
 	r.addf("%-12s %5s %10s | %9s %9s %9s | %9s %9s %9s | %8s",
 		"app", "conc", "req/s", "base p50", "base p90", "base p99",
 		"oasis p50", "oasis p90", "oasis p99", "Δp50")
-	for _, app := range apps {
-		for _, conc := range concs {
-			base, nb := rrPoint(ModeBaseline, app, conc, window)
-			oas, no := rrPoint(ModeOasis, app, conc, window)
+	// Every (app, conc, mode) cell is an independent pod run; fan them all
+	// out and assemble the table serially in grid order.
+	type rrCell struct {
+		hist *metrics.Histogram
+		n    int
+	}
+	cells := parRun(len(apps)*len(concs)*2, func(i int) rrCell {
+		app := apps[i/(len(concs)*2)]
+		conc := concs[(i/2)%len(concs)]
+		mode := ModeBaseline
+		if i%2 == 1 {
+			mode = ModeOasis
+		}
+		h, n := rrPoint(mode, app, conc, window)
+		return rrCell{h, n}
+	})
+	for ai, app := range apps {
+		for ci, conc := range concs {
+			cell := (ai*len(concs) + ci) * 2
+			base, nb := cells[cell].hist, cells[cell].n
+			oas, no := cells[cell+1].hist, cells[cell+1].n
 			if nb == 0 || no == 0 {
 				r.addf("%-12s %5d  (no completed requests)", app.Name, conc)
 				continue
@@ -92,10 +109,19 @@ func Fig10(scale float64) *Report {
 	r.addf("%-6s %9s | %9s %9s %9s | %9s %9s %9s | %8s",
 		"size", "rate", "base p50", "base p90", "base p99",
 		"oasis p50", "oasis p90", "oasis p99", "Δp50")
-	for _, size := range sizes {
-		for _, rate := range rates {
-			base := udpEchoPoint(ModeBaseline, udpPayload(size), rate, window)
-			oas := udpEchoPoint(ModeOasis, udpPayload(size), rate, window)
+	echoes := parRun(len(sizes)*len(rates)*2, func(i int) *metrics.Histogram {
+		size := sizes[i/(len(rates)*2)]
+		rate := rates[(i/2)%len(rates)]
+		mode := ModeBaseline
+		if i%2 == 1 {
+			mode = ModeOasis
+		}
+		return udpEchoPoint(mode, udpPayload(size), rate, window)
+	})
+	for si, size := range sizes {
+		for ri, rate := range rates {
+			cell := (si*len(rates) + ri) * 2
+			base, oas := echoes[cell], echoes[cell+1]
 			if base.Count() == 0 || oas.Count() == 0 {
 				continue
 			}
@@ -126,9 +152,12 @@ func Fig11(scale float64) *Report {
 	rate := 20e3
 	r.addf("%-22s %6s | %9s %9s %9s", "config", "size", "p50", "p90", "p99")
 	var p50s [3]time.Duration
-	for _, size := range sizes {
+	hists := parRun(len(sizes)*len(modes), func(i int) *metrics.Histogram {
+		return udpEchoPoint(modes[i%len(modes)], udpPayload(sizes[i/len(modes)]), rate, window)
+	})
+	for si, size := range sizes {
 		for i, mode := range modes {
-			h := udpEchoPoint(mode, udpPayload(size), rate, window)
+			h := hists[si*len(modes)+i]
 			if h.Count() == 0 {
 				continue
 			}

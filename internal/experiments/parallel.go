@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"oasis/internal/par"
+)
+
+// Parallelism within one experiment. Independent simulation runs (each
+// owning a private engine) fan out across this many OS threads; report
+// assembly always happens serially in a fixed order afterwards, so the
+// output is byte-identical for any setting. Default 1 (serial).
+//
+// Parallelism is only ever BETWEEN engines, never inside one: a single
+// engine's event loop is cooperative and single-threaded by design (see
+// DESIGN.md), which is exactly what makes fanning whole runs out safe.
+var parallelism = 1
+
+// SetParallelism sets how many runs may execute concurrently inside one
+// experiment. n < 1 resets to serial. Not safe to call while experiments
+// are running.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism returns the current intra-experiment worker count.
+func Parallelism() int { return parallelism }
+
+// parRun evaluates fn(0..n-1) — each call building and running a private
+// simulation — on up to Parallelism() workers and returns the results in
+// index order.
+func parRun[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	par.Do(parallelism, n, func(i int) { out[i] = fn(i) })
+	return out
+}

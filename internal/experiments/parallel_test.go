@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSerial asserts the determinism contract of the parallel
+// runner: any Parallelism() setting yields byte-identical reports. Each run
+// owns a private engine and results merge in index order, so worker count
+// must be invisible in the output. Run with -race, this also exercises the
+// fan-out under the detector (see the race gate in scripts/verify.sh).
+func TestParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(1)
+	for _, id := range []string{"fig2", "abl-counter"} {
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not in registry", id)
+		}
+		SetParallelism(1)
+		serial := run(0.05)
+		SetParallelism(8)
+		parallel := run(0.05)
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: parallel report differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+		if !reflect.DeepEqual(serial.Values, parallel.Values) {
+			t.Errorf("%s: parallel values differ from serial: %v vs %v",
+				id, serial.Values, parallel.Values)
+		}
+	}
+}

@@ -49,9 +49,10 @@ type LocalMemory struct {
 	eng    *sim.Engine
 	params MemParams
 	size   int64
-	pages  map[int64][]byte
+	pages  [][]byte // sparse backing store, indexed by addr/pageSize
 	alloc  *memalloc.Allocator
 	dma    *sim.Resource
+	frees  []*memWrite // recycled posted-write ops (engine-local, no lock)
 }
 
 // NewLocalMemory returns size bytes of DDR.
@@ -63,7 +64,7 @@ func NewLocalMemory(eng *sim.Engine, size int64, params MemParams) *LocalMemory 
 		eng:    eng,
 		params: params,
 		size:   size,
-		pages:  make(map[int64][]byte),
+		pages:  make([][]byte, size/pageSize),
 		alloc:  memalloc.New(size, cxl.LineSize),
 		dma:    sim.NewResource(eng),
 	}
@@ -84,11 +85,11 @@ func (m *LocalMemory) check(addr int64, n int) {
 }
 
 func (m *LocalMemory) page(addr int64) []byte {
-	base := addr &^ (pageSize - 1)
-	pg, ok := m.pages[base]
-	if !ok {
+	i := addr / pageSize
+	pg := m.pages[i]
+	if pg == nil {
 		pg = make([]byte, pageSize)
-		m.pages[base] = pg
+		m.pages[i] = pg
 	}
 	return pg
 }
@@ -138,10 +139,35 @@ func (m *LocalMemory) DMARead(addr int64, buf []byte, category string) sim.Durat
 // DMAWrite implements nic.DMAMemory for device writes to DDR.
 func (m *LocalMemory) DMAWrite(addr int64, data []byte, category string) sim.Duration {
 	done := m.dma.Reserve(m.streamTime(len(data), m.params.DMABandwidth)) + m.params.DMALatency
-	snap := make([]byte, len(data))
+	snap := m.eng.Bufs().Get(len(data))
 	copy(snap, data)
-	m.eng.At(done, func() { m.Poke(addr, snap) })
+	var w *memWrite
+	if n := len(m.frees); n > 0 {
+		w = m.frees[n-1]
+		m.frees[n-1] = nil
+		m.frees = m.frees[:n-1]
+	} else {
+		w = &memWrite{}
+	}
+	w.m, w.addr, w.snap = m, addr, snap
+	m.eng.AtTimer(done, w)
 	return done
+}
+
+// memWrite is the pooled in-flight half of DMAWrite; firing it as a
+// sim.Timer avoids a closure allocation per DMA (see sim.Timer).
+type memWrite struct {
+	m    *LocalMemory
+	addr int64
+	snap []byte
+}
+
+func (w *memWrite) Fire() {
+	m := w.m
+	m.Poke(w.addr, w.snap)
+	m.eng.Bufs().Put(w.snap)
+	w.m, w.snap = nil, nil
+	m.frees = append(m.frees, w)
 }
 
 func (m *LocalMemory) streamTime(n int, bw float64) sim.Duration {

@@ -54,8 +54,10 @@ func ServeRR(eng *sim.Engine, stack *netstack.Stack, port uint16, cfg RRConfig) 
 		for {
 			conn := l.Accept(p)
 			eng.Go(stack.Name()+"/rr-conn", func(p *sim.Proc) {
-				resp := make([]byte, 4+cfg.RespSize)
+				resp := eng.Bufs().Get(4 + cfg.RespSize)
+				defer eng.Bufs().Put(resp)
 				binary.LittleEndian.PutUint32(resp, uint32(cfg.RespSize))
+				clear(resp[4:]) // recycled buffers must carry a zeroed body
 				for {
 					hdr, err := conn.Read(p, 4)
 					if err != nil {
@@ -79,9 +81,12 @@ func ServeRR(eng *sim.Engine, stack *netstack.Stack, port uint16, cfg RRConfig) 
 // RRCall performs one request/response exchange on an established
 // connection, returning the response body.
 func RRCall(p *sim.Proc, conn *netstack.TCPConn, reqSize int) ([]byte, error) {
-	req := make([]byte, 4+reqSize)
+	req := p.Engine().Bufs().Get(4 + reqSize)
 	binary.LittleEndian.PutUint32(req, uint32(reqSize))
-	if err := conn.Send(p, req); err != nil {
+	clear(req[4:]) // recycled buffers must carry a zeroed body
+	err := conn.Send(p, req)
+	p.Engine().Bufs().Put(req) // Send copied what it needed
+	if err != nil {
 		return nil, err
 	}
 	hdr, err := conn.Read(p, 4)
@@ -357,11 +362,13 @@ func kvServeConn(p *sim.Proc, conn *netstack.TCPConn, store *Store) {
 		switch op {
 		case kvGet:
 			if v, ok := store.Get(p, key); ok {
-				resp := make([]byte, 5+len(v))
+				resp := p.Engine().Bufs().Get(5 + len(v))
 				resp[0] = KVOk
 				binary.LittleEndian.PutUint32(resp[1:5], uint32(len(v)))
 				copy(resp[5:], v)
-				if conn.Send(p, resp) != nil {
+				err := conn.Send(p, resp)
+				p.Engine().Bufs().Put(resp) // Send copied what it needed
+				if err != nil {
 					return
 				}
 			} else if conn.Send(p, []byte{KVNotFound}) != nil {
@@ -473,15 +480,19 @@ func (c *KVClient) Del(p *sim.Proc, key string) error {
 func (c *KVClient) Close(p *sim.Proc) { c.conn.Close(p) }
 
 func (c *KVClient) send(p *sim.Proc, op byte, key string, value []byte) error {
-	msg := make([]byte, 3+len(key))
+	n := 3 + len(key)
+	if op == kvSet {
+		n += 4 + len(value)
+	}
+	msg := p.Engine().Bufs().Get(n)
 	msg[0] = op
 	binary.LittleEndian.PutUint16(msg[1:3], uint16(len(key)))
 	copy(msg[3:], key)
 	if op == kvSet {
-		vh := make([]byte, 4)
-		binary.LittleEndian.PutUint32(vh, uint32(len(value)))
-		msg = append(msg, vh...)
-		msg = append(msg, value...)
+		binary.LittleEndian.PutUint32(msg[3+len(key):], uint32(len(value)))
+		copy(msg[7+len(key):], value)
 	}
-	return c.conn.Send(p, msg)
+	err := c.conn.Send(p, msg)
+	p.Engine().Bufs().Put(msg) // Send copied what it needed
+	return err
 }

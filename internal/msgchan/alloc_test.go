@@ -1,0 +1,51 @@
+package msgchan
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/sim"
+)
+
+// TestSendReceiveAllocFree guards the message-channel hot path: once the
+// engine's free lists, the cache's line pool, and the channel's slot buffers
+// are warm, a steady send/receive stream must allocate (amortized) nothing
+// per message. This is what keeps the fig6 sweeps GC-quiet.
+func TestSendReceiveAllocFree(t *testing.T) {
+	r := newChanRig(t, DefaultConfig())
+	payload := make([]byte, 8)
+	r.eng.Go("tx", func(p *sim.Proc) {
+		for {
+			if !r.tx.TrySend(p, payload) {
+				p.Sleep(500 * time.Nanosecond)
+			}
+		}
+	})
+	r.eng.Go("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := r.rx.Poll(p); ok {
+				p.Sleep(10 * time.Nanosecond)
+			}
+		}
+	})
+	const window = 100 * time.Microsecond
+	// Warm up: fill the cache, the counter lines, and every free list.
+	r.eng.RunUntil(window)
+	before := r.rx.Received
+
+	const runs = 5
+	allocs := testing.AllocsPerRun(runs, func() {
+		r.eng.RunUntil(r.eng.Now() + window)
+	})
+	// AllocsPerRun adds one untimed warm-up call, so runs+1 windows passed.
+	msgs := float64(r.rx.Received-before) / float64(runs+1)
+	if msgs < 100 {
+		t.Fatalf("only %.0f messages per window; harness broken", msgs)
+	}
+	perMsg := allocs / msgs
+	t.Logf("%.0f msgs/window, %.1f allocs/window, %.4f allocs/msg", msgs, allocs, perMsg)
+	if perMsg > 0.01 {
+		t.Fatalf("send/receive allocated %.4f objects per message, want ~0", perMsg)
+	}
+	r.eng.Shutdown()
+}

@@ -243,11 +243,14 @@ func (ip *InstancePort) Transmit(p *sim.Proc, frame []byte) {
 	addr, ok := ip.area.Alloc()
 	if !ok {
 		ip.TxDropsNoBuffer++
+		ip.fe.h.Eng.Bufs().Put(frame)
 		return
 	}
+	size := len(frame)
 	ip.fe.h.Cache.Write(p, addr, frame, "payload")
+	ip.fe.h.Eng.Bufs().Put(frame) // bytes now live in the buffer area
 	p.Sleep(ip.fe.h.IPCCost)
-	ip.txQ.Push(txReq{addr: addr, size: len(frame)})
+	ip.txQ.Push(txReq{addr: addr, size: size})
 }
 
 // Assign sets the instance's primary and backup NICs, registering it with
@@ -436,7 +439,7 @@ func (fe *Frontend) handleBackendMsg(p *sim.Proc, l *beLink, m msg) {
 func (fe *Frontend) deliverRx(p *sim.Proc, l *beLink, inst *InstancePort, m msg) {
 	n := int(m.size)
 	fe.h.Cache.Read(p, m.addr, fe.scratch[:n], "payload")
-	local := make([]byte, n)
+	local := fe.h.Eng.Bufs().Get(n)
 	copy(local, fe.scratch[:n])
 	p.Sleep(fe.h.Local.TouchCost(n)) // the isolation copy into instance memory
 	core.InvalidateRange(p, fe.h.Cache, m.addr, n, "payload")
@@ -444,7 +447,9 @@ func (fe *Frontend) deliverRx(p *sim.Proc, l *beLink, inst *InstancePort, m msg)
 	inst.RxPackets++
 	fe.RxDelivered++
 	if inst.stack != nil {
-		inst.stack.DeliverFrame(local)
+		inst.stack.DeliverOwnedFrame(local)
+	} else {
+		fe.h.Eng.Bufs().Put(local)
 	}
 }
 

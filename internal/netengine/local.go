@@ -124,11 +124,14 @@ func (lp *LocalPort) Transmit(p *sim.Proc, frame []byte) {
 	addr, ok := lp.area.Alloc()
 	if !ok {
 		lp.TxDropsNoBuffer++
+		lp.drv.h.Eng.Bufs().Put(frame)
 		return
 	}
+	size := len(frame)
 	lp.drv.h.Cache.Write(p, addr, frame, "payload")
+	lp.drv.h.Eng.Bufs().Put(frame) // bytes now live in the buffer area
 	p.Sleep(lp.drv.h.IPCCost)
-	lp.txQ.Push(txReq{addr: addr, size: len(frame)})
+	lp.txQ.Push(txReq{addr: addr, size: size})
 }
 
 // LoopName implements core.EngineLoop.
@@ -254,13 +257,15 @@ func (d *LocalDriver) deliverRx(p *sim.Proc, rc nic.RxCompletion) {
 		return
 	}
 	d.h.Cache.Read(p, rc.Addr, d.scratch[:n], "payload")
-	local := make([]byte, n)
+	local := d.h.Eng.Bufs().Get(n)
 	copy(local, d.scratch[:n])
 	p.Sleep(d.h.Local.TouchCost(n))
 	core.InvalidateRange(p, d.h.Cache, rc.Addr, n, "payload")
 	d.rxArea.Free(rc.Addr)
 	d.RxDelivered++
 	if inst.stack != nil {
-		inst.stack.DeliverFrame(local)
+		inst.stack.DeliverOwnedFrame(local)
+	} else {
+		d.h.Eng.Bufs().Put(local)
 	}
 }

@@ -96,22 +96,11 @@ type Packet struct {
 	Payload []byte
 }
 
-// Marshal renders the packet to wire bytes.
-func (pk *Packet) Marshal() []byte {
+// WireLen returns the marshalled frame size.
+func (pk *Packet) WireLen() int {
 	switch pk.EtherType {
 	case EtherTypeARP:
-		b := make([]byte, EthHeaderLen+ARPBodyLen)
-		pk.marshalEth(b)
-		a := b[EthHeaderLen:]
-		binary.BigEndian.PutUint16(a[0:2], 1)      // htype: Ethernet
-		binary.BigEndian.PutUint16(a[2:4], 0x0800) // ptype: IPv4
-		a[4], a[5] = 6, 4
-		binary.BigEndian.PutUint16(a[6:8], pk.ARPOp)
-		copy(a[8:14], pk.ARPSenderMAC[:])
-		binary.BigEndian.PutUint32(a[14:18], uint32(pk.ARPSenderIP))
-		copy(a[18:24], pk.ARPTargetMAC[:])
-		binary.BigEndian.PutUint32(a[24:28], uint32(pk.ARPTargetIP))
-		return b
+		return EthHeaderLen + ARPBodyLen
 	case EtherTypeIPv4:
 		var thl int
 		switch pk.Proto {
@@ -122,14 +111,57 @@ func (pk *Packet) Marshal() []byte {
 		default:
 			panic(fmt.Sprintf("netstack: cannot marshal IPv4 proto %d", pk.Proto))
 		}
-		total := EthHeaderLen + IPv4HeaderLen + thl + len(pk.Payload)
-		b := make([]byte, total)
+		return EthHeaderLen + IPv4HeaderLen + thl + len(pk.Payload)
+	default:
+		panic(fmt.Sprintf("netstack: cannot marshal ethertype %#x", pk.EtherType))
+	}
+}
+
+// Marshal renders the packet to wire bytes.
+func (pk *Packet) Marshal() []byte {
+	b := make([]byte, pk.WireLen())
+	pk.MarshalTo(b)
+	return b
+}
+
+// MarshalTo renders the packet into b, which must be exactly WireLen() long.
+// Every byte of b is written, so recycled buffers marshal identically to
+// fresh ones.
+func (pk *Packet) MarshalTo(b []byte) {
+	if len(b) != pk.WireLen() {
+		panic("netstack: MarshalTo buffer length mismatch")
+	}
+	switch pk.EtherType {
+	case EtherTypeARP:
+		pk.marshalEth(b)
+		a := b[EthHeaderLen:]
+		binary.BigEndian.PutUint16(a[0:2], 1)      // htype: Ethernet
+		binary.BigEndian.PutUint16(a[2:4], 0x0800) // ptype: IPv4
+		a[4], a[5] = 6, 4
+		binary.BigEndian.PutUint16(a[6:8], pk.ARPOp)
+		copy(a[8:14], pk.ARPSenderMAC[:])
+		binary.BigEndian.PutUint32(a[14:18], uint32(pk.ARPSenderIP))
+		copy(a[18:24], pk.ARPTargetMAC[:])
+		binary.BigEndian.PutUint32(a[24:28], uint32(pk.ARPTargetIP))
+	case EtherTypeIPv4:
+		var thl int
+		switch pk.Proto {
+		case ProtoUDP:
+			thl = UDPHeaderLen
+		case ProtoTCP:
+			thl = TCPHeaderLen
+		default:
+			panic(fmt.Sprintf("netstack: cannot marshal IPv4 proto %d", pk.Proto))
+		}
 		pk.marshalEth(b)
 		ip := b[EthHeaderLen:]
 		ip[0] = 0x45 // version 4, IHL 5
+		ip[1] = 0    // TOS
 		binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+thl+len(pk.Payload)))
-		ip[8] = 64 // TTL
+		ip[4], ip[5], ip[6], ip[7] = 0, 0, 0, 0 // ID, flags/fragment
+		ip[8] = 64                              // TTL
 		ip[9] = pk.Proto
+		ip[10], ip[11] = 0, 0 // header checksum (unused)
 		binary.BigEndian.PutUint32(ip[12:16], uint32(pk.SrcIP))
 		binary.BigEndian.PutUint32(ip[16:20], uint32(pk.DstIP))
 		tp := ip[IPv4HeaderLen:]
@@ -138,6 +170,7 @@ func (pk *Packet) Marshal() []byte {
 		switch pk.Proto {
 		case ProtoUDP:
 			binary.BigEndian.PutUint16(tp[4:6], uint16(UDPHeaderLen+len(pk.Payload)))
+			tp[6], tp[7] = 0, 0 // checksum (unused)
 			copy(tp[UDPHeaderLen:], pk.Payload)
 		case ProtoTCP:
 			binary.BigEndian.PutUint32(tp[4:8], pk.Seq)
@@ -145,9 +178,9 @@ func (pk *Packet) Marshal() []byte {
 			tp[12] = 0x50 // data offset 5 words
 			tp[13] = pk.Flags
 			binary.BigEndian.PutUint16(tp[14:16], pk.Window)
+			tp[16], tp[17], tp[18], tp[19] = 0, 0, 0, 0 // checksum, urgent (unused)
 			copy(tp[TCPHeaderLen:], pk.Payload)
 		}
-		return b
 	default:
 		panic(fmt.Sprintf("netstack: cannot marshal ethertype %#x", pk.EtherType))
 	}

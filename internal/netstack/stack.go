@@ -12,6 +12,11 @@ import (
 // writes the frame into the instance's CXL TX buffer area and signals the
 // frontend driver (§3.3.1); for a raw load-generator client it hands the
 // frame straight to a switch port.
+//
+// Transmit takes ownership of frame: the caller never touches it again, so
+// an endpoint that copies the bytes out (e.g. into a CXL buffer area) may
+// return the slice to the engine's buffer pool, while one that retains the
+// slice (e.g. handing it to the switch) simply keeps it.
 type Endpoint interface {
 	Transmit(p *sim.Proc, frame []byte)
 }
@@ -51,6 +56,7 @@ const (
 type event struct {
 	kind  eventKind
 	frame []byte
+	owned bool // frame came from the engine's buffer pool and is ours to recycle
 	conn  *TCPConn
 	gen   int
 }
@@ -123,8 +129,18 @@ func (s *Stack) Start() {
 
 // DeliverFrame hands an arrived frame to the stack. Callable from event
 // callbacks and other processes; processing happens on the stack process.
+// The frame may be shared with other sinks (switch floods); the stack only
+// reads it.
 func (s *Stack) DeliverFrame(frame []byte) {
 	s.events.Push(event{kind: evFrameIn, frame: frame})
+}
+
+// DeliverOwnedFrame is DeliverFrame for a frame the caller exclusively owns
+// (drivers copying out of DMA buffers): the stack recycles it through the
+// engine's buffer pool once protocol processing has copied out what it
+// needs.
+func (s *Stack) DeliverOwnedFrame(frame []byte) {
+	s.events.Push(event{kind: evFrameIn, frame: frame, owned: true})
 }
 
 // loop is the stack process: frames in, frames out, TCP timers.
@@ -135,6 +151,11 @@ func (s *Stack) loop(p *sim.Proc) {
 		case evFrameIn:
 			p.Sleep(s.cfg.RxCost)
 			s.handleFrame(p, ev.frame)
+			if ev.owned {
+				// handleFrame copies every byte it keeps (UDP payloads, TCP
+				// segment data), so the frame is dead here.
+				s.eng.Bufs().Put(ev.frame)
+			}
 		case evTxFrame:
 			p.Sleep(s.cfg.TxCost)
 			s.TxPackets++
@@ -145,9 +166,13 @@ func (s *Stack) loop(p *sim.Proc) {
 	}
 }
 
-// transmit queues a packet for the stack process to marshal out.
+// transmit queues a packet for the stack process to marshal out. The frame
+// is drawn from the engine's buffer pool; ownership passes to the endpoint
+// (see Endpoint).
 func (s *Stack) transmit(pk *Packet) {
-	s.events.Push(event{kind: evTxFrame, frame: pk.Marshal()})
+	frame := s.eng.Bufs().Get(pk.WireLen())
+	pk.MarshalTo(frame)
+	s.events.Push(event{kind: evTxFrame, frame: frame})
 }
 
 func (s *Stack) handleFrame(p *sim.Proc, frame []byte) {

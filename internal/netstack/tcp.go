@@ -247,6 +247,9 @@ func (c *TCPConn) handleAck(ack uint32) {
 	for _, seg := range c.unacked {
 		if seqLEQ(seg.seq+uint32(len(seg.data)), ack) {
 			c.inflight -= len(seg.data)
+			// Fully acknowledged: the copy in Send was the last reference
+			// (retransmits marshal their own copy of the bytes).
+			c.stack.eng.Bufs().Put(seg.data)
 			continue
 		}
 		kept = append(kept, seg)
@@ -268,14 +271,14 @@ func (c *TCPConn) handleData(pk *Packet) {
 	}
 	if pk.Seq != c.rcvNxt {
 		if !seqLEQ(pk.Seq, c.rcvNxt) {
-			data := make([]byte, len(pk.Payload))
+			data := c.stack.eng.Bufs().Get(len(pk.Payload))
 			copy(data, pk.Payload)
 			c.reorder[pk.Seq] = data
 		}
 		c.sendAck() // duplicate ACK signals the gap
 		return
 	}
-	data := make([]byte, len(pk.Payload))
+	data := c.stack.eng.Bufs().Get(len(pk.Payload))
 	copy(data, pk.Payload)
 	c.deliver(data)
 	for {
@@ -311,7 +314,7 @@ func (c *TCPConn) Send(p *sim.Proc, data []byte) error {
 		if n > MSS {
 			n = MSS
 		}
-		chunk := make([]byte, n)
+		chunk := c.stack.eng.Bufs().Get(n)
 		copy(chunk, data[:n])
 		seg := tcpSegment{seq: c.sndNxt, data: chunk}
 		c.unacked = append(c.unacked, seg)
@@ -338,6 +341,7 @@ func (c *TCPConn) Read(p *sim.Proc, n int) ([]byte, error) {
 			return nil, fmt.Errorf("netstack: connection closed mid-read")
 		}
 		c.readBuf = append(c.readBuf, chunk...)
+		c.stack.eng.Bufs().Put(chunk)
 	}
 	out := c.readBuf[:n:n]
 	c.readBuf = c.readBuf[n:]
@@ -360,6 +364,7 @@ func (c *TCPConn) ReadTimeout(p *sim.Proc, n int, d sim.Duration) ([]byte, bool,
 			return nil, false, fmt.Errorf("netstack: connection closed mid-read")
 		}
 		c.readBuf = append(c.readBuf, chunk...)
+		c.stack.eng.Bufs().Put(chunk)
 	}
 	out := c.readBuf[:n:n]
 	c.readBuf = c.readBuf[n:]

@@ -86,6 +86,8 @@ type Switch struct {
 	lossRate float64 // failure injection: fraction of frames dropped
 	lossRNG  *rand.Rand
 
+	freeOps []*frameOp // recycled frame-hop ops (engine-local, no lock)
+
 	// Stats.
 	Forwarded   int64
 	Flooded     int64
@@ -145,23 +147,77 @@ func (s *Switch) inject(from *Port, f *Frame) {
 		return
 	}
 
-	s.eng.After(s.params.ProcessingDelay, func() {
-		if f.Dst.IsBroadcast() {
-			s.flood(from, f)
-			return
-		}
-		out, ok := s.table[f.Dst]
-		if !ok {
-			s.flood(from, f)
-			return
-		}
-		if !out.enabled {
+	s.eng.AfterTimer(s.params.ProcessingDelay, s.newFrameOp(opForward, from, f))
+}
+
+// forward routes a processed frame to its egress port (or floods it).
+func (s *Switch) forward(from *Port, f *Frame) {
+	if f.Dst.IsBroadcast() {
+		s.flood(from, f)
+		return
+	}
+	out, ok := s.table[f.Dst]
+	if !ok {
+		s.flood(from, f)
+		return
+	}
+	if !out.enabled {
+		s.Dropped++
+		return
+	}
+	s.Forwarded++
+	out.transmit(f)
+}
+
+// frameOp is one pooled in-flight hop of a frame's journey through the
+// switch: cable arrival (inject), pipeline processing (forward), or delivery
+// to the egress device. Firing these as sim.Timers rather than closures
+// keeps per-frame switching allocation-free.
+type frameOp struct {
+	kind uint8
+	port *Port // ingress for inject/forward, egress for deliver
+	f    *Frame
+}
+
+const (
+	opInject uint8 = iota
+	opForward
+	opDeliver
+)
+
+func (op *frameOp) Fire() {
+	port, f := op.port, op.f
+	s := port.sw
+	op.port, op.f = nil, nil
+	kind := op.kind
+	s.freeOps = append(s.freeOps, op)
+	switch kind {
+	case opInject:
+		s.inject(port, f)
+	case opForward:
+		s.forward(port, f)
+	case opDeliver:
+		if !port.enabled {
 			s.Dropped++
 			return
 		}
-		s.Forwarded++
-		out.transmit(f)
-	})
+		if port.sink != nil {
+			port.sink.DeliverFrame(f)
+		}
+	}
+}
+
+func (s *Switch) newFrameOp(kind uint8, port *Port, f *Frame) *frameOp {
+	var op *frameOp
+	if n := len(s.freeOps); n > 0 {
+		op = s.freeOps[n-1]
+		s.freeOps[n-1] = nil
+		s.freeOps = s.freeOps[:n-1]
+	} else {
+		op = &frameOp{}
+	}
+	op.kind, op.port, op.f = kind, port, f
+	return op
 }
 
 // flood sends the frame out of every enabled port except the ingress.
@@ -220,24 +276,14 @@ func (p *Port) Send(f *Frame) {
 	}
 	ser := p.serialization(f.WireLen())
 	arrive := p.toSwitch.Reserve(ser)
-	p.sw.eng.At(arrive+p.sw.params.PropagationDelay, func() {
-		p.sw.inject(p, f)
-	})
+	p.sw.eng.AtTimer(arrive+p.sw.params.PropagationDelay, p.sw.newFrameOp(opInject, p, f))
 }
 
 // transmit carries a frame from the switch out to the attached device.
 func (p *Port) transmit(f *Frame) {
 	ser := p.serialization(f.WireLen())
 	done := p.toDevice.Reserve(ser)
-	p.sw.eng.At(done+p.sw.params.PropagationDelay, func() {
-		if !p.enabled {
-			p.sw.Dropped++
-			return
-		}
-		if p.sink != nil {
-			p.sink.DeliverFrame(f)
-		}
-	})
+	p.sw.eng.AtTimer(done+p.sw.params.PropagationDelay, p.sw.newFrameOp(opDeliver, p, f))
 }
 
 func (p *Port) serialization(n int) sim.Duration {

@@ -118,6 +118,8 @@ type NIC struct {
 	flowKey FlowKeyFunc
 	flows   map[uint32]uint32 // dst IP -> tag
 
+	freeRxOps []*rxCompOp // recycled RX-completion ops (engine-local, no lock)
+
 	txq    *sim.Queue[WQE]
 	txOut  int // occupied TX ring slots (posted, not yet completed)
 	rxFree []RxDesc
@@ -252,7 +254,10 @@ func (n *NIC) txLoop(p *sim.Proc) {
 	for {
 		wqe := n.txq.Pop(p)
 		p.Sleep(n.params.PacketCost)
-		buf := make([]byte, wqe.Len)
+		// Drawn from the pool but never recycled: the frame escapes to the
+		// switch, which may flood it to several sinks. DMARead overwrites
+		// every byte, so recycled contents are harmless.
+		buf := n.eng.Bufs().Get(wqe.Len)
 		if n.snoop != nil {
 			if d := n.snoop.Snoop(wqe.Addr, wqe.Len, "dma-snoop"); d > 0 {
 				p.Sleep(d)
@@ -368,5 +373,30 @@ func (n *NIC) DeliverFrame(f *netsw.Frame) {
 			comp.Matched = true
 		}
 	}
-	n.eng.At(done+n.params.PacketCost, func() { n.rxcq.Push(comp) })
+	var op *rxCompOp
+	if k := len(n.freeRxOps); k > 0 {
+		op = n.freeRxOps[k-1]
+		n.freeRxOps[k-1] = nil
+		n.freeRxOps = n.freeRxOps[:k-1]
+	} else {
+		op = &rxCompOp{}
+	}
+	op.n, op.comp = n, comp
+	n.eng.AtTimer(done+n.params.PacketCost, op)
+}
+
+// rxCompOp is the pooled posting of an RX completion once the packet's DMA
+// lands; firing it as a sim.Timer avoids a closure allocation per received
+// packet (see sim.Timer).
+type rxCompOp struct {
+	n    *NIC
+	comp RxCompletion
+}
+
+func (op *rxCompOp) Fire() {
+	n := op.n
+	comp := op.comp
+	op.n = nil
+	n.freeRxOps = append(n.freeRxOps, op)
+	n.rxcq.Push(comp)
 }

@@ -1,0 +1,37 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Do(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	Do(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestDoResultsIndependentOfWorkers(t *testing.T) {
+	run := func(workers int) [32]int {
+		var out [32]int
+		Do(workers, len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if run(w) != serial {
+			t.Fatalf("results differ at workers=%d", w)
+		}
+	}
+}

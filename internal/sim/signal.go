@@ -35,7 +35,7 @@ func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
 		if s.remove(p) {
 			timedOut = true
 			s.eng.removeBlocked(p)
-			p.resume()
+			s.eng.schedule(s.eng.now, nil, nil, p)
 		}
 	})
 	p.park()
@@ -66,7 +66,7 @@ func (s *Signal) Signal() bool {
 	p := s.waiters[0]
 	s.waiters = s.waiters[1:]
 	s.eng.removeBlocked(p)
-	s.eng.schedule(s.eng.now, nil, p)
+	s.eng.schedule(s.eng.now, nil, nil, p)
 	return true
 }
 
@@ -74,7 +74,7 @@ func (s *Signal) Signal() bool {
 func (s *Signal) Broadcast() {
 	for _, p := range s.waiters {
 		s.eng.removeBlocked(p)
-		s.eng.schedule(s.eng.now, nil, p)
+		s.eng.schedule(s.eng.now, nil, nil, p)
 	}
 	s.waiters = nil
 }

@@ -17,10 +17,11 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
+
+	"oasis/internal/bufpool"
 )
 
 // Duration is virtual time, measured in nanoseconds since simulation start.
@@ -31,55 +32,66 @@ type Duration = time.Duration
 // MaxTime is the largest representable virtual time.
 const MaxTime = Duration(math.MaxInt64)
 
-// event is a scheduled callback or process wakeup.
+// event is a scheduled callback or process wakeup. Dispatched events are
+// recycled through the engine's free list, which is safe because no caller
+// ever retains an *event across its dispatch.
 type event struct {
 	at   Duration
 	seq  uint64 // tie-breaker: FIFO among same-time events
 	fn   func()
-	proc *Proc // non-nil when the event resumes a parked process
-	idx  int   // heap index, -1 when popped or cancelled
+	tm   Timer
+	proc *Proc // non-nil when the event resumes (or starts) a process
 }
 
-type eventHeap []*event
+// Timer is the closure-free way to schedule work. At(t, func(){...})
+// allocates a fresh closure (plus boxed captures) per call, which on
+// per-packet paths dominates the allocation profile; a Timer is typically a
+// small struct pooled by its owner, and a pointer inside an interface value
+// costs nothing to schedule. Fire runs exactly once, in event context, at
+// the scheduled time — or never, if the engine shuts down first, so owners
+// must not leak resources that only Fire would release.
+type Timer interface{ Fire() }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a orders strictly before b. (at, seq) is a strict
+// total order — seq is unique — so every correct priority queue pops the
+// same sequence; the heap's shape is free to differ between implementations.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine owns the virtual clock and the event queue.
 // The zero value is not usable; call New.
 type Engine struct {
-	now      Duration
-	seq      uint64
-	events   eventHeap
+	now    Duration
+	seq    uint64
+	events []*event // 4-ary min-heap ordered by (at, seq); see heapPush/heapPop
+	// nowQ holds events scheduled at the current time while the engine is
+	// running. They bypass the heap entirely: same-time scheduling is the
+	// dominant pattern (signal wakeups, yields), and a FIFO append/scan is
+	// both cheaper than O(log n) heap fix-ups and provably order-preserving —
+	// any heap entry at the current time was scheduled before the clock
+	// reached it, so it carries a smaller sequence number than every
+	// now-queue entry and is dispatched first.
+	nowQ     []*event
+	nowQHead int
+	free     []*event // recycled events; dispatch returns them here
 	running  bool
 	dead     bool    // Shutdown was called; processes unwind
 	nprocs   int     // live processes (for leak detection in tests)
 	blocked  []*Proc // processes parked on signals/queues (no pending event)
 	deadline Duration
+	bufs     *bufpool.Pool
+
+	// Token-passing scheduler plumbing (see RunUntil). host wakes the
+	// RunUntil caller when the loop finishes on a process goroutine; ack
+	// serializes victim unwinding during Shutdown.
+	host      chan struct{}
+	ack       chan struct{}
+	unwinding bool  // inside Shutdown's victim loop
+	cur       *Proc // process currently holding the token, nil if the host is
 }
 
 // New returns an Engine with the clock at zero and no pending events.
@@ -88,38 +100,132 @@ func New() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Duration { return e.now }
 
+// Bufs returns the engine-local buffer free list used by the datapath's
+// per-packet/per-line allocation sites. Engine-local means race-free by
+// construction: exactly one process (or callback) executes at a time, so
+// the pool needs no locking, and parallel simulations — one engine per
+// worker — never share a pool.
+func (e *Engine) Bufs() *bufpool.Pool {
+	if e.bufs == nil {
+		e.bufs = bufpool.New()
+	}
+	return e.bufs
+}
+
+// newEvent pops a recycled event or allocates one.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a dispatched event to the free list, dropping references
+// so recycled events never pin callbacks or processes.
+func (e *Engine) recycle(ev *event) {
+	ev.fn, ev.tm, ev.proc = nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
 // schedule inserts an event at absolute time at (clamped to now).
-func (e *Engine) schedule(at Duration, fn func(), p *Proc) *event {
+func (e *Engine) schedule(at Duration, fn func(), tm Timer, p *Proc) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn, proc: p}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn, ev.tm, ev.proc = at, e.seq, fn, tm, p
+	if e.running && at == e.now {
+		e.nowQ = append(e.nowQ, ev)
+		return
+	}
+	e.heapPush(ev)
+}
+
+// heapPush inserts ev into the timeline. The heap is 4-ary and hand-rolled:
+// container/heap's interface indirection was ~20% of a simulation-bound
+// profile, and the wider fan-out halves the levels each pop has to walk.
+func (e *Engine) heapPush(ev *event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if p.before(ev) {
+			break
+		}
+		h[i] = p
+		i = parent
+	}
+	h[i] = ev
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		h = h[:n]
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= n {
+				break
+			}
+			best, be := first, h[first]
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for j := first + 1; j < end; j++ {
+				if c := h[j]; c.before(be) {
+					best, be = j, c
+				}
+			}
+			if last.before(be) {
+				break
+			}
+			h[i] = be
+			i = best
+		}
+		h[i] = last
+	}
+	return top
 }
 
 // At schedules fn to run at absolute virtual time t (or now, if t has passed).
-func (e *Engine) At(t Duration, fn func()) { e.schedule(t, fn, nil) }
+func (e *Engine) At(t Duration, fn func()) { e.schedule(t, fn, nil, nil) }
 
 // After schedules fn to run d from now.
-func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now+d, fn, nil) }
+func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now+d, fn, nil, nil) }
+
+// AtTimer schedules tm.Fire to run at absolute virtual time t. See Timer for
+// when to prefer this over At.
+func (e *Engine) AtTimer(t Duration, tm Timer) { e.schedule(t, nil, tm, nil) }
+
+// AfterTimer schedules tm.Fire to run d from now.
+func (e *Engine) AfterTimer(d Duration, tm Timer) { e.schedule(e.now+d, nil, tm, nil) }
 
 // Go spawns a new simulated process that begins executing at the current
 // virtual time. The name appears in diagnostics. fn runs on its own
 // goroutine but only ever executes while the engine is blocked on it, so
 // processes never race with each other or with event callbacks.
+//
+// The goroutine is not created until the startup event fires: a process
+// whose startup event is dropped by Shutdown simply never existed, and its
+// slot in the live-process count is released immediately.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, wake: make(chan struct{}), parked: make(chan struct{})}
+	p := &Proc{eng: e, name: name, run: make(chan struct{}), fn: fn, blockedIdx: -1}
 	e.nprocs++
-	started := false
-	e.schedule(e.now, func() {
-		if !started {
-			started = true
-			go p.main(fn)
-			<-p.parked
-		}
-	}, nil)
+	e.schedule(e.now, nil, nil, p)
 	return p
 }
 
@@ -130,22 +236,31 @@ func (e *Engine) Run() Duration { return e.RunUntil(MaxTime) }
 // RunUntil executes events with timestamps <= deadline and then sets the
 // clock to deadline (if any event was beyond it, the clock stops at
 // deadline). It returns the final virtual time.
+//
+// Scheduling is token-passing: exactly one goroutine at a time "drives" the
+// event loop. The RunUntil caller starts driving; when the next event
+// resumes a process, the driver hands control directly to that process's
+// goroutine and the loop continues there the next time that process parks.
+// There is no dedicated engine goroutine in the middle, so a process-to-
+// process switch costs one channel handoff instead of two — and a process
+// whose own wakeup is the next event continues with no handoff at all.
+// Event selection is unchanged, so the dispatch order (and with it every
+// simulation result) is identical to a centrally-driven loop.
 func (e *Engine) RunUntil(deadline Duration) Duration {
 	if e.running {
 		panic("sim: RunUntil called re-entrantly")
 	}
 	e.running = true
 	e.deadline = deadline
+	e.cur = nil // the host goroutine drives first
+	if e.host == nil {
+		e.host = make(chan struct{})
+	}
 	defer func() { e.running = false }()
-	for len(e.events) > 0 && !e.dead {
-		next := e.events[0]
-		if next.at > deadline {
-			e.now = deadline
-			return e.now
-		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		e.dispatch(next)
+	if e.drive(nil) == driveHandoff {
+		// The loop moved onto process goroutines; block until it finishes
+		// there (deadline reached, queue drained, or shutdown).
+		<-e.host
 	}
 	if e.now < deadline && deadline != MaxTime {
 		e.now = deadline
@@ -153,22 +268,93 @@ func (e *Engine) RunUntil(deadline Duration) Duration {
 	return e.now
 }
 
-// dispatch runs one event to completion (including any process execution it
-// triggers; the engine regains control when the process parks or exits).
-func (e *Engine) dispatch(ev *event) {
-	if ev.proc != nil {
-		ev.proc.resume()
+// driveResult says how a drive call ended.
+type driveResult int
+
+const (
+	driveDone        driveResult = iota // deadline/empty queue/shutdown
+	driveHandoff                        // control handed to a process goroutine
+	driveOwnerWakeup                    // owner's own wakeup reached; it keeps running
+)
+
+// drive executes events on the calling goroutine until the loop terminates,
+// control is handed to a process goroutine, or (when owner is non-nil) the
+// next event is owner's own wakeup.
+func (e *Engine) drive(owner *Proc) driveResult {
+	deadline := e.deadline
+	for !e.dead {
+		// Drain the current instant before moving the clock: heap entries at
+		// the current time first (smaller sequence numbers — see nowQ), then
+		// the now-queue in FIFO order.
+		var next *event
+		if len(e.events) > 0 && e.events[0].at == e.now && e.now <= deadline {
+			next = e.heapPop()
+		} else if e.nowQHead < len(e.nowQ) {
+			// A busy instant appends while we drain, so the head chases the
+			// tail; compact once the dispatched prefix dominates, keeping the
+			// queue's footprint bounded at amortized O(1) per event.
+			if e.nowQHead >= 64 && e.nowQHead*2 >= len(e.nowQ) {
+				n := copy(e.nowQ, e.nowQ[e.nowQHead:])
+				e.nowQ = e.nowQ[:n]
+				e.nowQHead = 0
+			}
+			next = e.nowQ[e.nowQHead]
+			e.nowQ[e.nowQHead] = nil
+			e.nowQHead++
+		} else {
+			e.nowQ = e.nowQ[:0]
+			e.nowQHead = 0
+			if len(e.events) == 0 {
+				return driveDone
+			}
+			if e.events[0].at > deadline {
+				e.now = deadline
+				return driveDone
+			}
+			next = e.heapPop()
+			e.now = next.at
+		}
+		switch {
+		case next.proc != nil:
+			q := next.proc
+			e.recycle(next)
+			if q == owner {
+				return driveOwnerWakeup
+			}
+			e.transfer(q)
+			return driveHandoff
+		case next.tm != nil:
+			next.tm.Fire()
+			e.recycle(next)
+		case next.fn != nil:
+			next.fn()
+			e.recycle(next)
+		default:
+			e.recycle(next)
+		}
+	}
+	return driveDone
+}
+
+// transfer hands the control token to process q, spawning its goroutine on
+// first resume. The caller stops driving immediately after.
+func (e *Engine) transfer(q *Proc) {
+	e.cur = q
+	if !q.started {
+		q.started = true
+		fn := q.fn
+		q.fn = nil // don't pin the closure for the process's whole lifetime
+		go q.main(fn)
 		return
 	}
-	if ev.fn != nil {
-		ev.fn()
-	}
+	q.run <- struct{}{}
 }
 
 // Shutdown terminates the simulation: all parked processes are unwound (their
 // blocking calls panic with a killed marker that Proc.main recovers), pending
-// events are dropped, and Run returns. Safe to call from within a callback or
-// a process.
+// events are dropped, and Run returns. A process whose startup event never
+// fired is dropped without ever spawning its goroutine. Safe to call from
+// within a callback or a process.
 func (e *Engine) Shutdown() {
 	if e.dead {
 		return
@@ -180,29 +366,69 @@ func (e *Engine) Shutdown() {
 			victims = append(victims, ev.proc)
 		}
 	}
-	victims = append(victims, e.blocked...)
-	e.events = nil
-	e.blocked = nil
-	for _, p := range victims {
-		if !p.done {
-			p.resume() // wakes into park, which sees dead and unwinds
+	for _, ev := range e.nowQ[e.nowQHead:] {
+		if ev.proc != nil {
+			victims = append(victims, ev.proc)
 		}
 	}
+	victims = append(victims, e.blocked...)
+	e.events = nil
+	e.nowQ = nil
+	e.nowQHead = 0
+	e.blocked = nil
+	if e.ack == nil {
+		e.ack = make(chan struct{})
+	}
+	// The token holder may be the one calling us (Shutdown from a callback
+	// dispatched on a parked process's goroutine). It must not be sent its
+	// own run token — it unwinds itself when the current dispatch returns.
+	// Between RunUntil calls no goroutine holds the token, so a stale cur
+	// from the previous run must not shield a victim.
+	self := e.cur
+	if !e.running {
+		self = nil
+	}
+	e.unwinding = true
+	for _, p := range victims {
+		switch {
+		case p.done:
+		case p == self:
+		case !p.started:
+			// The startup event never fired: no goroutine exists to unwind.
+			// Release the process slot directly.
+			p.done = true
+			e.nprocs--
+		default:
+			// Wake the parked process; it sees dead, unwinds, and acks from
+			// its exit path so victims die strictly one at a time.
+			p.run <- struct{}{}
+			<-e.ack
+		}
+	}
+	e.unwinding = false
 }
 
 // addBlocked registers a process parked on a signal or queue so Shutdown can
 // unwind it; primitives call removeBlocked when they wake the process.
 func (e *Engine) addBlocked(p *Proc) {
+	p.blockedIdx = len(e.blocked)
 	e.blocked = append(e.blocked, p)
 }
 
+// removeBlocked unregisters a parked process in O(1): the process records
+// its slot, and the last entry swaps into the vacated position.
 func (e *Engine) removeBlocked(p *Proc) {
-	for i, q := range e.blocked {
-		if q == p {
-			e.blocked = append(e.blocked[:i], e.blocked[i+1:]...)
-			return
-		}
+	i := p.blockedIdx
+	if i < 0 {
+		return
 	}
+	last := len(e.blocked) - 1
+	q := e.blocked[last]
+	e.blocked[i] = q
+	q.blockedIdx = i
+	e.blocked[last] = nil
+	e.blocked = e.blocked[:last]
+	p.blockedIdx = -1
 }
 
 // Procs returns the number of live processes. Useful in tests to verify that
@@ -215,48 +441,71 @@ type killed struct{}
 // Proc is a simulated process. Methods on Proc must only be called from the
 // process's own function.
 type Proc struct {
-	eng    *Engine
-	name   string
-	wake   chan struct{} // resumer -> process: run
-	parked chan struct{} // process -> resumer: parked or exited
-	done   bool
+	eng  *Engine
+	name string
+	// run delivers the control token to this process: a parked process
+	// blocks in a receive on it, and whoever dispatches the process's
+	// wakeup sends. The reverse direction needs no channel — a parking
+	// process keeps driving the event loop on its own goroutine (see
+	// RunUntil), so a switch is one channel operation, not a round trip.
+	run        chan struct{}
+	fn         func(p *Proc) // body; retained until the startup event fires
+	started    bool
+	done       bool
+	blockedIdx int // slot in eng.blocked, -1 when not parked on a primitive
 }
 
-// main runs the process body, handling unwind-on-shutdown.
+// main runs the process body, handling unwind-on-shutdown. On a normal
+// return the dying goroutine keeps driving the event loop — some other
+// process's wakeup or the RunUntil caller takes over from there.
 func (p *Proc) main(fn func(p *Proc)) {
 	defer func() {
 		p.done = true
-		p.eng.nprocs--
+		e := p.eng
+		e.nprocs--
 		if r := recover(); r != nil {
-			if _, ok := r.(killed); ok {
-				p.parked <- struct{}{}
-				return
+			if _, ok := r.(killed); !ok {
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
 			}
-			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+			if e.unwinding {
+				e.ack <- struct{}{} // Shutdown's victim loop is waiting
+			} else {
+				// Died holding the token after Shutdown (it was the caller):
+				// the loop is over, wake RunUntil.
+				e.host <- struct{}{}
+			}
+			return
 		}
-		p.parked <- struct{}{}
+		if e.drive(nil) == driveDone {
+			e.host <- struct{}{}
+		}
 	}()
 	fn(p)
 }
 
-// resume hands control to the process and blocks until it parks again.
-// Resume chains nest like a call stack: each resumer waits on the resumed
-// process's own parked channel, so nested resumes (e.g. a process shutting
-// down its peers) cannot cross wires.
-func (p *Proc) resume() {
-	p.wake <- struct{}{}
-	<-p.parked
-}
-
-// park returns control to the engine and blocks until resumed.
+// park hands the event loop to this goroutine until the process's own wakeup
+// fires; if the loop ends or moves elsewhere first, it blocks until resumed.
 // If the engine was (or is while parked) shut down, it unwinds the process.
 func (p *Proc) park() {
-	if p.eng.dead {
-		panic(killed{}) // main's deferred recover hands control back
+	e := p.eng
+	if e.dead {
+		panic(killed{}) // main's deferred recover hands control onward
 	}
-	p.parked <- struct{}{}
-	<-p.wake
-	if p.eng.dead {
+	switch e.drive(p) {
+	case driveOwnerWakeup:
+		return // our own wakeup was next: keep running, zero handoffs
+	case driveDone:
+		if e.dead {
+			// A callback we dispatched called Shutdown: unwind; main's
+			// deferred recover wakes RunUntil exactly once.
+			panic(killed{})
+		}
+		e.host <- struct{}{} // loop over while we're parked: wake RunUntil
+	case driveHandoff:
+		// another process is running; wait for our wakeup
+	}
+	<-p.run
+	if e.dead {
 		panic(killed{})
 	}
 }
@@ -284,11 +533,12 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	e := p.eng
 	t := e.now + d
-	if d > 0 && !e.dead && t <= e.deadline && (len(e.events) == 0 || e.events[0].at > t) {
+	if d > 0 && !e.dead && t <= e.deadline && e.nowQHead >= len(e.nowQ) &&
+		(len(e.events) == 0 || e.events[0].at > t) {
 		e.now = t
 		return
 	}
-	e.schedule(t, nil, p)
+	e.schedule(t, nil, nil, p)
 	p.park()
 }
 

@@ -410,3 +410,19 @@ func BenchmarkEngineFastPathSleep(b *testing.B) {
 	b.ResetTimer()
 	eng.Run()
 }
+
+func TestShutdownDropsNeverStartedProcs(t *testing.T) {
+	eng := New()
+	ran := false
+	eng.Go("late", func(p *Proc) { ran = true })
+	// Shutdown before the startup event fires: no goroutine ever exists
+	// for the process, and its slot is released immediately.
+	eng.Shutdown()
+	eng.Run()
+	if ran {
+		t.Fatal("process body ran despite pre-run shutdown")
+	}
+	if eng.Procs() != 0 {
+		t.Fatalf("live procs = %d, want 0", eng.Procs())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"oasis/internal/par"
 	"oasis/internal/trace"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// typically provision to a high percentile and rebalance the rare
 	// overflow pod (§6 "Load balancing policies"). Default 95.
 	ProvisionPctl float64
+	// Workers bounds how many trials run concurrently. Every trial's
+	// permutation is drawn from the shared RNG up front in a fixed order,
+	// and per-trial results are reduced in trial order, so the output is
+	// identical for any worker count. 0 or 1 = serial.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's setup at a rack scale that keeps the
@@ -112,39 +118,68 @@ func Run(cfg Config) []Result {
 	strandedCPU := 1 - totCPU/(float64(len(hosts))*shape.CPU)
 	strandedMem := 1 - totMem/(float64(len(hosts))*shape.Mem)
 
+	// The shuffle RNG is shared across the whole sweep, so every trial's
+	// permutation is drawn up front in the serial order (pod size outer,
+	// trial inner); the trial computations themselves are pure and fan out
+	// across cfg.Workers.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var out []Result
+	type job struct {
+		podSize int
+		perm    []int
+	}
+	jobs := make([]job, 0, len(cfg.PodSizes)*cfg.Trials)
 	for _, podSize := range cfg.PodSizes {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			jobs = append(jobs, job{podSize: podSize, perm: rng.Perm(len(hosts))})
+		}
+	}
+	type trialOut struct {
+		nicStrand, ssdStrand, nics, drives float64
+	}
+	trials := make([]trialOut, len(jobs))
+	par.Do(cfg.Workers, len(jobs), func(j int) {
+		podSize, perm := jobs[j].podSize, jobs[j].perm
+		// Provisioning is decided fleet-wide before instances arrive:
+		// every pod of this size gets the same device count, sized to
+		// the ProvisionPctl percentile of pod demand ("minimum number
+		// of devices required to place all instances", with the rare
+		// overflow pod handled by the allocator's rebalancing).
+		var demNIC, demSSD float64
+		var podNIC, podSSD []float64
+		for i := 0; i+podSize <= len(perm); i += podSize {
+			var nic, ssd float64
+			for _, hi := range perm[i : i+podSize] {
+				nic += hosts[hi].NIC
+				ssd += hosts[hi].SSD
+			}
+			demNIC += nic
+			demSSD += ssd
+			podNIC = append(podNIC, nic)
+			podSSD = append(podSSD, ssd)
+		}
+		pods := len(podNIC)
+		nNIC := math.Ceil(pctl(podNIC, cfg.ProvisionPctl) / shape.NICUnit)
+		nSSD := math.Ceil(pctl(podSSD, cfg.ProvisionPctl) / shape.SSDUnit)
+		provNIC := float64(pods) * nNIC * shape.NICUnit
+		provSSD := float64(pods) * nSSD * shape.SSDUnit
+		trials[j] = trialOut{
+			nicStrand: 1 - demNIC/provNIC,
+			ssdStrand: 1 - demSSD/provSSD,
+			nics:      nNIC,
+			drives:    nSSD,
+		}
+	})
+	// Reduce in trial order: float accumulation order matches the serial
+	// loop exactly, keeping results bit-identical.
+	var out []Result
+	for pi, podSize := range cfg.PodSizes {
 		var nicStrand, ssdStrand, nicsPerPod, drivesPerPod float64
 		for trial := 0; trial < cfg.Trials; trial++ {
-			perm := rng.Perm(len(hosts))
-			// Provisioning is decided fleet-wide before instances arrive:
-			// every pod of this size gets the same device count, sized to
-			// the ProvisionPctl percentile of pod demand ("minimum number
-			// of devices required to place all instances", with the rare
-			// overflow pod handled by the allocator's rebalancing).
-			var demNIC, demSSD float64
-			var podNIC, podSSD []float64
-			for i := 0; i+podSize <= len(perm); i += podSize {
-				var nic, ssd float64
-				for _, hi := range perm[i : i+podSize] {
-					nic += hosts[hi].NIC
-					ssd += hosts[hi].SSD
-				}
-				demNIC += nic
-				demSSD += ssd
-				podNIC = append(podNIC, nic)
-				podSSD = append(podSSD, ssd)
-			}
-			pods := len(podNIC)
-			nNIC := math.Ceil(pctl(podNIC, cfg.ProvisionPctl) / shape.NICUnit)
-			nSSD := math.Ceil(pctl(podSSD, cfg.ProvisionPctl) / shape.SSDUnit)
-			provNIC := float64(pods) * nNIC * shape.NICUnit
-			provSSD := float64(pods) * nSSD * shape.SSDUnit
-			nicStrand += 1 - demNIC/provNIC
-			ssdStrand += 1 - demSSD/provSSD
-			nicsPerPod += nNIC
-			drivesPerPod += nSSD
+			t := trials[pi*cfg.Trials+trial]
+			nicStrand += t.nicStrand
+			ssdStrand += t.ssdStrand
+			nicsPerPod += t.nics
+			drivesPerPod += t.drives
 		}
 		out = append(out, Result{
 			PodSize:      podSize,

@@ -22,12 +22,24 @@ go vet ./...
 echo "== go test ./... =="
 go test ./...
 
-# The simulator itself is single-threaded (one cooperative engine), so the
-# race detector is only meaningful on packages that never enter the sim:
-# pure data-structure/statistics code usable from concurrent tooling. The
-# obs registry is explicitly safe to snapshot from outside the sim loop,
-# and core carries the channel-latency trackers it samples.
-echo "== go test -race (non-simulation packages) =="
-go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/...
+# One engine is single-threaded (cooperative scheduling), so the race
+# detector is meaningful on two fronts: packages usable from concurrent
+# tooling (pure data-structure/statistics code; the obs registry is
+# explicitly safe to snapshot from outside the sim loop, and core carries
+# the channel-latency trackers it samples), and the experiments harness,
+# whose parallel runner fans whole private engines out across par.Do
+# workers and merges results in order. Only the parallel-runner tests run
+# under race there — the rest of the suite re-runs every figure at ~10x
+# race overhead without touching any additional concurrency.
+echo "== go test -race (concurrent-facing packages) =="
+go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par
+go test -race -run Parallel ./internal/experiments
+
+# Smoke the full parallel fan-out end to end: every experiment at tiny
+# scale with GOMAXPROCS workers. Output determinism vs the serial path is
+# asserted by TestParallelMatchesSerial; this catches wiring regressions
+# (flag plumbing, ordered flush, worker startup) in the binary itself.
+echo "== oasis-bench parallel smoke =="
+go run ./cmd/oasis-bench -run all -scale 0.05 -parallel > /dev/null
 
 echo "verify: OK"
