@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench fmt
+.PHONY: all build vet test race verify bench fmt chaos
 
 all: verify
 
@@ -19,11 +19,11 @@ test:
 # engines out across workers. For experiments only the parallel-runner
 # tests run under race — the full suite re-runs every figure at ~10x race
 # overhead without touching any additional concurrency.
-RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/...
+RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/faults
 
 race:
 	$(GO) test -race $(RACE_PKGS) ./internal/par
-	$(GO) test -race -run Parallel ./internal/experiments
+	$(GO) test -race -short -run 'Parallel|Chaos' ./internal/experiments
 
 verify:
 	./scripts/verify.sh
@@ -36,3 +36,8 @@ bench:
 
 fmt:
 	gofmt -l -w .
+
+# Run the seeded chaos campaign and print the full report (fault plan,
+# injection log, recovery histograms, invariant verdict).
+chaos:
+	$(GO) run ./cmd/oasis-bench -run chaos

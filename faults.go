@@ -1,0 +1,283 @@
+package oasis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oasis/internal/core"
+	"oasis/internal/faults"
+)
+
+// BindFaults creates (once) the pod's fault injector and registers the
+// handler for every fault kind against this pod's topology. Call it after
+// Start — targets are resolved at injection time against the frozen
+// topology. The injector's instruments register under faults/* in the pod
+// registry, so chaos campaigns show up in Pod.Stats alongside everything
+// else.
+//
+// Target grammar, per kind:
+//
+//	host-crash, cxl-degrade:  "host<N>"            (pod host index)
+//	engine-stall:             a driver core name    ("host2/storage-be1", "host0/fe", …)
+//	nic-link-down, port-flap: "nic<N>"             (pooled NIC id)
+//	ssd-fail:                 "ssd<N>"             (pooled SSD id)
+//
+// HostCrash stalls every driver core on the host (engines freeze, telemetry
+// stops — the allocator sees lease expiries) and stops the host's raft
+// replica if it carries one; healing resumes the cores and restarts the
+// replica, which rejoins as a follower. A crashed allocator host is the
+// "allocator leader loss" scenario: proposals fail over to the re-elected
+// leader and the allocator rebuilds leases when its core resumes.
+func (pod *Pod) BindFaults() *faults.Injector {
+	if pod.injector != nil {
+		return pod.injector
+	}
+	in := faults.NewInjector(pod.Eng)
+	pod.injector = in
+
+	in.Handle(faults.HostCrash, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			ph, idx, err := pod.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			for _, d := range pod.hostDrivers(ph) {
+				d.Stall()
+			}
+			if idx < len(pod.Raft) {
+				pod.Raft[idx].Stop()
+			}
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			ph, idx, err := pod.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			for _, d := range pod.hostDrivers(ph) {
+				d.Resume()
+			}
+			if idx < len(pod.Raft) {
+				pod.Raft[idx].Restart()
+			}
+			return nil
+		},
+	})
+	in.Handle(faults.EngineStall, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			d, err := pod.faultDriver(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Stall()
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			d, err := pod.faultDriver(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Resume()
+			return nil
+		},
+	})
+	in.Handle(faults.NICLinkDown, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			n, err := pod.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			n.Dev.ForceLink(false)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			n, err := pod.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			n.Dev.ForceLink(true)
+			return nil
+		},
+	})
+	in.Handle(faults.SSDFail, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			d, err := pod.faultSSD(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Dev.Fail()
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			d, err := pod.faultSSD(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Dev.Repair()
+			return nil
+		},
+	})
+	in.Handle(faults.PortFlap, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			n, err := pod.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			n.SwPort.SetEnabled(false)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			n, err := pod.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			n.SwPort.SetEnabled(true)
+			return nil
+		},
+	})
+	in.Handle(faults.CXLDegrade, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			ph, _, err := pod.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			if ph.H.CXLPort == nil {
+				return fmt.Errorf("oasis: %s has no CXL port", ev.Target)
+			}
+			ph.H.CXLPort.SetDegraded(ev.LatMult, ev.BWFrac)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			ph, _, err := pod.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			if ph.H.CXLPort == nil {
+				return fmt.Errorf("oasis: %s has no CXL port", ev.Target)
+			}
+			ph.H.CXLPort.SetDegraded(1, 1)
+			return nil
+		},
+	})
+
+	in.RegisterObs(pod.obs, "faults")
+	return in
+}
+
+// RunFaultPlan binds the injector (if needed) and schedules the plan.
+func (pod *Pod) RunFaultPlan(pl faults.Plan) error {
+	return pod.BindFaults().Schedule(pl)
+}
+
+// Injector returns the pod's fault injector (nil before BindFaults).
+func (pod *Pod) Injector() *faults.Injector { return pod.injector }
+
+// faultHost resolves a "host<N>" target.
+func (pod *Pod) faultHost(target string) (*Host, int, error) {
+	idx, err := faultIndex(target, "host")
+	if err != nil {
+		return nil, 0, err
+	}
+	if idx < 0 || idx >= len(pod.Hosts) {
+		return nil, 0, fmt.Errorf("oasis: no such host %q", target)
+	}
+	return pod.Hosts[idx], idx, nil
+}
+
+// faultNIC resolves a "nic<N>" target.
+func (pod *Pod) faultNIC(target string) (*NIC, error) {
+	id, err := faultIndex(target, "nic")
+	if err != nil {
+		return nil, err
+	}
+	n, ok := pod.NICs[uint16(id)]
+	if !ok {
+		return nil, fmt.Errorf("oasis: no such NIC %q", target)
+	}
+	return n, nil
+}
+
+// faultSSD resolves an "ssd<N>" target.
+func (pod *Pod) faultSSD(target string) (*SSDDev, error) {
+	id, err := faultIndex(target, "ssd")
+	if err != nil {
+		return nil, err
+	}
+	d, ok := pod.SSDs[uint16(id)]
+	if !ok {
+		return nil, fmt.Errorf("oasis: no such SSD %q", target)
+	}
+	return d, nil
+}
+
+// faultDriver resolves an engine-stall target by driver core name.
+func (pod *Pod) faultDriver(target string) (*core.Driver, error) {
+	for _, d := range pod.allDrivers() {
+		if d.Name() == target {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("oasis: no driver core named %q", target)
+}
+
+func faultIndex(target, prefix string) (int, error) {
+	num, ok := strings.CutPrefix(target, prefix)
+	if !ok {
+		return 0, fmt.Errorf("oasis: target %q must look like %q", target, prefix+"<N>")
+	}
+	idx, err := strconv.Atoi(num)
+	if err != nil {
+		return 0, fmt.Errorf("oasis: bad target %q: %w", target, err)
+	}
+	return idx, nil
+}
+
+// hostDrivers collects every driver core that runs on a host — the blast
+// radius of a host crash. Deterministic order, deduped by pointer (shared
+// host cores appear once).
+func (pod *Pod) hostDrivers(ph *Host) []*core.Driver {
+	var out []*core.Driver
+	seen := make(map[*core.Driver]bool)
+	add := func(d *core.Driver) {
+		if d != nil && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	add(ph.Driver)
+	add(ph.FE.Driver())
+	if ph.SFE != nil {
+		add(ph.SFE.Driver())
+	}
+	if ph.LD != nil {
+		add(ph.LD.Driver())
+	}
+	for _, be := range ph.BEs {
+		add(be.Driver())
+	}
+	for _, id := range pod.ssdIDs() {
+		if d := pod.SSDs[id]; d.BE.Host() == ph.H {
+			add(d.BE.Driver())
+		}
+	}
+	if pod.Alloc != nil && len(pod.Hosts) > 0 && pod.Hosts[0] == ph {
+		add(pod.Alloc.Driver())
+	}
+	return out
+}
+
+// allDrivers collects every driver core in the pod in deterministic order.
+func (pod *Pod) allDrivers() []*core.Driver {
+	var out []*core.Driver
+	seen := make(map[*core.Driver]bool)
+	for _, ph := range pod.Hosts {
+		for _, d := range pod.hostDrivers(ph) {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

@@ -9,18 +9,27 @@
 // (core.ControlMsg) that all device engines use. NICs and SSDs share the
 // telemetry/lease path: host failures are inferred from missing telemetry
 // (lease expiry), NIC failures also arrive as explicit link-down reports.
-// A failed NIC triggers transparent failover (§3.3.3); a failed SSD is only
-// marked down — storage errors propagate to the guest (§3.4). State can be
-// replicated across peers with the raft package (see Replicate), matching
-// §3.5's "replicated with Raft" design.
+// A failed NIC triggers transparent failover (§3.3.3); a failed SSD triggers
+// the same mechanism applied to storage — volumes re-bind onto the pod's
+// backup drive under a bumped fencing epoch, or are declared lost when no
+// backup exists (§3.4's error propagation). When every lease-tracked device
+// on a host expires in the same pass, the host is presumed dead and all of
+// its engines have been re-placed onto survivors. State can be replicated
+// across peers with the raft package (see Replicate), matching §3.5's
+// "replicated with Raft" design; a Propose that fails (e.g. mid-election
+// after a leader crash) is retried with exponential backoff, and an
+// allocator that was itself off the air rebuilds its leases from the next
+// telemetry window instead of mass-expiring survivors.
 package allocator
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"oasis/internal/core"
 	"oasis/internal/host"
+	"oasis/internal/metrics"
 	"oasis/internal/netstack"
 	"oasis/internal/obs"
 	"oasis/internal/sim"
@@ -84,6 +93,7 @@ type NICInfo struct {
 type SSDInfo struct {
 	ID     uint16
 	HostID int
+	Backup bool // the reserved per-pod backup drive (mirrors NICInfo.Backup)
 }
 
 type nicState struct {
@@ -101,6 +111,10 @@ type ssdState struct {
 	lastSeen   sim.Duration
 	loadBps    float64
 	queueDepth uint16
+	// epoch fences a drive's generation of ownership: it is bumped on every
+	// failover away from the drive, and storage frontends stamp it into
+	// requests so a zombie backend's late completions are rejected.
+	epoch uint16
 }
 
 type instState struct {
@@ -122,6 +136,8 @@ type Allocator struct {
 	beOrder  []uint16
 	ssdLinks map[uint16]*core.LinkEnd // by SSD id
 	ssdOrder []uint16
+	sfeLinks map[int]*core.LinkEnd // storage-frontend control links, by host id
+	sfeOrder []int
 	nics     map[uint16]*nicState
 	ssds     map[uint16]*ssdState
 	insts    map[netstack.IP]*instState
@@ -136,20 +152,31 @@ type Allocator struct {
 	timersInit bool
 	nextLease  sim.Duration
 	nextRebal  sim.Duration
+	lastPoll   sim.Duration
 	driver     *core.Driver
 
 	// events receives decision trace events when RegisterObs hooked the
 	// allocator to a pod trace ring (nil-safe otherwise).
 	events *obs.TraceRing
 
+	// recoveryDetect records how long failures went unnoticed before a lease
+	// expiry caught them (detection latency, the first leg of recovery time).
+	recoveryDetect *metrics.Histogram
+
 	// Stats.
-	Placements       int64
-	Failovers        int64
-	LeaseExpiries    int64
-	SSDLeaseExpiries int64
-	Migrations       int64
-	Rebalances       int64
-	AERFailovers     int64
+	Placements           int64
+	Failovers            int64
+	SSDFailovers         int64
+	LeaseExpiries        int64
+	SSDLeaseExpiries     int64
+	Migrations           int64
+	Rebalances           int64
+	AERFailovers         int64
+	HostDeaths           int64
+	LeaseReconstructions int64
+	ProposeRetries       int64
+	ProposeDrops         int64
+	AssignResends        int64
 }
 
 // replicator abstracts the Raft log: Propose blocks conceptually until the
@@ -166,18 +193,20 @@ func (nullReplicator) Propose(*sim.Proc, []byte) bool { return true }
 // New creates an allocator hosted on h.
 func New(h *host.Host, cfg Config) *Allocator {
 	return &Allocator{
-		h:             h,
-		cfg:           cfg,
-		feLinks:       make(map[int]*core.LinkEnd),
-		beLinks:       make(map[uint16]*core.LinkEnd),
-		ssdLinks:      make(map[uint16]*core.LinkEnd),
-		nics:          make(map[uint16]*nicState),
-		ssds:          make(map[uint16]*ssdState),
-		insts:         make(map[netstack.IP]*instState),
-		instDemand:    make(map[netstack.IP]float64),
-		defaultDemand: 1e9, // 8 Gbit/s default ask
-		cmds:          sim.NewQueue[func(p *sim.Proc)](h.Eng),
-		rep:           nullReplicator{},
+		h:              h,
+		cfg:            cfg,
+		feLinks:        make(map[int]*core.LinkEnd),
+		beLinks:        make(map[uint16]*core.LinkEnd),
+		ssdLinks:       make(map[uint16]*core.LinkEnd),
+		sfeLinks:       make(map[int]*core.LinkEnd),
+		nics:           make(map[uint16]*nicState),
+		ssds:           make(map[uint16]*ssdState),
+		insts:          make(map[netstack.IP]*instState),
+		instDemand:     make(map[netstack.IP]float64),
+		defaultDemand:  1e9, // 8 Gbit/s default ask
+		cmds:           sim.NewQueue[func(p *sim.Proc)](h.Eng),
+		rep:            nullReplicator{},
+		recoveryDetect: &metrics.Histogram{},
 	}
 }
 
@@ -197,8 +226,9 @@ func (a *Allocator) AddNIC(info NICInfo, link *core.LinkEnd) {
 }
 
 // AddSSD registers a pod SSD and its control link to the storage backend
-// driver. Drives share the NICs' telemetry/lease path but never fail over
-// (§3.4): expiry or failure only marks the drive down.
+// driver. Drives share the NICs' telemetry/lease path; expiry or explicit
+// failure triggers storage failover onto the pod's backup drive (if any) —
+// the §3.3.3 backup-NIC mechanism applied to storage.
 func (a *Allocator) AddSSD(info SSDInfo, link *core.LinkEnd) {
 	a.ssds[info.ID] = &ssdState{info: info, up: true}
 	a.ssdLinks[info.ID] = link
@@ -211,6 +241,13 @@ func (a *Allocator) AddFrontend(hostID int, link *core.LinkEnd) {
 	a.feOrder = append(a.feOrder, hostID)
 }
 
+// AddStorageFrontend registers a pod host's storage-frontend control link,
+// the channel over which SSD failover commands are broadcast.
+func (a *Allocator) AddStorageFrontend(hostID int, link *core.LinkEnd) {
+	a.sfeLinks[hostID] = link
+	a.sfeOrder = append(a.sfeOrder, hostID)
+}
+
 // SetInstanceDemand declares an instance type's expected NIC bandwidth in
 // bytes/s, used by placement (§3.5 "static policies such as instance types").
 func (a *Allocator) SetInstanceDemand(ip netstack.IP, bps float64) {
@@ -219,8 +256,18 @@ func (a *Allocator) SetInstanceDemand(ip netstack.IP, bps float64) {
 
 // BackupNIC returns the reserved backup NIC id (0 if none configured).
 func (a *Allocator) BackupNIC() uint16 {
-	for id, ns := range a.nics {
-		if ns.info.Backup {
+	for _, id := range a.beOrder {
+		if a.nics[id].info.Backup {
+			return id
+		}
+	}
+	return 0
+}
+
+// BackupSSD returns the reserved backup drive id (0 if none configured).
+func (a *Allocator) BackupSSD() uint16 {
+	for _, id := range a.ssdOrder {
+		if a.ssds[id].info.Backup {
 			return id
 		}
 	}
@@ -230,20 +277,54 @@ func (a *Allocator) BackupNIC() uint16 {
 // Migrate asks the allocator to gracefully move an instance to a NIC
 // (§3.3.4); used by load-balancing policies and experiments.
 func (a *Allocator) Migrate(ip netstack.IP, newNIC uint16) {
-	a.cmds.Push(func(p *sim.Proc) {
-		st, ok := a.insts[ip]
-		if !ok {
-			return
-		}
-		if !a.rep.Propose(p, encodeCmd('M', uint32(ip), newNIC)) {
-			return
-		}
-		old := st.primary
-		st.primary = newNIC
-		a.shiftDemand(old, newNIC, st.demand)
-		a.sendToFE(p, st.hostID, ctlMsg{op: core.CtlMigrate, ip: ip, dev: newNIC})
-		a.Migrations++
-		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("migrate ip=%v nic%d -> nic%d", ip, old, newNIC))
+	a.cmds.Push(func(p *sim.Proc) { a.migrateAttempt(p, ip, newNIC, 0) })
+}
+
+func (a *Allocator) migrateAttempt(p *sim.Proc, ip netstack.IP, newNIC uint16, attempt int) {
+	st, ok := a.insts[ip]
+	if !ok {
+		return
+	}
+	if !a.rep.Propose(p, encodeCmd('M', uint32(ip), newNIC)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.migrateAttempt(p, ip, newNIC, attempt) })
+		return
+	}
+	old := st.primary
+	st.primary = newNIC
+	a.shiftDemand(old, newNIC, st.demand)
+	a.sendToFE(p, st.hostID, ctlMsg{op: core.CtlMigrate, ip: ip, dev: newNIC})
+	a.Migrations++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("migrate ip=%v nic%d -> nic%d", ip, old, newNIC))
+}
+
+// Propose retry policy: a replicated decision that fails to commit (e.g.
+// the local raft node lost leadership mid-election) is retried with
+// exponential backoff rather than silently dropped. The retry re-runs the
+// full decision function against fresh state, so a retry that has become
+// moot (instance gone, device back up) degenerates to a no-op.
+const (
+	proposeMaxRetries = 10
+	proposeRetryBase  = 25 * time.Millisecond
+	proposeRetryCap   = 200 * time.Millisecond
+)
+
+// deferRetry schedules attempt+1 of a failed replicated decision after an
+// exponential backoff, bounded by proposeMaxRetries.
+func (a *Allocator) deferRetry(attempt int, fn func(p *sim.Proc, attempt int)) {
+	if attempt >= proposeMaxRetries {
+		a.ProposeDrops++
+		return
+	}
+	a.ProposeRetries++
+	d := proposeRetryBase
+	for i := 0; i < attempt && d < proposeRetryCap; i++ {
+		d *= 2
+	}
+	if d > proposeRetryCap {
+		d = proposeRetryCap
+	}
+	a.h.Eng.After(d, func() {
+		a.cmds.Push(func(p *sim.Proc) { fn(p, attempt+1) })
 	})
 }
 
@@ -285,6 +366,27 @@ func (a *Allocator) PollOnce(p *sim.Proc) int {
 		a.nextLease = p.Now() + a.cfg.LeaseTimeout
 		a.nextRebal = p.Now() + a.cfg.RebalanceEvery
 	}
+	// Lease reconstruction (§3.5 applied to allocator recovery): if the
+	// allocator itself was off the air longer than a lease (host crash,
+	// leader re-election), every device's lastSeen is stale through no fault
+	// of the device. Grant a one-window grace instead of mass-expiring the
+	// pod; the next telemetry window rebuilds true liveness.
+	if a.lastPoll > 0 && p.Now()-a.lastPoll > a.cfg.LeaseTimeout {
+		for _, id := range a.beOrder {
+			if ns := a.nics[id]; ns.lastSeen > 0 {
+				ns.lastSeen = p.Now()
+			}
+		}
+		for _, id := range a.ssdOrder {
+			if ds := a.ssds[id]; ds.lastSeen > 0 {
+				ds.lastSeen = p.Now()
+			}
+		}
+		a.nextLease = p.Now() + a.cfg.LeaseTimeout
+		a.LeaseReconstructions++
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("lease state reconstructed after %v gap", p.Now()-a.lastPoll))
+	}
+	a.lastPoll = p.Now()
 	progress := 0
 	for i := 0; i < a.cfg.Burst; i++ {
 		cmd, ok := a.cmds.TryPop()
@@ -344,6 +446,9 @@ func (a *Allocator) PollOnce(p *sim.Proc) int {
 	for _, ssdID := range a.ssdOrder {
 		a.ssdLinks[ssdID].Flush(p)
 	}
+	for _, hostID := range a.sfeOrder {
+		a.sfeLinks[hostID].Flush(p)
+	}
 	return progress
 }
 
@@ -388,8 +493,9 @@ func (a *Allocator) handleNIC(p *sim.Proc, nicID uint16, payload []byte) {
 }
 
 // handleSSD ingests storage-backend telemetry through the same control
-// protocol as NICs. A drive reporting failure (LinkUp=false) is marked
-// down; there is no SSD failover path (§3.4).
+// protocol as NICs. A drive transitioning to failed (LinkUp=false) triggers
+// storage failover onto the pod's backup drive — the same mechanism as
+// failNIC, fenced by the drive's epoch.
 func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
 	m := core.DecodeControl(payload)
 	ds := a.ssds[ssdID]
@@ -401,10 +507,18 @@ func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
 		ds.lastSeen = p.Now()
 		ds.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
 		ds.queueDepth = m.QueueDepth
+		wasUp := ds.up
 		ds.up = m.LinkUp
+		if wasUp && !ds.up {
+			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("ssd%d reported failed", ssdID))
+			a.failSSD(p, ssdID)
+		}
 	case core.CtlLinkDown:
 		ds.lastSeen = p.Now()
-		ds.up = false
+		if ds.up {
+			ds.up = false
+			a.failSSD(p, ssdID)
+		}
 	case core.CtlLinkUp:
 		ds.lastSeen = p.Now()
 		ds.up = true
@@ -414,8 +528,20 @@ func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
 func (a *Allocator) leaseWindow() sim.Duration { return 100 * time.Millisecond }
 
 // place picks a primary NIC for a new instance: host-local first, then the
-// least-loaded NIC with spare capacity (§3.5 "Device allocation").
+// least-loaded NIC with spare capacity (§3.5 "Device allocation"). A repeat
+// request for an already-placed instance (a frontend retrying because the
+// assignment got lost in an allocator crash window) is answered
+// idempotently by re-sending the recorded assignment.
 func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
+	a.placeAttempt(p, hostID, ip, 0)
+}
+
+func (a *Allocator) placeAttempt(p *sim.Proc, hostID int, ip netstack.IP, attempt int) {
+	if st, ok := a.insts[ip]; ok {
+		a.AssignResends++
+		a.sendToFE(p, st.hostID, ctlMsg{op: core.CtlAssign, ip: ip, dev: st.primary, aux: st.backup})
+		return
+	}
 	demand := a.defaultDemand
 	if d, ok := a.instDemand[ip]; ok {
 		demand = d
@@ -468,6 +594,7 @@ func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
 		pick = best.info.ID
 	}
 	if !a.rep.Propose(p, encodeCmd('P', uint32(ip), pick)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.placeAttempt(p, hostID, ip, attempt) })
 		return
 	}
 	a.nics[pick].demand += demand
@@ -480,11 +607,20 @@ func (a *Allocator) place(p *sim.Proc, hostID int, ip netstack.IP) {
 // failNIC reroutes every instance on the failed NIC to the backup and has
 // the backup borrow the failed NIC's MAC (§3.3.3).
 func (a *Allocator) failNIC(p *sim.Proc, failed uint16) {
+	a.failNICAttempt(p, failed, 0)
+}
+
+func (a *Allocator) failNICAttempt(p *sim.Proc, failed uint16, attempt int) {
+	ns := a.nics[failed]
+	if ns == nil || ns.up {
+		return // repaired (or unknown) by the time the retry fired
+	}
 	backup := a.BackupNIC()
 	if backup == 0 || backup == failed {
 		return
 	}
 	if !a.rep.Propose(p, encodeCmd('F', uint32(failed), backup)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.failNICAttempt(p, failed, attempt) })
 		return
 	}
 	a.Failovers++
@@ -503,6 +639,43 @@ func (a *Allocator) failNIC(p *sim.Proc, failed uint16) {
 		}
 	}
 	a.shiftDemand(failed, backup, moved)
+}
+
+// failSSD re-binds every volume on the failed drive onto the pod's backup
+// drive (§3.3.3's backup mechanism applied to storage). The drive's fencing
+// epoch is bumped and broadcast with the failover so storage frontends
+// reject the zombie backend's late completions. With no usable backup the
+// failover is still broadcast with target 0: frontends mark the volumes
+// lost and surface ErrVolumeLost (§3.4's error propagation).
+func (a *Allocator) failSSD(p *sim.Proc, failed uint16) {
+	a.failSSDAttempt(p, failed, 0)
+}
+
+func (a *Allocator) failSSDAttempt(p *sim.Proc, failed uint16, attempt int) {
+	ds := a.ssds[failed]
+	if ds == nil || ds.up {
+		return // repaired (or unknown) by the time the retry fired
+	}
+	target := a.BackupSSD()
+	if target == failed || (target != 0 && !a.ssds[target].up) {
+		target = 0
+	}
+	if !a.rep.Propose(p, encodeCmd('S', uint32(failed), target)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.failSSDAttempt(p, failed, attempt) })
+		return
+	}
+	ds.epoch++
+	a.SSDFailovers++
+	if target == 0 {
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("ssd%d failed, no backup: volumes lost", failed))
+	} else {
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("ssd failover ssd%d -> ssd%d epoch=%d", failed, target, ds.epoch))
+	}
+	for _, hostID := range a.sfeOrder {
+		a.sendToSFE(p, hostID, ctlMsg{
+			op: core.CtlFailover, kind: core.DeviceSSD, dev: failed, aux: target, epoch: ds.epoch,
+		})
+	}
 }
 
 // shiftDemand moves accounted demand between NICs.
@@ -559,9 +732,13 @@ func (a *Allocator) rebalance(p *sim.Proc) {
 
 // checkLeases expires devices whose telemetry went silent — the host-failure
 // path (§3.5 "Host failures are instead inferred from missing telemetry").
-// A NIC's lease expiry fails its instances over; an SSD's only marks the
-// drive down (§3.4: storage errors propagate, redundancy is a layer above).
+// A NIC's lease expiry fails its instances over; an SSD's fails its volumes
+// over onto the backup drive (or declares them lost without one). When
+// every lease-tracked device a host owns has expired, the host itself is
+// presumed dead — by that point each device's own recovery has already
+// re-placed its engines onto survivors.
 func (a *Allocator) checkLeases(p *sim.Proc) {
+	var expiredHosts []int
 	for _, id := range a.beOrder {
 		ns := a.nics[id]
 		if !ns.up || ns.info.Backup {
@@ -573,8 +750,10 @@ func (a *Allocator) checkLeases(p *sim.Proc) {
 		if p.Now()-ns.lastSeen > a.cfg.LeaseTimeout {
 			ns.up = false
 			a.LeaseExpiries++
+			a.recoveryDetect.Record(time.Duration(p.Now() - ns.lastSeen))
 			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("lease expired for nic%d", id))
 			a.failNIC(p, id)
+			expiredHosts = append(expiredHosts, ns.info.HostID)
 		}
 	}
 	for _, id := range a.ssdOrder {
@@ -585,7 +764,54 @@ func (a *Allocator) checkLeases(p *sim.Proc) {
 		if p.Now()-ds.lastSeen > a.cfg.LeaseTimeout {
 			ds.up = false
 			a.SSDLeaseExpiries++
+			a.recoveryDetect.Record(time.Duration(p.Now() - ds.lastSeen))
 			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("lease expired for ssd%d", id))
+			a.failSSD(p, id)
+			expiredHosts = append(expiredHosts, ds.info.HostID)
+		}
+	}
+	a.inferHostDeaths(p, expiredHosts)
+}
+
+// inferHostDeaths promotes per-device lease expiries to a host-death verdict
+// when every lease-tracked device on a host (its non-backup NICs and its
+// SSDs) is down. The verdict is observational — device recoveries already
+// ran — but it is the pod-level signal operators and experiments key on.
+func (a *Allocator) inferHostDeaths(p *sim.Proc, candidates []int) {
+	if len(candidates) == 0 {
+		return
+	}
+	sort.Ints(candidates)
+	prev := -1 << 62
+	for _, hostID := range candidates {
+		if hostID == prev {
+			continue // dedup: host had several devices expire this pass
+		}
+		prev = hostID
+		dead, tracked := true, false
+		for _, id := range a.beOrder {
+			ns := a.nics[id]
+			if ns.info.HostID != hostID || ns.info.Backup {
+				continue
+			}
+			tracked = true
+			if ns.up {
+				dead = false
+			}
+		}
+		for _, id := range a.ssdOrder {
+			ds := a.ssds[id]
+			if ds.info.HostID != hostID {
+				continue
+			}
+			tracked = true
+			if ds.up {
+				dead = false
+			}
+		}
+		if tracked && dead {
+			a.HostDeaths++
+			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("host %d presumed dead: all device leases expired", hostID))
 		}
 	}
 }
@@ -598,6 +824,19 @@ func (a *Allocator) sendToFE(p *sim.Proc, hostID int, m ctlMsg) {
 	var buf [15]byte
 	if !l.Send(p, m.encode(buf[:])) {
 		a.cmds.Push(func(p *sim.Proc) { a.sendToFE(p, hostID, m) })
+		return
+	}
+	l.Flush(p)
+}
+
+func (a *Allocator) sendToSFE(p *sim.Proc, hostID int, m ctlMsg) {
+	l := a.sfeLinks[hostID]
+	if l == nil {
+		return
+	}
+	var buf [15]byte
+	if !l.Send(p, m.encode(buf[:])) {
+		a.cmds.Push(func(p *sim.Proc) { a.sendToSFE(p, hostID, m) })
 		return
 	}
 	l.Flush(p)
@@ -649,6 +888,17 @@ func (a *Allocator) SSDUp(id uint16) bool {
 	return false
 }
 
+// SSDEpoch returns the drive's current fencing epoch (bumped per failover).
+func (a *Allocator) SSDEpoch(id uint16) uint16 {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.epoch
+	}
+	return 0
+}
+
+// RecoveryDetect exposes the failure-detection latency histogram.
+func (a *Allocator) RecoveryDetect() *metrics.Histogram { return a.recoveryDetect }
+
 // SSDQueueDepth returns the drive's last-reported queue occupancy.
 func (a *Allocator) SSDQueueDepth(id uint16) uint16 {
 	if ds := a.ssds[id]; ds != nil {
@@ -670,16 +920,24 @@ func encodeCmd(kind byte, arg uint32, nic uint16) []byte {
 	return []byte{kind, byte(arg), byte(arg >> 8), byte(arg >> 16), byte(arg >> 24), byte(nic), byte(nic >> 8)}
 }
 
-// ctlMsg is shorthand for building NIC-engine control messages.
+// ctlMsg is shorthand for building engine control messages. kind's zero
+// value maps to DeviceNIC so the (dominant) NIC-engine call sites stay
+// terse; storage failover sets kind explicitly.
 type ctlMsg struct {
-	op  byte
-	ip  netstack.IP
-	dev uint16
-	aux uint16
+	op    byte
+	kind  core.DeviceKind
+	ip    netstack.IP
+	dev   uint16
+	aux   uint16
+	epoch uint16
 }
 
 func (m ctlMsg) encode(buf []byte) []byte {
+	kind := m.kind
+	if kind == 0 {
+		kind = core.DeviceNIC
+	}
 	return core.EncodeControl(buf, core.ControlMsg{
-		Op: m.op, Kind: core.DeviceNIC, IP: m.ip, Dev: m.dev, Aux: m.aux,
+		Op: m.op, Kind: kind, IP: m.ip, Dev: m.dev, Aux: m.aux, Epoch: m.epoch,
 	})
 }

@@ -18,6 +18,13 @@ func (a *Allocator) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/rebalances", func() int64 { return a.Rebalances })
 	r.Counter(prefix+"/lease_expiries", func() int64 { return a.LeaseExpiries })
 	r.Counter(prefix+"/ssd_lease_expiries", func() int64 { return a.SSDLeaseExpiries })
+	r.Counter(prefix+"/recovery/ssd_failovers", func() int64 { return a.SSDFailovers })
+	r.Counter(prefix+"/recovery/host_deaths", func() int64 { return a.HostDeaths })
+	r.Counter(prefix+"/recovery/lease_rebuilds", func() int64 { return a.LeaseReconstructions })
+	r.Counter(prefix+"/recovery/propose_retries", func() int64 { return a.ProposeRetries })
+	r.Counter(prefix+"/recovery/propose_drops", func() int64 { return a.ProposeDrops })
+	r.Counter(prefix+"/recovery/assign_resends", func() int64 { return a.AssignResends })
+	r.Histogram(prefix+"/recovery/detect_lat", a.recoveryDetect)
 	for _, id := range a.beOrder {
 		id := id
 		npfx := fmt.Sprintf("%s/nic/nic%d", prefix, id)

@@ -60,6 +60,12 @@ type ControlMsg struct {
 	Aux  uint16 // second device id (failover backup, assign backup)
 	IP   netstack.IP
 
+	// Epoch fences commands against zombies (§3.3.3's lease analogue for
+	// storage): each failover bumps the failed device's epoch, frontends
+	// stamp subsequent requests with it, and completions carrying an older
+	// epoch are rejected. Zero for commands that predate fencing.
+	Epoch uint16
+
 	// Telemetry fields.
 	Load       uint64 // bytes served in the last window (48-bit on the wire)
 	LinkUp     bool
@@ -72,8 +78,8 @@ const maxLoad48 = (1 << 48) - 1
 // EncodeControl packs m into a 15-byte channel payload (reusing buf).
 //
 // Layout after the opcode byte: kind (1), dev (2), then either
-// aux (2) + ip (4) for commands, or load (6) + linkup (1) + aer (2) +
-// queue depth (2) for telemetry.
+// aux (2) + ip (4) + epoch (2) for commands, or load (6) + linkup (1) +
+// aer (2) + queue depth (2) for telemetry.
 func EncodeControl(buf []byte, m ControlMsg) []byte {
 	buf = buf[:0]
 	buf = append(buf, m.Op)
@@ -96,6 +102,7 @@ func EncodeControl(buf []byte, m ControlMsg) []byte {
 	} else {
 		binary.LittleEndian.PutUint16(b[3:5], m.Aux)
 		binary.LittleEndian.PutUint32(b[5:9], uint32(m.IP))
+		binary.LittleEndian.PutUint16(b[9:11], m.Epoch)
 	}
 	return append(buf, b[:]...)
 }
@@ -117,6 +124,7 @@ func DecodeControl(payload []byte) ControlMsg {
 	} else {
 		m.Aux = binary.LittleEndian.Uint16(b[3:5])
 		m.IP = netstack.IP(binary.LittleEndian.Uint32(b[5:9]))
+		m.Epoch = binary.LittleEndian.Uint16(b[9:11])
 	}
 	return m
 }

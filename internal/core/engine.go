@@ -48,15 +48,19 @@ type Driver struct {
 	loops   []EngineLoop
 	started bool
 
+	stalled  bool
+	stallSig *sim.Signal
+
 	// Stats.
 	Iterations     int64 // total poll iterations
 	IdleIterations int64 // iterations that processed nothing
 	Processed      int64 // total items processed across all loops
+	Stalls         int64 // times the core was stalled (fault injection)
 }
 
 // NewDriver creates a driver core on h. The name labels the core's process.
 func NewDriver(h *host.Host, name string, cfg DriverConfig) *Driver {
-	return &Driver{h: h, name: name, cfg: cfg}
+	return &Driver{h: h, name: name, cfg: cfg, stallSig: sim.NewSignal(h.Eng)}
 }
 
 // Host returns the host whose core this driver occupies.
@@ -89,9 +93,38 @@ func (d *Driver) Start() {
 // Started reports whether the core is polling.
 func (d *Driver) Started() bool { return d.started }
 
+// Stall freezes the polling process at its next iteration boundary: no loop
+// body runs, no telemetry is emitted, inbound rings back up. This models a
+// crashed or wedged driver core for fault injection. The process itself is
+// kept (a crashed host's core comes back as the same core), so Resume
+// continues exactly where polling stopped.
+func (d *Driver) Stall() {
+	if d.stalled {
+		return
+	}
+	d.stalled = true
+	d.Stalls++
+}
+
+// Resume releases a stalled core; the polling process continues on the
+// current sim tick.
+func (d *Driver) Resume() {
+	if !d.stalled {
+		return
+	}
+	d.stalled = false
+	d.stallSig.Broadcast()
+}
+
+// Stalled reports whether the core is currently frozen.
+func (d *Driver) Stalled() bool { return d.stalled }
+
 func (d *Driver) run(p *sim.Proc) {
 	idle := sim.Duration(0)
 	for {
+		for d.stalled {
+			d.stallSig.Wait(p)
+		}
 		progress := 0
 		for _, l := range d.loops {
 			progress += l.PollOnce(p)

@@ -297,6 +297,13 @@ type Port struct {
 	// ahead of Oasis's latency-critical message traffic.
 	qosRd map[string]*classLink
 	qosWr map[string]*classLink
+
+	// Degradation (fault injection): a flaky retimer or downgraded link
+	// width stretches every latency term by latMult and shrinks the
+	// effective bandwidth to bwFrac × PortBandwidth. Zero values mean
+	// healthy (multiplier 1).
+	latMult float64
+	bwFrac  float64
 }
 
 type classLink struct {
@@ -320,10 +327,42 @@ func (pt *Port) SetQoS(category string, fraction float64) {
 	pt.qosWr[category] = &classLink{res: sim.NewResource(pt.pool.eng), bps: bps}
 }
 
+// SetDegraded injects (or, with 1, 1, clears) a link-quality fault on this
+// port: latencies are multiplied by latMult and bandwidth scaled to bwFrac
+// of nominal. Both must be positive; latMult ≥ 1 and bwFrac ≤ 1 model
+// degradation, the inverse would model an (unphysical) upgrade.
+func (pt *Port) SetDegraded(latMult, bwFrac float64) {
+	if latMult <= 0 || bwFrac <= 0 {
+		panic(fmt.Sprintf("cxl: SetDegraded(%v, %v) requires positive factors", latMult, bwFrac))
+	}
+	pt.latMult, pt.bwFrac = latMult, bwFrac
+}
+
+// Degraded reports whether a degradation fault is active.
+func (pt *Port) Degraded() bool {
+	return (pt.latMult != 0 && pt.latMult != 1) || (pt.bwFrac != 0 && pt.bwFrac != 1)
+}
+
+// scaleLat stretches a latency term by the active degradation multiplier.
+func (pt *Port) scaleLat(d sim.Duration) sim.Duration {
+	if pt.latMult != 0 && pt.latMult != 1 {
+		return sim.Duration(float64(d) * pt.latMult)
+	}
+	return d
+}
+
+// scaleSer stretches a serialization term by the active bandwidth fraction.
+func (pt *Port) scaleSer(d sim.Duration) sim.Duration {
+	if pt.bwFrac != 0 && pt.bwFrac != 1 {
+		return sim.Duration(float64(d) / pt.bwFrac)
+	}
+	return d
+}
+
 // reserveRd books n bytes on the read direction for a category.
 func (pt *Port) reserveRd(category string, n int) sim.Duration {
 	if cl, ok := pt.qosRd[category]; ok {
-		return cl.res.Reserve(sim.Duration(float64(n) / cl.bps * float64(time.Second)))
+		return cl.res.Reserve(pt.scaleSer(sim.Duration(float64(n) / cl.bps * float64(time.Second))))
 	}
 	return pt.rdLink.Reserve(pt.serialization(n))
 }
@@ -331,7 +370,7 @@ func (pt *Port) reserveRd(category string, n int) sim.Duration {
 // reserveWr books n bytes on the write direction for a category.
 func (pt *Port) reserveWr(category string, n int) sim.Duration {
 	if cl, ok := pt.qosWr[category]; ok {
-		return cl.res.Reserve(sim.Duration(float64(n) / cl.bps * float64(time.Second)))
+		return cl.res.Reserve(pt.scaleSer(sim.Duration(float64(n) / cl.bps * float64(time.Second))))
 	}
 	return pt.wrLink.Reserve(pt.serialization(n))
 }
@@ -350,7 +389,7 @@ func (pt *Port) WriteMeter() *metrics.Meter { return pt.wrMeter }
 
 // serialization returns the link occupancy time of n bytes.
 func (pt *Port) serialization(n int) sim.Duration {
-	return sim.Duration(float64(n) / pt.pool.params.PortBandwidth * float64(time.Second))
+	return pt.scaleSer(sim.Duration(float64(n) / pt.pool.params.PortBandwidth * float64(time.Second)))
 }
 
 // FetchLine initiates a line read and returns the absolute time at which the
@@ -363,7 +402,7 @@ func (pt *Port) FetchLine(addr int64, category string) sim.Duration {
 	pt.rdMeter.Add(category, LineSize)
 	done := pt.reserveRd(category, LineSize)
 	load, _ := pt.pool.classFor(addr)
-	return done + load
+	return done + pt.scaleLat(load)
 }
 
 // CollectLine snapshots the line's pool contents into buf. Callers must only
@@ -386,7 +425,7 @@ func (pt *Port) WriteLine(addr int64, data []byte, category string) sim.Duration
 	pt.pool.checkRange(addr, LineSize)
 	pt.wrMeter.Add(category, LineSize)
 	_, write := pt.pool.classFor(addr)
-	done := pt.reserveWr(category, LineSize) + write
+	done := pt.reserveWr(category, LineSize) + pt.scaleLat(write)
 	// The in-flight snapshot is recycled once it lands in pool memory; its
 	// ownership provably ends after poke.
 	snap := pt.pool.eng.Bufs().Get(LineSize)
@@ -437,7 +476,7 @@ func (pt *Port) DMARead(addr int64, buf []byte, category string) sim.Duration {
 	done := pt.reserveRd(category, lines*LineSize)
 	pt.pool.peek(addr, buf)
 	load, _ := pt.pool.classFor(addr)
-	return done + load
+	return done + pt.scaleLat(load)
 }
 
 // DMAWrite models a device writing n bytes into the pool. Completion — and
@@ -448,7 +487,7 @@ func (pt *Port) DMAWrite(addr int64, data []byte, category string) sim.Duration 
 	lines := linesSpanned(addr, len(data))
 	pt.wrMeter.Add(category, int64(lines*LineSize))
 	_, write := pt.pool.classFor(addr)
-	done := pt.reserveWr(category, lines*LineSize) + write
+	done := pt.reserveWr(category, lines*LineSize) + pt.scaleLat(write)
 	snap := pt.pool.eng.Bufs().Get(len(data))
 	copy(snap, data)
 	pt.postWrite(addr, snap, done)

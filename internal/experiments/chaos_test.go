@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosDeterministic is the acceptance gate for the chaos campaign:
+// the full seven-fault run must (a) satisfy every recovery invariant and
+// (b) produce a byte-identical report when rerun — here the rerun happens
+// under SetParallelism(8), so one comparison covers both the replay
+// contract and the parallel runner. The race gate re-runs this test with
+// the detector on but passes -short (see scripts/verify.sh): one run is
+// enough for race coverage, and the ~10x detector overhead makes the
+// rerun comparison too expensive to double up there.
+func TestChaosDeterministic(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(1)
+	serial := Chaos(1.0)
+	if v := serial.Values["violations"]; v != 0 {
+		t.Fatalf("chaos campaign violated %v invariant(s):\n%s", v, serial.String())
+	}
+	if testing.Short() {
+		return // invariants checked; skip the rerun under -short (race gate)
+	}
+	SetParallelism(8)
+	parallel := Chaos(1.0)
+	if serial.String() != parallel.String() {
+		t.Errorf("chaos report not byte-identical across reruns:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if !reflect.DeepEqual(serial.Values, parallel.Values) {
+		t.Errorf("chaos values differ across reruns: %v vs %v", serial.Values, parallel.Values)
+	}
+}
+
+// TestFig13FailoverBound is a regression bound on NIC failover time: the
+// paper reports ~38 ms of interruption (Fig. 13); the reproduction must
+// keep the loss window in the same regime and actually fail over.
+func TestFig13FailoverBound(t *testing.T) {
+	r := Fig13(0.1)
+	if r.Values["failovers"] < 1 {
+		t.Fatalf("no failover recorded:\n%s", r.String())
+	}
+	outage := r.Values["outage_ms"]
+	if outage <= 0 || outage > 100 {
+		t.Fatalf("failover outage %v ms out of bounds (0, 100]:\n%s", outage, r.String())
+	}
+	if r.Values["lost"] < 1 {
+		t.Fatalf("probe stream saw no loss at all — failure not injected?\n%s", r.String())
+	}
+}

@@ -76,6 +76,7 @@ func Registry() []struct {
 		{"abl-sharding", AblSharding},
 		{"abl-qos", AblQoS},
 		{"abl-storage", AblStorage},
+		{"chaos", Chaos},
 	}
 }
 

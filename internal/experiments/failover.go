@@ -9,19 +9,23 @@ import (
 )
 
 // timeQueue is a FIFO of send timestamps shared between a pipelined sender
-// and its reader process.
+// and its reader process. The pop timeout is derived from the run length at
+// construction: a hardcoded timeout shorter than the span would make
+// readers give up mid-run at full scale, and one longer would leave scaled
+// CI runs idling after shutdown.
 type timeQueue struct {
-	q *sim.Queue[oasis.Duration]
+	q       *sim.Queue[oasis.Duration]
+	timeout oasis.Duration
 }
 
-func newTimeQueue(pod *oasis.Pod) *timeQueue {
-	return &timeQueue{q: sim.NewQueue[oasis.Duration](pod.Eng)}
+func newTimeQueue(pod *oasis.Pod, timeout oasis.Duration) *timeQueue {
+	return &timeQueue{q: sim.NewQueue[oasis.Duration](pod.Eng), timeout: timeout}
 }
 
 func (t *timeQueue) push(v oasis.Duration) { t.q.Push(v) }
 
 func (t *timeQueue) pop(p *oasis.Proc) (oasis.Duration, bool) {
-	return t.q.PopTimeout(p, 10*time.Second)
+	return t.q.PopTimeout(p, t.timeout)
 }
 
 // failoverPod builds the §5.3 topology: instance on host A, its NIC on
@@ -201,7 +205,7 @@ func Fig14(scale float64) *Report {
 			if err != nil {
 				return
 			}
-			sendTimes := newTimeQueue(f.pod)
+			sendTimes := newTimeQueue(f.pod, span+2*time.Second)
 			f.pod.Go("mc-reader", func(p *oasis.Proc) {
 				for {
 					if _, err := conn.Read(p, 4+app.RespSize); err != nil {

@@ -40,6 +40,14 @@ type Config struct {
 	TelemetryEvery sim.Duration // backend telemetry period (§3.5: 100 ms)
 	MigrationGrace sim.Duration // §3.3.4: dual-NIC RX window (5 s)
 
+	// AllocRetryBase is the initial interval after which an unanswered
+	// allocation request (RequestAllocation with no CtlAssign yet) is resent
+	// to the allocator; subsequent retries back off exponentially up to
+	// allocRetryCap. This is what lets instances launched during an
+	// allocator outage (leader crash, host failure) eventually place. 0
+	// disables retries (a request is sent exactly once).
+	AllocRetryBase sim.Duration
+
 	// PendingLimit bounds each peer link's queue of messages parked on a
 	// full ring before the link reports backpressure (core.LinkSet).
 	PendingLimit int
@@ -60,8 +68,12 @@ func DefaultConfig() Config {
 		TelemetryEvery: 100 * time.Millisecond,
 		MigrationGrace: 5 * time.Second,
 		PendingLimit:   core.DefaultPendingLimit,
+		AllocRetryBase: 10 * time.Millisecond,
 	}
 }
+
+// allocRetryCap bounds the allocation-request retry backoff.
+const allocRetryCap = 500 * time.Millisecond
 
 // driverConfig derives the core runtime pacing from the engine config.
 func (c Config) driverConfig() core.DriverConfig {
@@ -108,6 +120,7 @@ type Frontend struct {
 	TxChannelFull            int64
 	UnknownCompletions       int64
 	FailoversApplied         int64
+	AllocRetries             int64
 }
 
 // NewFrontend creates the frontend driver for a pod host.
@@ -165,6 +178,12 @@ type InstancePort struct {
 	ready           map[uint16]bool
 	readySig        *sim.Signal
 	curMAC          netsw.MAC
+
+	// Allocation-request retry state (timeout + exponential backoff): set by
+	// RequestAllocation, cleared when the allocator's CtlAssign lands.
+	allocWant    bool
+	allocNext    sim.Duration
+	allocBackoff sim.Duration
 
 	// Stats.
 	TxDropsNoBuffer int64
@@ -278,19 +297,30 @@ func (ip *InstancePort) Assign(primary, backup uint16) {
 }
 
 // RequestAllocation asks the pod-wide allocator to pick NICs for this
-// instance (§3.5); the allocator answers with an assign command.
+// instance (§3.5); the allocator answers with an assign command. If no
+// answer arrives (the request or reply was lost in an allocator outage),
+// the frontend resends under exponential backoff until assigned.
 func (ip *InstancePort) RequestAllocation() {
 	fe := ip.fe
 	fe.cmds.Push(func(p *sim.Proc) {
 		if fe.ctrl == nil {
 			panic("netengine: RequestAllocation without a control link")
 		}
-		var buf [15]byte
-		fe.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
-			Op: core.CtlAllocRequest, Kind: core.DeviceNIC, IP: ip.ip,
-		}))
-		fe.ctrl.Flush(p)
+		ip.allocWant = true
+		ip.allocBackoff = fe.cfg.AllocRetryBase
+		ip.allocNext = p.Now() + ip.allocBackoff
+		fe.sendAllocRequest(p, ip)
 	})
+}
+
+// sendAllocRequest emits one allocation request (best effort: a full ring
+// is recovered by the retry timer, not a park).
+func (fe *Frontend) sendAllocRequest(p *sim.Proc, inst *InstancePort) {
+	var buf [15]byte
+	fe.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+		Op: core.CtlAllocRequest, Kind: core.DeviceNIC, IP: inst.ip,
+	}))
+	fe.ctrl.Flush(p)
 }
 
 // sendRegister emits a registration message (best effort; the channel is
@@ -347,6 +377,23 @@ func (fe *Frontend) PollOnce(p *sim.Proc) int {
 		}
 		cmd(p)
 		progress++
+	}
+	// Unanswered allocation requests: resend under exponential backoff.
+	if fe.ctrl != nil && fe.cfg.AllocRetryBase > 0 {
+		for _, ipAddr := range fe.instOrder {
+			inst := fe.insts[ipAddr]
+			if !inst.allocWant || p.Now() < inst.allocNext {
+				continue
+			}
+			inst.allocBackoff *= 2
+			if inst.allocBackoff > allocRetryCap {
+				inst.allocBackoff = allocRetryCap
+			}
+			inst.allocNext = p.Now() + inst.allocBackoff
+			fe.AllocRetries++
+			fe.sendAllocRequest(p, inst)
+			progress++
+		}
 	}
 	// Instance TX queues -> backends.
 	for _, ipAddr := range fe.instOrder {
@@ -487,6 +534,7 @@ func (fe *Frontend) handleControlMsg(p *sim.Proc, m core.ControlMsg) {
 		if !ok {
 			return
 		}
+		inst.allocWant = false
 		backup := uint16(0)
 		if m.Aux != 0 {
 			backup = m.Aux

@@ -15,6 +15,7 @@ func (fe *Frontend) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/tx_channel_full", func() int64 { return fe.TxChannelFull })
 	r.Counter(prefix+"/unknown_completions", func() int64 { return fe.UnknownCompletions })
 	r.Counter(prefix+"/failovers_applied", func() int64 { return fe.FailoversApplied })
+	r.Counter(prefix+"/alloc_retries", func() int64 { return fe.AllocRetries })
 	fe.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("nic%d", peer) })
 	for _, ip := range fe.instOrder {
 		inst := fe.insts[ip]

@@ -189,6 +189,18 @@ func (n *NIC) Start() {
 	n.eng.Go(n.name+"/tx", func(p *sim.Proc) { n.txLoop(p) })
 }
 
+// ForceLink overrides the PHY state (failure injection): down takes the
+// link-status register down immediately, regardless of the switch port; up
+// restores it only if the attached port is actually enabled. Any in-flight
+// debounce timer is invalidated so a stale event can't undo the injection.
+func (n *NIC) ForceLink(up bool) {
+	n.linkGen++
+	if up && n.port != nil && !n.port.Enabled() {
+		up = false
+	}
+	n.linkUp = up
+}
+
 // InjectAER increments an AER counter (failure injection for the
 // proactive-failover tests).
 func (n *NIC) InjectAER(uncorrectable bool) {

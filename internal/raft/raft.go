@@ -179,7 +179,14 @@ func (n *Node) CommitIndex() uint64 { return n.commitIndex }
 func (n *Node) Deliver(m Message) { n.inbox.Push(m) }
 
 // Stop halts the node (simulating a crash); it stops processing messages.
+// The role field is deliberately left as-is — a crashed ex-leader still
+// *believes* it is leader, which is exactly the zombie the cluster's term
+// checks must fence. Callers scanning for a live leader must therefore
+// check Stopped() alongside IsLeader().
 func (n *Node) Stop() { n.stopped = true }
+
+// Stopped reports whether the node is crashed (stopped, not restarted).
+func (n *Node) Stopped() bool { return n.stopped }
 
 // Restart revives a stopped node as a follower (volatile state reset, log
 // retained — we model a process restart with durable log, as Raft assumes).

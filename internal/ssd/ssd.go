@@ -143,6 +143,12 @@ func (d *SSD) Name() string { return d.name }
 // with a device fault (§3.4).
 func (d *SSD) Fail() { d.failed = true }
 
+// Repair clears an injected failure; subsequent commands execute normally.
+// The stored blocks survive (the fault models a controller hang, not media
+// loss) — but a frontend must still treat a repaired drive's copy as stale
+// until re-mirrored, which is why failover never automatically fails back.
+func (d *SSD) Repair() { d.failed = false }
+
 // Failed reports the failure state (the backend's health check reads it).
 func (d *SSD) Failed() bool { return d.failed }
 

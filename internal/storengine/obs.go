@@ -13,11 +13,19 @@ func (fe *Frontend) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/reads", func() int64 { return fe.Reads })
 	r.Counter(prefix+"/writes", func() int64 { return fe.Writes })
 	r.Counter(prefix+"/errors", func() int64 { return fe.Errors })
+	r.Counter(prefix+"/mirror_writes", func() int64 { return fe.MirrorWrites })
+	r.Counter(prefix+"/retries", func() int64 { return fe.Retries })
+	r.Counter(prefix+"/stale_rejected", func() int64 { return fe.StaleRejected })
+	r.Counter(prefix+"/rebinds", func() int64 { return fe.Rebinds })
+	r.Counter(prefix+"/volumes_lost", func() int64 { return fe.VolumesLost })
+	r.Counter(prefix+"/failovers_applied", func() int64 { return fe.FailoversApplied })
+	r.Counter(prefix+"/quarantined_bufs", func() int64 { return fe.QuarantinedBufs })
 	fe.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("ssd%d", peer) })
 	for _, ip := range fe.volOrder {
 		v := fe.vols[ip]
 		vpfx := fmt.Sprintf("%s/vol/%v", prefix, ip)
 		r.Counter(vpfx+"/io_errors", func() int64 { return v.IOErrors })
+		r.Counter(vpfx+"/rebinds", func() int64 { return v.Rebinds })
 		v.area.RegisterObs(r, vpfx)
 	}
 }
@@ -29,6 +37,7 @@ func (be *Backend) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/completed", func() int64 { return be.Completed })
 	r.Counter(prefix+"/bounds_violations", func() int64 { return be.BoundsViolations })
 	r.Counter(prefix+"/registrations_denied", func() int64 { return be.RegistrationsDenied })
+	r.Counter(prefix+"/re_registrations", func() int64 { return be.ReRegistrations })
 	r.Counter(prefix+"/telemetry_sent", func() int64 { return be.TelemetrySent })
 	be.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("host%d", peer) })
 }

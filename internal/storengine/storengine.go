@@ -6,8 +6,13 @@
 //   - 64 B messages (vs the network engine's 16 B),
 //   - I/O buffers in shared CXL memory, DMAed by the SSD, never inspected
 //     by the backend (§3.2.1),
-//   - no transparent failover: a drive failure propagates an I/O error to
-//     the guest; redundancy is the layer above's job (§3.4).
+//   - redundancy mirrors the network engine's backup mechanism (§3.3.3):
+//     a pod may designate a backup drive; writes are mirrored to it, and
+//     on a primary failure the allocator re-binds volumes onto the backup
+//     with an epoch-fenced failover so a zombie backend's late completions
+//     are rejected and no acknowledged write is lost. Without a backup, a
+//     drive failure surfaces ErrVolumeLost to the guest (§3.4's error
+//     propagation) instead of stalling silently.
 //
 // Both drivers are instantiations of the core engine runtime (core.Driver +
 // core.LinkSet) and the backend reports telemetry to the pod-wide allocator
@@ -19,7 +24,9 @@ package storengine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"oasis/internal/core"
@@ -30,6 +37,13 @@ import (
 	"oasis/internal/sim"
 	"oasis/internal/ssd"
 )
+
+// ErrVolumeLost marks a volume whose drive failed with no valid backup
+// copy: the data is gone and every pending and future I/O fails. Callers
+// detect it with errors.Is; the degraded state is permanent by design —
+// the layer above must re-provision. (Before failover existed, this case
+// stalled silently.)
+var ErrVolumeLost = errors.New("storengine: volume lost")
 
 // Config sizes the storage engine.
 type Config struct {
@@ -48,6 +62,15 @@ type Config struct {
 	// PendingLimit bounds each peer link's queue of messages parked on a
 	// full ring before the link reports backpressure (core.LinkSet).
 	PendingLimit int
+	// MaxRetries bounds per-request resubmissions after an errored or
+	// fenced completion. The retry budget must outlast the allocator's
+	// failure-detection window so a request caught by a drive failure
+	// lands on the re-bound volume instead of erroring. 0 disables
+	// retries (pre-failover behavior).
+	MaxRetries int
+	// RetryBase / RetryCap shape the exponential retry backoff.
+	RetryBase sim.Duration
+	RetryCap  sim.Duration
 }
 
 // DefaultConfig: 64 KiB buffers (16 blocks per request max).
@@ -63,6 +86,9 @@ func DefaultConfig() Config {
 		IdleBackoff:    time.Microsecond,
 		TelemetryEvery: 100 * time.Millisecond,
 		PendingLimit:   core.DefaultPendingLimit,
+		MaxRetries:     8,
+		RetryBase:      5 * time.Millisecond,
+		RetryCap:       100 * time.Millisecond,
 	}
 }
 
@@ -74,6 +100,28 @@ func (c Config) driverConfig() core.DriverConfig {
 	return core.DriverConfig{LoopCost: c.LoopCost, IdleBackoff: c.IdleBackoff}
 }
 
+// retryBackoff is the wait before resubmission attempt n (1-based).
+func (c Config) retryBackoff(attempt int) sim.Duration {
+	d := c.RetryBase
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if c.RetryCap > 0 && d >= c.RetryCap {
+			return c.RetryCap
+		}
+	}
+	if c.RetryCap > 0 && d > c.RetryCap {
+		d = c.RetryCap
+	}
+	return d
+}
+
+// readyRecheck paces the frontend's re-examination of requests parked on a
+// volume whose (re-bound) primary has not acked registration yet.
+const readyRecheck = 50 * time.Microsecond
+
 // Message opcodes.
 const (
 	sOpRead        = 1
@@ -84,6 +132,9 @@ const (
 )
 
 // smsg is the 63-byte payload layout, mirroring an NVMe command (§3.4).
+// The epoch field fences completions across failovers: the frontend stamps
+// requests with the volume's epoch, the backend echoes it, and completions
+// whose epoch does not match the in-flight leg are rejected as stale.
 type smsg struct {
 	op     byte
 	cid    uint16
@@ -94,11 +145,12 @@ type smsg struct {
 	status uint8
 	base   uint64 // register ack: assigned base LBA
 	size   uint64 // register: requested blocks; ack: granted blocks
+	epoch  uint16 // volume epoch (fencing)
 }
 
 func (m smsg) encode(buf []byte) []byte {
 	buf = buf[:0]
-	var b [42]byte
+	var b [44]byte
 	b[0] = m.op
 	binary.LittleEndian.PutUint16(b[1:3], m.cid)
 	binary.LittleEndian.PutUint64(b[3:11], m.lba)
@@ -108,6 +160,7 @@ func (m smsg) encode(buf []byte) []byte {
 	b[25] = m.status
 	binary.LittleEndian.PutUint64(b[26:34], m.base)
 	binary.LittleEndian.PutUint64(b[34:42], m.size)
+	binary.LittleEndian.PutUint16(b[42:44], m.epoch)
 	return append(buf, b[:]...)
 }
 
@@ -122,21 +175,38 @@ func sdecode(payload []byte) smsg {
 	m.status = payload[25]
 	m.base = binary.LittleEndian.Uint64(payload[26:34])
 	m.size = binary.LittleEndian.Uint64(payload[34:42])
+	m.epoch = binary.LittleEndian.Uint16(payload[42:44])
 	return m
 }
 
-// ioReq is one in-flight block request on the frontend.
+// ioReq is one in-flight block request on the frontend. A request fans out
+// into one leg per drive (primary, plus the mirror for writes); it settles
+// — completes or retries — only when every leg has resolved.
 type ioReq struct {
 	vol    *Volume
 	op     byte
 	lba    uint64
 	blocks int
-	buf    int64
-	data   []byte // write payload
-	result []byte // read result (filled by the frontend core)
+	buf    int64 // CXL buffer address; -1 = none (register ops, quarantined)
+	data   []byte
+	result []byte
 	status uint8
 	done   bool
+	lost   bool // completed with ErrVolumeLost
 	sig    *sim.Signal
+
+	regTarget   uint16       // register ops: drive to register on
+	outstanding int          // legs in flight
+	okOn        []uint16     // drives whose leg completed StatusOK
+	attempts    int          // resubmissions so far
+	notBefore   sim.Duration // retry backoff gate
+}
+
+// pendingLeg tracks one in-flight command on one drive.
+type pendingLeg struct {
+	req   *ioReq
+	ssdID uint16
+	epoch uint16
 }
 
 // sbeLink is the frontend's engine-specific peer state for one storage
@@ -155,16 +225,26 @@ type Frontend struct {
 	pool *cxl.Pool
 	cfg  Config
 
-	links    *core.LinkSet // by SSD id; Meta holds *sbeLink
-	vols     map[netstack.IP]*Volume
-	volOrder []netstack.IP
-	reqQ     *sim.Queue[*ioReq]
-	pending  map[uint16]*ioReq
-	nextCID  uint16
-	driver   *core.Driver
+	links     *core.LinkSet // by SSD id; Meta holds *sbeLink
+	vols      map[netstack.IP]*Volume
+	volOrder  []netstack.IP
+	reqQ      *sim.Queue[*ioReq]
+	retryQ    []*ioReq // backoff-deferred requests
+	pending   map[uint16]*pendingLeg
+	nextCID   uint16
+	ctrl      *core.LinkEnd // allocator command channel (failover)
+	backupSSD uint16
+	driver    *core.Driver
 
 	// Stats.
 	Reads, Writes, Errors int64
+	MirrorWrites          int64 // write legs fanned out to the backup drive
+	Retries               int64 // request resubmissions (error or fence)
+	StaleRejected         int64 // completions rejected by cid/epoch fencing
+	Rebinds               int64 // volume primary re-bindings (failover)
+	VolumesLost           int64 // volumes declared lost (no valid backup)
+	FailoversApplied      int64 // SSD failover commands processed
+	QuarantinedBufs       int64 // buffers retired to dodge zombie DMA
 }
 
 // NewFrontend creates the storage frontend for a pod host.
@@ -179,7 +259,7 @@ func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
 		links:   core.NewLinkSet(cfg.PendingLimit),
 		vols:    make(map[netstack.IP]*Volume),
 		reqQ:    sim.NewQueue[*ioReq](h.Eng),
-		pending: make(map[uint16]*ioReq),
+		pending: make(map[uint16]*pendingLeg),
 	}
 }
 
@@ -187,6 +267,24 @@ func NewFrontend(h *host.Host, pool *cxl.Pool, cfg Config) *Frontend {
 func (fe *Frontend) ConnectBackend(ssdID uint16, end *core.LinkEnd) {
 	l := fe.links.Add(uint32(ssdID), end)
 	l.Meta = &sbeLink{ssdID: ssdID, link: l}
+}
+
+// SetControlLink attaches the frontend's channel to the pod-wide allocator,
+// which announces SSD failovers (volume re-binding) over it.
+func (fe *Frontend) SetControlLink(end *core.LinkEnd) { fe.ctrl = end }
+
+// SetBackupSSD designates the pod's backup drive (§3.3.3's backup-NIC
+// mechanism applied to storage): every volume whose primary is a different
+// drive registers a mirror there, and writes fan out to both copies so the
+// allocator can re-bind volumes onto the backup when a primary fails.
+func (fe *Frontend) SetBackupSSD(id uint16) {
+	fe.backupSSD = id
+	for _, ip := range fe.volOrder {
+		v := fe.vols[ip]
+		if v.primaryID != id {
+			fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: v.reqBlocks, regTarget: id, buf: -1})
+		}
+	}
 }
 
 // sbeLink returns the engine state for an SSD's link, or nil.
@@ -199,20 +297,28 @@ func (fe *Frontend) sbeLink(ssdID uint16) *sbeLink {
 }
 
 // Volume is an instance's block device: a slice of a pooled SSD reached
-// through the storage engine.
+// through the storage engine, optionally mirrored onto the pod's backup
+// drive.
 type Volume struct {
-	fe     *Frontend
-	ip     netstack.IP // owning instance
-	ssdID  uint16
-	link   *sbeLink
-	area   *core.BufferArea
-	base   uint64 // assigned by the backend at registration
-	blocks uint64
-	ready  bool
-	sig    *sim.Signal
+	fe        *Frontend
+	ip        netstack.IP // owning instance
+	primaryID uint16
+	link      *sbeLink // current primary's link
+	mirror    *sbeLink // backup drive's link (nil when unmirrored)
+	mirrorOK  bool     // backup copy valid (in sync)
+	area      *core.BufferArea
+	base      uint64 // assigned by the primary at registration
+	blocks    uint64
+	reqBlocks uint64          // requested size (re-registration after re-bind)
+	ready     map[uint16]bool // per-drive registration acked
+	everReady bool
+	epoch     uint16 // bumped by each failover; fences stale completions
+	lost      bool
+	sig       *sim.Signal
 
 	// Stats.
 	IOErrors int64
+	Rebinds  int64
 }
 
 // AddVolume provisions a volume of the given size on the given SSD for an
@@ -232,24 +338,45 @@ func (fe *Frontend) AddVolume(ip netstack.IP, ssdID uint16, blocks uint64) (*Vol
 	// The backend link is resolved when the registration is forwarded, so
 	// volumes may be declared before the pod's links are wired.
 	v := &Volume{
-		fe: fe, ip: ip, ssdID: ssdID, area: area,
-		sig: sim.NewSignal(fe.h.Eng),
+		fe: fe, ip: ip, primaryID: ssdID, area: area, reqBlocks: blocks,
+		ready: make(map[uint16]bool),
+		sig:   sim.NewSignal(fe.h.Eng),
 	}
 	fe.vols[ip] = v
 	fe.volOrder = append(fe.volOrder, ip)
 	// Registration rides the request queue so it is sent from the driver
 	// core after Start.
-	fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: blocks})
+	fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: blocks, regTarget: ssdID, buf: -1})
+	if fe.backupSSD != 0 && fe.backupSSD != ssdID {
+		fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: blocks, regTarget: fe.backupSSD, buf: -1})
+	}
 	return v, nil
 }
 
 // Blocks returns the volume's size (0 until registration completes).
 func (v *Volume) Blocks() uint64 { return v.blocks }
 
-// WaitReady blocks until the backend granted the volume.
+// Primary returns the drive currently backing the volume.
+func (v *Volume) Primary() uint16 { return v.primaryID }
+
+// Epoch returns the volume's fencing epoch (one bump per failover).
+func (v *Volume) Epoch() uint16 { return v.epoch }
+
+// Lost reports whether the volume's data is gone (drive failed, no valid
+// backup). All I/O on a lost volume fails with ErrVolumeLost.
+func (v *Volume) Lost() bool { return v.lost }
+
+// Mirrored reports whether the backup drive currently holds a valid copy.
+func (v *Volume) Mirrored() bool { return v.mirror != nil && v.mirrorOK }
+
+// WaitReady blocks until the backend granted the volume (false on timeout
+// or if the volume is lost).
 func (v *Volume) WaitReady(p *sim.Proc, timeout sim.Duration) bool {
 	deadline := p.Now() + timeout
-	for !v.ready {
+	for !v.ready[v.primaryID] {
+		if v.lost {
+			return false
+		}
 		remaining := deadline - p.Now()
 		if remaining <= 0 {
 			return false
@@ -266,6 +393,10 @@ func (v *Volume) Read(p *sim.Proc, lba uint64, nblocks int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.lost {
+		v.IOErrors++
+		return nil, fmt.Errorf("storengine: read on %v: %w", v.ip, ErrVolumeLost)
+	}
 	if req.status != ssd.StatusOK {
 		v.IOErrors++
 		return nil, fmt.Errorf("storengine: read failed with NVMe status %#x", req.status)
@@ -274,7 +405,8 @@ func (v *Volume) Read(p *sim.Proc, lba uint64, nblocks int) ([]byte, error) {
 }
 
 // Write writes data (a whole number of blocks) at lba, blocking until
-// completion.
+// completion. A nil return means the write is acknowledged durable on the
+// volume's current primary (and, when mirrored, its backup).
 func (v *Volume) Write(p *sim.Proc, lba uint64, data []byte) error {
 	if len(data)%ssd.BlockSize != 0 {
 		return fmt.Errorf("storengine: write of %d bytes is not block-aligned", len(data))
@@ -282,6 +414,10 @@ func (v *Volume) Write(p *sim.Proc, lba uint64, data []byte) error {
 	req, err := v.submit(p, sOpWrite, lba, len(data)/ssd.BlockSize, data)
 	if err != nil {
 		return err
+	}
+	if req.lost {
+		v.IOErrors++
+		return fmt.Errorf("storengine: write on %v: %w", v.ip, ErrVolumeLost)
 	}
 	if req.status != ssd.StatusOK {
 		v.IOErrors++
@@ -294,7 +430,10 @@ func (v *Volume) Write(p *sim.Proc, lba uint64, data []byte) error {
 // staging (for writes, through the host cache — the frontend core writes it
 // back), then blocks on the completion signal.
 func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []byte) (*ioReq, error) {
-	if !v.ready {
+	if v.lost {
+		return nil, fmt.Errorf("storengine: submit on %v: %w", v.ip, ErrVolumeLost)
+	}
+	if !v.everReady {
 		return nil, fmt.Errorf("storengine: volume not ready")
 	}
 	if nblocks <= 0 || nblocks > v.fe.cfg.MaxBlocksPerRequest() {
@@ -350,11 +489,29 @@ func (fe *Frontend) Start() {
 	fe.driver.Start()
 }
 
-// PollOnce implements core.EngineLoop: one pass over the request queue and
-// backend completions.
+// PollOnce implements core.EngineLoop: one pass over retry promotions, the
+// request queue, backend completions, and allocator commands.
 func (fe *Frontend) PollOnce(p *sim.Proc) int {
 	var buf [63]byte
 	progress := 0
+	if len(fe.retryQ) > 0 {
+		now := p.Now()
+		kept := fe.retryQ[:0]
+		for _, req := range fe.retryQ {
+			if req.done {
+				continue
+			}
+			if req.notBefore <= now {
+				fe.reqQ.Push(req)
+			} else {
+				kept = append(kept, req)
+			}
+		}
+		for i := len(kept); i < len(fe.retryQ); i++ {
+			fe.retryQ[i] = nil
+		}
+		fe.retryQ = kept
+	}
 	for i := 0; i < fe.cfg.Burst; i++ {
 		req, ok := fe.reqQ.TryPop()
 		if !ok {
@@ -364,85 +521,312 @@ func (fe *Frontend) PollOnce(p *sim.Proc) int {
 		progress++
 	}
 	progress += fe.links.PollEach(p, fe.cfg.Burst, func(p *sim.Proc, l *core.Link, payload []byte) {
-		fe.handleBackendMsg(p, sdecode(payload))
+		fe.handleBackendMsg(p, l.Meta.(*sbeLink), sdecode(payload))
 	})
+	if fe.ctrl != nil {
+		for i := 0; i < fe.cfg.Burst; i++ {
+			payload, ok := fe.ctrl.Poll(p)
+			if !ok {
+				break
+			}
+			if core.IsControlOp(payload[0]) {
+				fe.handleControlMsg(p, core.DecodeControl(payload))
+				progress++
+			}
+		}
+	}
 	fe.links.FlushAll(p)
 	return progress
 }
 
+// allocCID hands out the next free command id.
+func (fe *Frontend) allocCID() uint16 {
+	for {
+		cid := fe.nextCID
+		fe.nextCID++
+		if _, busy := fe.pending[cid]; !busy {
+			return cid
+		}
+	}
+}
+
 // forward publishes a request to the backend (§3.4: the frontend performs
 // the write-back of staged write data; the backend never touches buffers).
+// Writes additionally fan a mirror leg out to the backup drive.
 func (fe *Frontend) forward(p *sim.Proc, req *ioReq, buf []byte) {
 	if req.op == sOpRegister {
-		if req.vol.link == nil {
-			req.vol.link = fe.sbeLink(req.vol.ssdID)
-		}
-		if req.vol.link == nil {
+		l := fe.sbeLink(req.regTarget)
+		if l == nil {
 			fe.reqQ.Push(req) // backend not wired yet; retry
 			return
 		}
-		m := smsg{op: sOpRegister, ip: req.vol.ip, size: req.lba}
-		if !req.vol.link.link.Send(p, m.encode(buf)) {
+		m := smsg{op: sOpRegister, ip: req.vol.ip, size: req.lba, epoch: req.vol.epoch}
+		if !l.link.Send(p, m.encode(buf)) {
 			fe.reqQ.Push(req)
 		}
 		return
 	}
+	v := req.vol
+	if v.lost {
+		fe.completeLost(req)
+		return
+	}
+	now := p.Now()
+	if req.notBefore > now {
+		fe.retryQ = append(fe.retryQ, req)
+		return
+	}
+	if v.link == nil || v.link.ssdID != v.primaryID {
+		v.link = fe.sbeLink(v.primaryID)
+	}
+	if v.link == nil || !v.ready[v.primaryID] {
+		// Re-bound primary has not acked registration yet; park briefly.
+		req.notBefore = now + readyRecheck
+		fe.retryQ = append(fe.retryQ, req)
+		return
+	}
+	if req.buf < 0 {
+		// The original buffer was quarantined at a failover; stage afresh.
+		b, ok := v.area.Alloc()
+		if !ok {
+			req.notBefore = now + readyRecheck
+			fe.retryQ = append(fe.retryQ, req)
+			return
+		}
+		req.buf = b
+		if req.op == sOpWrite {
+			fe.h.Cache.Write(p, req.buf, req.data, "payload")
+		}
+	}
 	if req.op == sOpWrite {
 		core.WritebackRange(p, fe.h.Cache, req.buf, len(req.data), "payload")
 	}
-	cid := fe.nextCID
-	fe.nextCID++
-	fe.pending[cid] = req
+	cid := fe.allocCID()
 	m := smsg{
 		op: req.op, cid: cid, lba: req.lba, blocks: uint16(req.blocks),
-		buf: req.buf, ip: req.vol.ip,
+		buf: req.buf, ip: v.ip, epoch: v.epoch,
 	}
-	if !req.vol.link.link.Send(p, m.encode(buf)) {
-		delete(fe.pending, cid)
+	if !v.link.link.Send(p, m.encode(buf)) {
 		fe.reqQ.Push(req)
 		return
 	}
-	if req.op == sOpRead {
-		fe.Reads++
-	} else {
-		fe.Writes++
+	fe.pending[cid] = &pendingLeg{req: req, ssdID: v.primaryID, epoch: v.epoch}
+	req.outstanding = 1
+	if req.attempts == 0 {
+		if req.op == sOpRead {
+			fe.Reads++
+		} else {
+			fe.Writes++
+		}
+	}
+	if req.op == sOpWrite && v.mirror != nil && v.mirrorOK &&
+		v.mirror.ssdID != v.primaryID && v.ready[v.mirror.ssdID] {
+		mcid := fe.allocCID()
+		mm := m
+		mm.cid = mcid
+		// Mirror legs must not be dropped on a full ring — a write is only
+		// acknowledged once both copies resolve — so they take the parked
+		// (SendOrQueue) path.
+		v.mirror.link.SendOrQueue(p, mm.encode(buf))
+		fe.pending[mcid] = &pendingLeg{req: req, ssdID: v.mirror.ssdID, epoch: v.epoch}
+		req.outstanding++
+		fe.MirrorWrites++
 	}
 }
 
-func (fe *Frontend) handleBackendMsg(p *sim.Proc, m smsg) {
+func (fe *Frontend) handleBackendMsg(p *sim.Proc, l *sbeLink, m smsg) {
 	switch m.op {
 	case sOpRegisterAck:
 		v, ok := fe.vols[m.ip]
 		if !ok {
 			return
 		}
-		v.base = m.base
-		v.blocks = m.size
-		v.ready = true
-		v.sig.Broadcast()
+		v.ready[l.ssdID] = true
+		if l.ssdID == v.primaryID {
+			v.base = m.base
+			v.blocks = m.size
+			v.everReady = true
+			v.sig.Broadcast()
+		} else if l.ssdID == fe.backupSSD && m.size > 0 {
+			v.mirror = l
+			v.mirrorOK = true
+		}
 	case sOpComplete:
-		req, ok := fe.pending[m.cid]
-		if !ok {
+		leg, ok := fe.pending[m.cid]
+		if !ok || leg.epoch != m.epoch || leg.ssdID != l.ssdID {
+			// A fenced (pre-failover) command's late completion — the
+			// zombie-backend case — or a cid reused across epochs.
+			fe.StaleRejected++
 			return
 		}
 		delete(fe.pending, m.cid)
-		req.status = m.status
-		if m.status != ssd.StatusOK {
-			fe.Errors++
-		} else if req.op == sOpRead {
-			// Pull the data the SSD DMAed into shared CXL memory; invalidate
-			// first so a recycled buffer's stale lines cannot leak through.
-			n := req.blocks * ssd.BlockSize
-			core.InvalidateRange(p, fe.h.Cache, req.buf, n, "payload")
-			out := make([]byte, n)
-			fe.h.Cache.Read(p, req.buf, out, "payload")
-			p.Sleep(fe.h.Local.TouchCost(n)) // copy into instance memory
-			req.result = out
+		req := leg.req
+		req.outstanding--
+		v := req.vol
+		if m.status == ssd.StatusOK {
+			req.okOn = append(req.okOn, leg.ssdID)
+			if req.op == sOpRead && req.result == nil && leg.ssdID == v.primaryID {
+				// Pull the data the SSD DMAed into shared CXL memory;
+				// invalidate first so a recycled buffer's stale lines
+				// cannot leak through.
+				n := req.blocks * ssd.BlockSize
+				core.InvalidateRange(p, fe.h.Cache, req.buf, n, "payload")
+				out := make([]byte, n)
+				fe.h.Cache.Read(p, req.buf, out, "payload")
+				p.Sleep(fe.h.Local.TouchCost(n)) // copy into instance memory
+				req.result = out
+			}
+		} else {
+			req.status = m.status
+			if v.mirror != nil && leg.ssdID == v.mirror.ssdID && leg.ssdID != v.primaryID {
+				// The backup copy diverged; stop mirroring rather than
+				// failing the request.
+				v.mirrorOK = false
+			}
 		}
-		req.vol.area.Free(req.buf)
+		if req.outstanding == 0 {
+			fe.settle(p, req)
+		}
+	}
+}
+
+// settle decides a request's fate once every leg has resolved: complete if
+// the volume's *current* primary acknowledged it, otherwise retry with
+// exponential backoff until the allocator's failover re-binds the volume —
+// or the budget runs out and the error propagates to the guest (§3.4).
+func (fe *Frontend) settle(p *sim.Proc, req *ioReq) {
+	v := req.vol
+	if v.lost {
+		fe.completeLost(req)
+		return
+	}
+	ok := false
+	for _, id := range req.okOn {
+		if id == v.primaryID {
+			ok = true
+		}
+	}
+	if req.op == sOpRead && req.result == nil {
+		ok = false
+	}
+	if ok {
+		req.status = ssd.StatusOK
+		v.area.Free(req.buf)
+		req.buf = -1
 		req.done = true
 		req.sig.Broadcast()
+		return
 	}
+	if req.attempts < fe.cfg.MaxRetries {
+		req.attempts++
+		fe.Retries++
+		req.okOn = req.okOn[:0]
+		req.status = 0
+		req.notBefore = p.Now() + fe.cfg.retryBackoff(req.attempts)
+		fe.retryQ = append(fe.retryQ, req)
+		return
+	}
+	if req.status == ssd.StatusOK || req.status == 0 {
+		req.status = ssd.StatusDeviceFault
+	}
+	fe.Errors++
+	if req.buf >= 0 {
+		v.area.Free(req.buf)
+		req.buf = -1
+	}
+	req.done = true
+	req.sig.Broadcast()
+}
+
+// completeLost fails a request with the volume-lost marker.
+func (fe *Frontend) completeLost(req *ioReq) {
+	req.lost = true
+	req.status = ssd.StatusDeviceFault
+	if req.buf >= 0 {
+		req.vol.area.Free(req.buf)
+		req.buf = -1
+	}
+	req.done = true
+	req.sig.Broadcast()
+}
+
+// handleControlMsg applies an allocator SSD-failover command: fence every
+// in-flight leg on the failed drive, re-bind affected volumes onto the
+// backup (Aux) at the new epoch, and resubmit the fenced requests. Aux 0
+// means no valid backup exists — the volumes are lost.
+func (fe *Frontend) handleControlMsg(p *sim.Proc, m core.ControlMsg) {
+	if m.Op != core.CtlFailover || m.Kind != core.DeviceSSD {
+		return
+	}
+	failed, target := m.Dev, m.Aux
+	// Fence first: cancel in-flight legs on the failed drive in
+	// deterministic (sorted-cid) order. Their late completions — a zombie
+	// backend may still deliver them — now miss the pending table.
+	var cids []int
+	for cid, leg := range fe.pending {
+		if leg.ssdID == failed {
+			cids = append(cids, int(cid))
+		}
+	}
+	sort.Ints(cids)
+	var settled []*ioReq
+	for _, c := range cids {
+		leg := fe.pending[uint16(c)]
+		delete(fe.pending, uint16(c))
+		req := leg.req
+		req.outstanding--
+		if req.op == sOpRead && req.buf >= 0 {
+			// The zombie drive may still DMA into this buffer; retire it
+			// rather than recycle — the software analogue of waiting out
+			// IOMMU invalidation.
+			fe.QuarantinedBufs++
+			req.buf = -1
+		}
+		if req.outstanding == 0 {
+			settled = append(settled, req)
+		}
+	}
+	for _, ip := range fe.volOrder {
+		v := fe.vols[ip]
+		if v.mirror != nil && v.mirror.ssdID == failed {
+			v.mirror = nil
+			v.mirrorOK = false
+		}
+		if v.primaryID != failed {
+			continue
+		}
+		v.epoch = m.Epoch
+		if target == 0 {
+			if !v.lost {
+				v.lost = true
+				fe.VolumesLost++
+				v.sig.Broadcast()
+			}
+			continue
+		}
+		v.primaryID = target
+		v.link = fe.sbeLink(target)
+		// The failed drive's copy is stale from here on; there is no
+		// fail-back, and the volume runs unmirrored until a new backup
+		// is designated.
+		if v.mirror != nil && v.mirror.ssdID == target {
+			v.mirror = nil
+		}
+		v.mirrorOK = false
+		v.Rebinds++
+		fe.Rebinds++
+		if !v.ready[target] {
+			fe.reqQ.Push(&ioReq{vol: v, op: sOpRegister, lba: v.reqBlocks, regTarget: target, buf: -1})
+		}
+		v.sig.Broadcast()
+	}
+	// Resubmit fenced requests after the re-bind so their retries land on
+	// the new primary. A mirror leg that already acked on the new primary
+	// completes the request outright — the write was never lost.
+	for _, req := range settled {
+		fe.settle(p, req)
+	}
+	fe.FailoversApplied++
 }
 
 // Stats exports the uniform engine counter block (link traffic plus all
@@ -470,9 +854,12 @@ type svol struct {
 	link   *sfeLink
 }
 
-// pendingIO maps a device CID back to the requesting frontend.
+// pendingIO maps a device CID back to the requesting frontend. The epoch is
+// echoed in the completion so the frontend can fence commands that were in
+// flight across a failover.
 type pendingIO struct {
 	feCID uint16
+	epoch uint16
 	link  *sfeLink
 }
 
@@ -480,8 +867,9 @@ type pendingIO struct {
 // messages to SSD submissions and routes completions back, enforcing
 // per-volume LBA bounds (isolation). Like the NIC backends, it reports
 // 100 ms load/queue-depth telemetry to the pod-wide allocator over the
-// shared control protocol; unlike them, a failed drive is only marked down
-// — errors propagate to the guest, never transparent failover (§3.4).
+// shared control protocol; completions echo the frontend's fencing epoch so
+// a backend that was presumed dead cannot smuggle stale acks past a
+// failover.
 type Backend struct {
 	h     *host.Host
 	ssdID uint16
@@ -504,6 +892,7 @@ type Backend struct {
 	Submitted, Completed int64
 	BoundsViolations     int64
 	RegistrationsDenied  int64
+	ReRegistrations      int64 // idempotent re-acks of an existing grant
 	TelemetrySent        int64
 }
 
@@ -634,22 +1023,31 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte) {
 	switch m.op {
 	case sOpRegister:
+		if v, dup := be.vols[m.ip]; dup {
+			// Idempotent re-registration (frontend retry, or a failover
+			// re-bind onto a drive that already mirrors the volume):
+			// re-ack the existing grant instead of double-allocating.
+			be.ReRegistrations++
+			v.link = l
+			l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks, epoch: m.epoch}.encode(buf))
+			return
+		}
 		blocks := m.size
 		if be.nextLBA+blocks > be.capacity {
 			be.RegistrationsDenied++
-			l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: 0, size: 0}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: 0, size: 0, epoch: m.epoch}.encode(buf))
 			return
 		}
 		v := &svol{ip: m.ip, base: be.nextLBA, blocks: blocks, link: l}
 		be.nextLBA += blocks
 		be.vols[m.ip] = v
-		l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks}.encode(buf))
+		l.link.SendOrQueue(p, smsg{op: sOpRegisterAck, ip: m.ip, base: v.base, size: v.blocks, epoch: m.epoch}.encode(buf))
 	case sOpRead, sOpWrite:
 		v, ok := be.vols[m.ip]
 		if !ok || uint64(m.lba)+uint64(m.blocks) > v.blocks {
 			// Bounds violation: reject without touching the device.
 			be.BoundsViolations++
-			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusLBARange}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusLBARange, epoch: m.epoch}.encode(buf))
 			return
 		}
 		op := uint8(ssd.OpRead)
@@ -658,7 +1056,7 @@ func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte
 		}
 		devCID := be.nextCID
 		be.nextCID++
-		be.inflight[devCID] = pendingIO{feCID: m.cid, link: l}
+		be.inflight[devCID] = pendingIO{feCID: m.cid, epoch: m.epoch, link: l}
 		cmd := ssd.Command{
 			Opcode: op, CID: devCID, NSID: 1,
 			LBA: v.base + m.lba, Blocks: m.blocks, Buf: m.buf,
@@ -667,7 +1065,7 @@ func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte
 		// straight into the submission queue.
 		if !be.dev.Submit(p, cmd) {
 			delete(be.inflight, devCID)
-			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusDeviceFault}.encode(buf))
+			l.link.SendOrQueue(p, smsg{op: sOpComplete, cid: m.cid, status: ssd.StatusDeviceFault, epoch: m.epoch}.encode(buf))
 			return
 		}
 		be.Submitted++
@@ -681,7 +1079,7 @@ func (be *Backend) handleCompletion(p *sim.Proc, comp ssd.Completion, buf []byte
 	}
 	delete(be.inflight, comp.CID)
 	be.Completed++
-	io.link.link.SendOrQueue(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status}.encode(buf))
+	io.link.link.SendOrQueue(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status, epoch: io.epoch}.encode(buf))
 }
 
 // Stats exports the uniform engine counter block.

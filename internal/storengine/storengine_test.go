@@ -190,7 +190,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		{op: sOpRead, cid: 7, lba: 123456789, blocks: 16, buf: 0x1234567, ip: netstack.IPv4(10, 0, 0, 9)},
 		{op: sOpWrite, cid: 65535, lba: 1 << 40, blocks: 1, buf: 1 << 30, ip: 1},
 		{op: sOpComplete, cid: 42, status: ssd.StatusDeviceFault},
-		{op: sOpRegister, ip: netstack.IPv4(1, 2, 3, 4), size: 1 << 20},
+		{op: sOpComplete, cid: 43, status: ssd.StatusOK, epoch: 65535},
+		{op: sOpRegister, ip: netstack.IPv4(1, 2, 3, 4), size: 1 << 20, epoch: 3},
 		{op: sOpRegisterAck, ip: 5, base: 777, size: 888},
 	}
 	var buf [63]byte

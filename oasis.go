@@ -54,6 +54,7 @@ import (
 	"oasis/internal/allocator"
 	"oasis/internal/core"
 	"oasis/internal/cxl"
+	"oasis/internal/faults"
 	"oasis/internal/host"
 	"oasis/internal/netengine"
 	"oasis/internal/netstack"
@@ -140,9 +141,10 @@ type Host struct {
 
 // SSDDev is one pooled SSD: the device and its storage backend driver.
 type SSDDev struct {
-	ID  uint16
-	Dev *ssd.SSD
-	BE  *storengine.Backend
+	ID     uint16
+	Dev    *ssd.SSD
+	BE     *storengine.Backend
+	Backup bool
 }
 
 // NIC is one pooled NIC: the device and its backend driver.
@@ -247,6 +249,7 @@ type Pod struct {
 	instances []*Instance
 	clients   []*Client
 	started   bool
+	injector  *faults.Injector
 }
 
 // NewPod creates an empty pod.
@@ -393,17 +396,7 @@ func (pod *Pod) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
 // AddSSDErr attaches a pooled SSD of the given capacity (in 4 KiB blocks)
 // to a host and creates its storage backend driver (§3.4).
 func (pod *Pod) AddSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	id := pod.nextSSDID
-	pod.nextSSDID++
-	name := fmt.Sprintf("ssd%d", id)
-	dev := ssd.New(pod.Eng, name, pod.Pool.AttachPort(name+"-dma"), pod.cfg.SSD)
-	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, pod.cfg.Storage)
-	d := &SSDDev{ID: id, Dev: dev, BE: be}
-	pod.SSDs[id] = d
-	return d, nil
+	return pod.addSSD(on, capacityBlocks, false)
 }
 
 // AddSSD is the legacy panic-on-error wrapper around AddSSDErr.
@@ -413,6 +406,44 @@ func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
 		panic(err)
 	}
 	return d
+}
+
+// AddBackupSSDErr attaches the pod's reserved backup drive — the §3.3.3
+// backup-NIC mechanism applied to storage. Every volume on other drives is
+// mirrored onto it (RAID-1 style) by the storage frontends, and the
+// allocator re-binds volumes onto it when their primary drive fails. A pod
+// has at most one backup drive; it should be at least as large as the sum
+// of the volumes it protects.
+func (pod *Pod) AddBackupSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
+	for _, id := range pod.ssdIDs() {
+		if pod.SSDs[id].Backup {
+			return nil, fmt.Errorf("oasis: pod already has backup SSD %d", id)
+		}
+	}
+	return pod.addSSD(on, capacityBlocks, true)
+}
+
+// AddBackupSSD is the panic-on-error wrapper around AddBackupSSDErr.
+func (pod *Pod) AddBackupSSD(on *Host, capacityBlocks uint64) *SSDDev {
+	d, err := pod.AddBackupSSDErr(on, capacityBlocks)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (pod *Pod) addSSD(on *Host, capacityBlocks uint64, backup bool) (*SSDDev, error) {
+	if err := pod.frozenErr(); err != nil {
+		return nil, err
+	}
+	id := pod.nextSSDID
+	pod.nextSSDID++
+	name := fmt.Sprintf("ssd%d", id)
+	dev := ssd.New(pod.Eng, name, pod.Pool.AttachPort(name+"-dma"), pod.cfg.SSD)
+	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, pod.cfg.Storage)
+	d := &SSDDev{ID: id, Dev: dev, BE: be, Backup: backup}
+	pod.SSDs[id] = d
+	return d, nil
 }
 
 // storageFE returns (creating if needed) a host's storage frontend.
@@ -506,6 +537,16 @@ func (pod *Pod) ssdIDs() []uint16 {
 	return ids
 }
 
+// backupSSDID returns the pod's reserved backup drive id (0 if none).
+func (pod *Pod) backupSSDID() uint16 {
+	for _, id := range pod.ssdIDs() {
+		if pod.SSDs[id].Backup {
+			return id
+		}
+	}
+	return 0
+}
+
 // Start wires the control and data links (frontend↔backend full mesh,
 // allocator links for every device backend) and launches every driver,
 // device, and stack process. Topology is frozen afterwards.
@@ -539,6 +580,18 @@ func (pod *Pod) Start() {
 				}
 				ph.SFE.ConnectBackend(d.ID, feEnd)
 				d.BE.ConnectFrontend(ph.H.ID, beEnd)
+			}
+		}
+	}
+
+	// Backup-drive mirroring: every storage frontend mirrors its volumes
+	// onto the pod's reserved backup drive (the §3.3.3 mechanism applied to
+	// storage). Needs the backend mesh above so mirror registrations can
+	// ride the normal request path.
+	if bid := pod.backupSSDID(); bid != 0 {
+		for _, ph := range pod.Hosts {
+			if ph.SFE != nil {
+				ph.SFE.SetBackupSSD(bid)
 			}
 		}
 	}
@@ -579,8 +632,21 @@ func (pod *Pod) Start() {
 			if err != nil {
 				panic(err)
 			}
-			pod.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID}, aEnd)
+			pod.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID, Backup: d.Backup}, aEnd)
 			d.BE.SetControlLink(beEnd)
+		}
+		// Storage frontends get a control link too: SSD failover commands
+		// (volume re-binds, fencing epochs) are broadcast over it.
+		for _, ph := range pod.Hosts {
+			if ph.SFE == nil {
+				continue
+			}
+			aEnd, sfeEnd, err := core.NewDuplexLink(pod.Pool, ah, ph.H, pod.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			pod.Alloc.AddStorageFrontend(ph.H.ID, aEnd)
+			ph.SFE.SetControlLink(sfeEnd)
 		}
 		if pod.cfg.RaftReplicas > 0 {
 			pod.setupRaft()
@@ -796,6 +862,10 @@ func (pod *Pod) setupRaft() {
 	for i := 0; i < n; i++ {
 		cfg := raft.DefaultConfig()
 		cfg.Seed = 11
+		// Fail proposals fast: the allocator retries them with backoff (see
+		// allocator.deferRetry), so a commit stuck behind a mid-election
+		// group should return quickly rather than stall the control plane.
+		cfg.ProposeLimit = 100 * time.Millisecond
 		if i == 0 {
 			// The allocator runs on host 0; bias it to win the first
 			// election so proposals originate beside the leader.
@@ -810,25 +880,39 @@ func (pod *Pod) setupRaft() {
 		pod.Raft = append(pod.Raft, node)
 		node.Start()
 	}
-	pod.Alloc.Replicate(&raftReplicator{node: pod.Raft[0]})
+	pod.Alloc.Replicate(&multiReplicator{nodes: pod.Raft})
 }
 
-// raftReplicator adapts a raft.Node to the allocator's replication hook:
-// wait (bounded) for local leadership, then propose.
-type raftReplicator struct {
-	node *raft.Node
+// multiReplicator adapts the raft group to the allocator's replication
+// hook. Unlike a replicator pinned to one node, it proposes through
+// whichever live replica currently leads, so allocator decisions survive
+// the loss of the original leader (node 0's host crashing): after
+// re-election the promoted follower carries the log and proposals resume
+// through it.
+type multiReplicator struct {
+	nodes []*raft.Node
 }
 
-// Propose blocks until the colocated replica leads and the command commits.
-func (r *raftReplicator) Propose(p *Proc, cmd []byte) bool {
-	deadline := p.Now() + 500*time.Millisecond
-	for !r.node.IsLeader() {
+// Propose finds a live leader (bounded wait, exponential backoff while an
+// election is in flight) and blocks until the command commits. A stopped
+// node still claiming leadership is a zombie and is skipped.
+func (r *multiReplicator) Propose(p *Proc, cmd []byte) bool {
+	deadline := p.Now() + 120*time.Millisecond
+	backoff := time.Millisecond
+	for {
+		for _, node := range r.nodes {
+			if node.IsLeader() && !node.Stopped() {
+				return node.Propose(p, cmd)
+			}
+		}
 		if p.Now() >= deadline {
 			return false
 		}
-		p.Sleep(5 * time.Millisecond)
+		p.Sleep(backoff)
+		if backoff < 16*time.Millisecond {
+			backoff *= 2
+		}
 	}
-	return r.node.Propose(p, cmd)
 }
 
 // Snapshot is the structured result of Pod.Stats: a sorted, deterministic

@@ -2,11 +2,14 @@ package oasis
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"oasis/internal/faults"
 	"oasis/internal/metrics"
+	"oasis/internal/storengine"
 )
 
 // echoPod builds the evaluation topology (§5): hostA runs the instance,
@@ -806,4 +809,220 @@ func TestAssignOnLocalInstanceErrors(t *testing.T) {
 		t.Fatalf("Assign error not descriptive: %v", err)
 	}
 	pod.Shutdown()
+}
+
+// TestSSDFailoverEpochFence drives the full storage recovery path: the
+// drive's backend engine stalls, the allocator's lease expires, the volume
+// re-binds onto the backup drive with a bumped epoch, and — once the
+// zombie backend resumes and drains its ring — its late completions are
+// rejected by the epoch fence instead of corrupting state. No acked write
+// may be lost across the failover.
+func TestSSDFailoverEpochFence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Allocator.LeaseTimeout = 100 * time.Millisecond
+	cfg.Storage.TelemetryEvery = 40 * time.Millisecond
+	pod := NewPod(cfg)
+	h0 := pod.AddHost() // allocator
+	h1 := pod.AddHost() // primary drive
+	h2 := pod.AddHost() // backup drive
+	h3 := pod.AddHost() // instance
+	_, _ = h0, h2
+	prim := pod.AddSSD(h1, 1<<12)
+	back := pod.AddBackupSSD(h2, 1<<12)
+	inst := pod.AddInstance(h3, IP(10, 0, 0, 10))
+	vol := pod.AddVolume(inst, prim.ID, 64)
+	pod.Start()
+	if err := pod.RunFaultPlan(faults.Plan{
+		Name: "ssd-stall",
+		Events: []faults.Event{
+			{At: 50 * time.Millisecond, Kind: faults.EngineStall, Target: "host1/storage-be1", Heal: 300 * time.Millisecond},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var acked, failed int
+	var lastAcked byte
+	pod.Go("writer", func(p *Proc) {
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			t.Error("volume never became ready")
+			pod.Shutdown()
+			return
+		}
+		blk := make([]byte, 4096)
+		for seq := byte(1); p.Now() < 500*time.Millisecond; seq++ {
+			for i := range blk {
+				blk[i] = seq
+			}
+			if err := vol.Write(p, 0, blk); err != nil {
+				failed++
+			} else {
+				acked++
+				lastAcked = seq
+			}
+			p.Sleep(time.Millisecond)
+		}
+		got, err := vol.Read(p, 0, 1)
+		if err != nil {
+			t.Errorf("post-failover read: %v", err)
+		} else if got[0] != lastAcked {
+			t.Errorf("acked write lost: read seq %d, last acked %d", got[0], lastAcked)
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if vol.Primary() != back.ID {
+		t.Fatalf("volume primary = ssd%d, want backup ssd%d", vol.Primary(), back.ID)
+	}
+	if vol.Epoch() == 0 {
+		t.Fatal("failover did not bump the volume epoch")
+	}
+	if vol.Lost() {
+		t.Fatal("volume declared lost despite a live backup")
+	}
+	sfe := h3.SFE
+	if sfe.Rebinds < 1 {
+		t.Fatalf("rebinds = %d, want >= 1", sfe.Rebinds)
+	}
+	if sfe.StaleRejected < 1 {
+		t.Fatalf("stale completions rejected = %d, want >= 1 (zombie backend drained its ring)", sfe.StaleRejected)
+	}
+	if pod.Alloc.SSDFailovers < 1 {
+		t.Fatalf("allocator SSD failovers = %d, want >= 1", pod.Alloc.SSDFailovers)
+	}
+	if acked == 0 {
+		t.Fatal("writer never got an ack")
+	}
+	// Both new metric families must surface through Pod.Stats.
+	rep := pod.StatsReport()
+	for _, want := range []string{"faults/engine-stall/injected", "alloc/recovery/ssd_failovers", "alloc/recovery/detect_lat"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Pod.Stats missing %q", want)
+		}
+	}
+}
+
+// TestVolumeLostWithoutBackup exercises the typed degraded state: when the
+// primary drive fails and the pod has no backup drive, the allocator
+// declares the volumes lost and the frontend surfaces ErrVolumeLost to the
+// guest instead of retrying forever.
+func TestVolumeLostWithoutBackup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Allocator.LeaseTimeout = 100 * time.Millisecond
+	cfg.Storage.TelemetryEvery = 40 * time.Millisecond
+	pod := NewPod(cfg)
+	h0 := pod.AddHost()
+	h1 := pod.AddHost()
+	h2 := pod.AddHost()
+	_ = h0
+	d := pod.AddSSD(h1, 1<<12)
+	inst := pod.AddInstance(h2, IP(10, 0, 0, 10))
+	vol := pod.AddVolume(inst, d.ID, 64)
+	pod.Start()
+	if err := pod.RunFaultPlan(faults.Plan{
+		Name: "drive-dies",
+		Events: []faults.Event{
+			{At: 50 * time.Millisecond, Kind: faults.SSDFail, Target: "ssd1"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var lostErr error
+	pod.Go("writer", func(p *Proc) {
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			t.Error("volume never became ready")
+			pod.Shutdown()
+			return
+		}
+		blk := make([]byte, 4096)
+		for p.Now() < 600*time.Millisecond {
+			if err := vol.Write(p, 0, blk); err != nil {
+				lostErr = err
+				break
+			}
+			p.Sleep(time.Millisecond)
+		}
+		pod.Shutdown()
+	})
+	pod.Run(time.Second)
+	if lostErr == nil {
+		t.Fatal("write never failed after the only drive died")
+	}
+	if !errors.Is(lostErr, storengine.ErrVolumeLost) {
+		t.Fatalf("write error = %v, want ErrVolumeLost", lostErr)
+	}
+	if !vol.Lost() {
+		t.Fatal("volume not marked lost")
+	}
+	if h2.SFE.VolumesLost < 1 {
+		t.Fatalf("VolumesLost = %d, want >= 1", h2.SFE.VolumesLost)
+	}
+}
+
+// TestAllocatorSurvivesLeaderCrash crashes the allocator host — taking
+// down both the allocator engine and the raft leader — while an instance
+// is asking for a NIC. The frontend must retry the allocation RPC, the
+// surviving replicas must elect a new leader, and the resumed allocator
+// must reconstruct its leases and place the instance through the new
+// leader.
+func TestAllocatorSurvivesLeaderCrash(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RaftReplicas = 3
+	cfg.Allocator.LeaseTimeout = 100 * time.Millisecond
+	cfg.Engine.TelemetryEvery = 40 * time.Millisecond
+	pod := NewPod(cfg)
+	h0 := pod.AddHost() // allocator + raft leader (node 0 elects first)
+	h1 := pod.AddHost()
+	h2 := pod.AddHost()
+	h3 := pod.AddHost()
+	_ = h0
+	pod.AddNIC(h1, false)
+	pod.AddNIC(h2, false)
+	inst := pod.AddInstance(h3, IP(10, 0, 0, 10))
+	pod.Start()
+	if err := pod.RunFaultPlan(faults.Plan{
+		Name: "leader-loss",
+		Events: []faults.Event{
+			{At: 50 * time.Millisecond, Kind: faults.HostCrash, Target: "host0", Heal: 200 * time.Millisecond},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	readyIn := Duration(0)
+	pod.Go("app", func(p *Proc) {
+		p.Sleep(60 * time.Millisecond) // ask while the allocator is down
+		inst.RequestAllocation()
+		if inst.WaitReady(p, time.Second) {
+			readyIn = p.Now() - 60*time.Millisecond
+		}
+		p.Sleep(100 * time.Millisecond) // let the restarted replica catch up
+		pod.Shutdown()
+	})
+	pod.Run(2 * time.Second)
+	if readyIn == 0 {
+		t.Fatal("instance never allocated after allocator host crash")
+	}
+	if readyIn > 500*time.Millisecond {
+		t.Fatalf("allocation took %v, want < 500ms after the allocator resumed", readyIn)
+	}
+	if h3.FE.AllocRetries < 1 {
+		t.Fatalf("frontend alloc retries = %d, want >= 1", h3.FE.AllocRetries)
+	}
+	if pod.Alloc.LeaseReconstructions < 1 {
+		t.Fatalf("lease reconstructions = %d, want >= 1", pod.Alloc.LeaseReconstructions)
+	}
+	leaders := 0
+	for _, n := range pod.Raft {
+		if n.IsLeader() && !n.Stopped() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("live leaders = %d, want exactly 1", leaders)
+	}
+	// The placement must be in the replicated log everywhere.
+	for i, n := range pod.Raft {
+		if n.CommitIndex() < 1 {
+			t.Fatalf("replica %d committed nothing — placement not replicated", i)
+		}
+	}
 }

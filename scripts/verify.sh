@@ -32,8 +32,11 @@ go test ./...
 # under race there — the rest of the suite re-runs every figure at ~10x
 # race overhead without touching any additional concurrency.
 echo "== go test -race (concurrent-facing packages) =="
-go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par
-go test -race -run Parallel ./internal/experiments
+go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par ./internal/faults
+# -short: one chaos run (invariants only) — the byte-identical rerun is
+# asserted by the non-race tier above; doubling it under the detector's
+# ~10x overhead buys no extra race coverage.
+go test -race -short -run 'Parallel|Chaos' ./internal/experiments
 
 # Smoke the full parallel fan-out end to end: every experiment at tiny
 # scale with GOMAXPROCS workers. Output determinism vs the serial path is
@@ -41,5 +44,11 @@ go test -race -run Parallel ./internal/experiments
 # (flag plumbing, ordered flush, worker startup) in the binary itself.
 echo "== oasis-bench parallel smoke =="
 go run ./cmd/oasis-bench -run all -scale 0.05 -parallel > /dev/null
+
+# Chaos smoke: the seeded fault campaign must end with every recovery
+# invariant intact (no acked-write loss, bounded loss windows, bounded
+# control-plane recovery). The report says so in one grep-able line.
+echo "== chaos campaign smoke =="
+go run ./cmd/oasis-bench -run chaos | grep -q "invariants: OK"
 
 echo "verify: OK"
