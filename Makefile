@@ -19,7 +19,7 @@ test:
 # engines out across workers. For experiments only the parallel-runner
 # tests run under race — the full suite re-runs every figure at ~10x race
 # overhead without touching any additional concurrency.
-RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/faults
+RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/faults ./internal/topo
 
 race:
 	$(GO) test -race $(RACE_PKGS) ./internal/par

@@ -218,3 +218,15 @@ func BenchmarkAblStorage(b *testing.B) {
 		"d64_kiops": "depth64-kIOPS",
 	})
 }
+
+// BenchmarkRacksweep measures the rack-scale sweep: a 208-host multi-pod
+// cluster (placement, hot-spot migration, live traffic on one engine)
+// plus the pooling model at 2048 hosts. Its ns/op is the headline
+// wall-clock number for simulator capacity at rack scale.
+func BenchmarkRacksweep(b *testing.B) {
+	runExperiment(b, "racksweep", 1, map[string]string{
+		"hosts":      "hosts",
+		"migrations": "migrations",
+		"pod64_nic":  "NICstranded-pod64",
+	})
+}

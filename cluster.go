@@ -1,0 +1,423 @@
+package oasis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"oasis/internal/faults"
+	"oasis/internal/netstack"
+	"oasis/internal/obs"
+	"oasis/internal/sim"
+	"oasis/internal/ssd"
+	"oasis/internal/storengine"
+	"oasis/internal/topo"
+)
+
+// Typed cluster errors.
+var (
+	// ErrNoSuchPod marks an operation addressed to a pod index the cluster
+	// does not hold.
+	ErrNoSuchPod = errors.New("no such pod")
+	// ErrMigrationFailed marks a cross-pod migration that aborted with the
+	// source instance intact (writes unfrozen again).
+	ErrMigrationFailed = errors.New("cross-pod migration failed")
+)
+
+// Cluster composes pods into a rack-scale topology. All pods share ONE
+// simulation engine — cross-pod interactions (migrations, staggered fault
+// plans) happen on a single virtual clock — while each pod keeps its own
+// CXL pool, ToR switch, allocator, and raft group, exactly as standalone.
+// Pods are identity-scoped: pod i's hosts, devices, drivers, metrics, and
+// fault targets all carry the "pod<i>/" prefix from internal/topo, so a
+// merged cluster snapshot never collides and a fault plan can name any
+// node in the rack.
+//
+// The cluster adds a thin cross-pod placement layer: PlaceInstance routes
+// an instance to the least-loaded pod, and MigrateInstance moves an
+// instance (with its volume, epoch-fenced) between pods — the §3.5
+// allocator's job lifted one level up.
+type Cluster struct {
+	Eng  *sim.Engine
+	pods []*Pod
+
+	// MigrationCopyBudget bounds how long a migration waits for the source
+	// volume to quiesce and for the destination volume to register.
+	MigrationCopyBudget Duration
+
+	// Stats.
+	Placements int64
+	Migrations int64
+}
+
+// NewCluster creates an empty cluster on a fresh shared engine.
+func NewCluster() *Cluster {
+	return &Cluster{Eng: sim.New(), MigrationCopyBudget: 500 * time.Millisecond}
+}
+
+// AddPodErr appends a pod built from cfg; its index (and thereby its
+// "pod<i>/" identity scope) is its position. Pods may be added after Start
+// — the new pod is empty until its own nodes are added, and Cluster.Start
+// has already run its (empty) wiring pass, so late node adds wire
+// immediately.
+func (c *Cluster) AddPodErr(cfg Config) (*Pod, error) {
+	idx := len(c.pods)
+	p := &Pod{Topology: newTopology(c.Eng, cfg, idx, false)}
+	c.pods = append(c.pods, p)
+	return p, nil
+}
+
+// AddPod is the panic-on-error wrapper around AddPodErr.
+func (c *Cluster) AddPod(cfg Config) *Pod {
+	p, err := c.AddPodErr(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Pods returns the cluster's pods in index order.
+func (c *Cluster) Pods() []*Pod { return c.pods }
+
+// Pod returns pod i, or nil when out of range.
+func (c *Cluster) Pod(i int) *Pod {
+	if i < 0 || i >= len(c.pods) {
+		return nil
+	}
+	return c.pods[i]
+}
+
+// Start wires and launches every pod, in index order.
+func (c *Cluster) Start() {
+	for _, p := range c.pods {
+		p.Start()
+	}
+}
+
+// Go spawns an application process on the shared engine.
+func (c *Cluster) Go(name string, fn func(p *Proc)) { c.Eng.Go(name, fn) }
+
+// Run executes d of virtual time across the whole cluster.
+func (c *Cluster) Run(d Duration) Duration { return c.Eng.RunUntil(d) }
+
+// Shutdown unwinds all processes in every pod.
+func (c *Cluster) Shutdown() { c.Eng.Shutdown() }
+
+// Now returns the shared virtual clock.
+func (c *Cluster) Now() Duration { return c.Eng.Now() }
+
+// podLoad is the placement layer's load proxy for one pod: placed
+// instances per usable (non-backup) NIC. It needs no cross-pod telemetry
+// — instance counts and NIC counts are construction-time facts — which
+// keeps placement deterministic and allocator-agnostic.
+func (c *Cluster) podLoad(p *Pod) float64 {
+	nics := 0
+	for _, id := range p.nicIDs() {
+		n := p.NICs[id]
+		if n.BE != nil && !n.Backup {
+			nics++
+		}
+	}
+	if nics == 0 {
+		return float64(len(p.instances)) + 1e9 // effectively unplaceable
+	}
+	return float64(len(p.instances)) / float64(nics)
+}
+
+// leastLoadedPod picks the pod with the lowest load (ties: lowest index).
+func (c *Cluster) leastLoadedPod() *Pod {
+	var best *Pod
+	bestLoad := 0.0
+	for _, p := range c.pods {
+		l := c.podLoad(p)
+		if best == nil || l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
+}
+
+// leastLoadedHost picks the live host with the fewest instances (ties:
+// lowest index).
+func leastLoadedHost(p *Pod) *Host {
+	counts := make(map[*Host]int)
+	for _, inst := range p.instances {
+		counts[inst.host]++
+	}
+	var best *Host
+	bestN := 0
+	for _, ph := range p.Hosts {
+		if ph.removed {
+			continue
+		}
+		if n := counts[ph]; best == nil || n < bestN {
+			best, bestN = ph, n
+		}
+	}
+	return best
+}
+
+// findInstance locates an instance by IP across the cluster.
+func (c *Cluster) findInstance(ip netstack.IP) (*Pod, *Instance) {
+	for _, p := range c.pods {
+		for _, inst := range p.instances {
+			if inst.IPAddr() == ip {
+				return p, inst
+			}
+		}
+	}
+	return nil, nil
+}
+
+// PlaceInstanceErr routes an instance to the least-loaded pod (placed
+// instances per usable NIC; ties go to the lowest pod index) and the
+// least-loaded host within it, then asks that pod's allocator for a NIC
+// assignment. Instance IPs are cluster-unique.
+func (c *Cluster) PlaceInstanceErr(ip netstack.IP) (*Instance, error) {
+	if len(c.pods) == 0 {
+		return nil, fmt.Errorf("oasis: %w: cluster has no pods", ErrNoSuchPod)
+	}
+	if p, _ := c.findInstance(ip); p != nil {
+		return nil, fmt.Errorf("oasis: %w: inst-%v already placed in pod%d", ErrDuplicateNode, ip, p.podIndex)
+	}
+	pod := c.leastLoadedPod()
+	host := leastLoadedHost(pod)
+	if host == nil {
+		return nil, fmt.Errorf("oasis: %w: pod%d has no live hosts", ErrNoSuchNode, pod.podIndex)
+	}
+	inst, err := pod.AddInstanceErr(host, ip)
+	if err != nil {
+		return nil, err
+	}
+	if pod.Started() && pod.Alloc != nil {
+		inst.RequestAllocation()
+	}
+	c.Placements++
+	return inst, nil
+}
+
+// PlaceInstance is the panic-on-error wrapper around PlaceInstanceErr.
+func (c *Cluster) PlaceInstance(ip netstack.IP) *Instance {
+	inst, err := c.PlaceInstanceErr(ip)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// MigrateInstance moves an instance — and its volume, if it has one — to
+// pod dst. It must run inside a simulation process (use Cluster.Go).
+//
+// The protocol reuses the storage engine's epoch/fencing machinery so no
+// acked write is ever lost, even when the fault injector is tearing at
+// both pods:
+//
+//  1. Freeze writes on the source volume. New writes fail fast with
+//     ErrMigrating — they are never acknowledged, so no promise exists.
+//  2. Quiesce: wait for every in-flight request to resolve. Writes acked
+//     before or during the freeze are now durable on the source drive.
+//  3. Epoch fence: the quiesce bumps the volume's fencing epoch, so a
+//     wedged backend's late completion is rejected (StaleRejected) rather
+//     than applied after the cutover — the same zombie defense the SSD
+//     failover path uses.
+//  4. Copy: read the volume image through the ordinary read path and
+//     write it into a fresh volume on the destination pod.
+//  5. Cutover: re-place the instance on the destination (new frontend
+//     port, allocator assignment) and remove the source instance, volume,
+//     and placement.
+//
+// On any failure the source instance is left intact with writes unfrozen
+// (the epoch bump is harmless) and ErrMigrationFailed is returned.
+func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, error) {
+	dstPod := c.Pod(dst)
+	if dstPod == nil {
+		return nil, fmt.Errorf("oasis: %w: pod%d", ErrNoSuchPod, dst)
+	}
+	srcPod, inst := c.findInstance(ip)
+	if inst == nil {
+		return nil, fmt.Errorf("oasis: %w: inst-%v", ErrNoSuchNode, ip)
+	}
+	if srcPod == dstPod {
+		return inst, nil
+	}
+	if inst.Port == nil {
+		return nil, fmt.Errorf("oasis: %w: baseline local instance %v cannot migrate", ErrNodeInUse, ip)
+	}
+
+	var vol *storengine.Volume
+	if sfe := inst.host.SFE; sfe != nil {
+		vol = sfe.Volume(ip)
+	}
+	var image []byte
+	var blocks uint64
+	if vol != nil {
+		vol.FreezeWrites()
+		// A quiesce timeout is safe to proceed past: the epoch bump fences
+		// the wedged request, so it can only end StaleRejected — never
+		// acked, never applied after the copy reads below.
+		vol.Quiesce(p, c.MigrationCopyBudget)
+		blocks = vol.Blocks()
+		image = make([]byte, 0, blocks*uint64(ssd.BlockSize))
+		chunk := srcPod.cfg.Storage.MaxBlocksPerRequest()
+		for lba := uint64(0); lba < blocks; lba += uint64(chunk) {
+			n := chunk
+			if rem := blocks - lba; uint64(n) > rem {
+				n = int(rem)
+			}
+			data, err := vol.Read(p, lba, n)
+			if err != nil {
+				vol.UnfreezeWrites()
+				return nil, fmt.Errorf("oasis: %w: copy read at lba %d: %v", ErrMigrationFailed, lba, err)
+			}
+			image = append(image, data...)
+		}
+	}
+
+	dstHost := leastLoadedHost(dstPod)
+	if dstHost == nil {
+		if vol != nil {
+			vol.UnfreezeWrites()
+		}
+		return nil, fmt.Errorf("oasis: %w: pod%d has no live hosts", ErrMigrationFailed, dst)
+	}
+	newInst, err := dstPod.AddInstanceErr(dstHost, ip)
+	if err != nil {
+		if vol != nil {
+			vol.UnfreezeWrites()
+		}
+		return nil, fmt.Errorf("oasis: %w: %v", ErrMigrationFailed, err)
+	}
+	abort := func(reason error) (*Instance, error) {
+		_ = dstPod.RemoveInstanceErr(newInst)
+		if vol != nil {
+			vol.UnfreezeWrites()
+		}
+		return nil, fmt.Errorf("oasis: %w: %v", ErrMigrationFailed, reason)
+	}
+	if dstPod.Started() && dstPod.Alloc != nil {
+		newInst.RequestAllocation()
+	}
+	if vol != nil {
+		dstSSD := uint16(0)
+		for _, id := range dstPod.ssdIDs() {
+			if !dstPod.SSDs[id].Backup {
+				dstSSD = id
+				break
+			}
+		}
+		if dstSSD == 0 {
+			return abort(fmt.Errorf("pod%d has no usable SSD for the volume", dst))
+		}
+		newVol, err := dstPod.AddVolumeErr(newInst, dstSSD, blocks)
+		if err != nil {
+			return abort(err)
+		}
+		if !newVol.WaitReady(p, c.MigrationCopyBudget) {
+			return abort(fmt.Errorf("destination volume on %s never became ready", dstPod.ssdName(dstSSD)))
+		}
+		chunk := dstPod.cfg.Storage.MaxBlocksPerRequest()
+		for lba := uint64(0); lba < blocks; lba += uint64(chunk) {
+			n := chunk
+			if rem := blocks - lba; uint64(n) > rem {
+				n = int(rem)
+			}
+			data := image[lba*uint64(ssd.BlockSize) : (lba+uint64(n))*uint64(ssd.BlockSize)]
+			if err := newVol.Write(p, lba, data); err != nil {
+				return abort(fmt.Errorf("copy write at lba %d: %v", lba, err))
+			}
+		}
+	}
+	if err := srcPod.RemoveInstanceErr(inst); err != nil {
+		return abort(err)
+	}
+	c.Migrations++
+	return newInst, nil
+}
+
+// RebalanceOnce migrates one instance from the most-loaded pod to the
+// least-loaded pod when their load ratio exceeds ratio (>1). Returns the
+// migrated instance, or nil if the cluster is balanced. Run it from a
+// simulation process.
+func (c *Cluster) RebalanceOnce(p *Proc, ratio float64) (*Instance, error) {
+	if len(c.pods) < 2 {
+		return nil, nil
+	}
+	var hot, cold *Pod
+	for _, pod := range c.pods {
+		if hot == nil || c.podLoad(pod) > c.podLoad(hot) {
+			hot = pod
+		}
+		if cold == nil || c.podLoad(pod) < c.podLoad(cold) {
+			cold = pod
+		}
+	}
+	if hot == cold || c.podLoad(hot) == 0 {
+		return nil, nil // nothing placed anywhere, or no skew possible
+	}
+	if c.podLoad(cold) > 0 && c.podLoad(hot)/c.podLoad(cold) <= ratio {
+		return nil, nil
+	}
+	if len(hot.instances) == 0 {
+		return nil, nil
+	}
+	victim := hot.instances[len(hot.instances)-1] // newest placement moves
+	return c.MigrateInstance(p, victim.IPAddr(), cold.podIndex)
+}
+
+// RunFaultPlan routes a cluster-wide fault plan: every event's target must
+// carry a "pod<P>/" scope (the internal/topo grammar), and each event is
+// scheduled on that pod's own injector. The per-pod sub-plans inherit the
+// plan's name and seed.
+func (c *Cluster) RunFaultPlan(pl faults.Plan) error {
+	perPod := make(map[int][]faults.Event)
+	for i, ev := range pl.Events {
+		r, err := topo.Parse(ev.Target)
+		if err != nil {
+			return fmt.Errorf("oasis: cluster plan event %d: %w", i, err)
+		}
+		if r.Pod == topo.Unscoped {
+			return fmt.Errorf("oasis: cluster plan event %d: target %q must carry a pod scope (\"pod<P>/…\")", i, ev.Target)
+		}
+		if c.Pod(r.Pod) == nil {
+			return fmt.Errorf("oasis: cluster plan event %d: %w: pod%d", i, ErrNoSuchPod, r.Pod)
+		}
+		perPod[r.Pod] = append(perPod[r.Pod], ev)
+	}
+	idxs := make([]int, 0, len(perPod))
+	for idx := range perPod {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		sub := faults.Plan{Name: pl.Name, Seed: pl.Seed, Events: perPod[idx]}
+		if err := c.pods[idx].RunFaultPlan(sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats merges every pod's snapshot into one cluster-wide view. Pod
+// identity scoping ("pod<i>/" prefixes on hosts, devices, drivers, alloc,
+// raft, faults) keeps the merged namespace collision-free; points re-sort
+// by name and trace events merge in time order (ties: pod order).
+func (c *Cluster) Stats() obs.Snapshot {
+	s := obs.Snapshot{At: c.Eng.Now()}
+	for _, p := range c.pods {
+		ps := p.Stats()
+		s.Points = append(s.Points, ps.Points...)
+		s.Events = append(s.Events, ps.Events...)
+	}
+	sort.Slice(s.Points, func(a, b int) bool {
+		if s.Points[a].Name != s.Points[b].Name {
+			return s.Points[a].Name < s.Points[b].Name
+		}
+		return s.Points[a].Label < s.Points[b].Label
+	})
+	sort.SliceStable(s.Events, func(a, b int) bool { return s.Events[a].At < s.Events[b].At })
+	return s
+}
+
+// StatsReport renders the merged cluster snapshot.
+func (c *Cluster) StatsReport() string { return c.Stats().String() }

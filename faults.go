@@ -2,26 +2,29 @@ package oasis
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"oasis/internal/core"
 	"oasis/internal/faults"
+	"oasis/internal/topo"
 )
 
-// BindFaults creates (once) the pod's fault injector and registers the
-// handler for every fault kind against this pod's topology. Call it after
-// Start — targets are resolved at injection time against the frozen
-// topology. The injector's instruments register under faults/* in the pod
-// registry, so chaos campaigns show up in Pod.Stats alongside everything
-// else.
+// BindFaults creates (once) the topology's fault injector and registers the
+// handler for every fault kind. Call it after Start — targets are resolved
+// at injection time against the live topology. The injector's instruments
+// register under faults/* in the pod registry (pod<P>/faults/* for cluster
+// pods), so chaos campaigns show up in Stats alongside everything else.
 //
-// Target grammar, per kind:
+// Targets use the internal/topo grammar (the same strings the cluster
+// placement layer uses), per kind:
 //
 //	host-crash, cxl-degrade:  "host<N>"            (pod host index)
 //	engine-stall:             a driver core name    ("host2/storage-be1", "host0/fe", …)
 //	nic-link-down, port-flap: "nic<N>"             (pooled NIC id)
 //	ssd-fail:                 "ssd<N>"             (pooled SSD id)
+//
+// Any form may carry a "pod<P>/" scope; a pod injector accepts it only if P
+// is its own pod index (Cluster.RunFaultPlan routes scoped events to the
+// right pod's injector).
 //
 // HostCrash stalls every driver core on the host (engines freeze, telemetry
 // stops — the allocator sees lease expiries) and stops the host's raft
@@ -29,44 +32,44 @@ import (
 // replica, which rejoins as a follower. A crashed allocator host is the
 // "allocator leader loss" scenario: proposals fail over to the re-elected
 // leader and the allocator rebuilds leases when its core resumes.
-func (pod *Pod) BindFaults() *faults.Injector {
-	if pod.injector != nil {
-		return pod.injector
+func (t *Topology) BindFaults() *faults.Injector {
+	if t.injector != nil {
+		return t.injector
 	}
-	in := faults.NewInjector(pod.Eng)
-	pod.injector = in
+	in := faults.NewInjector(t.Eng)
+	t.injector = in
 
 	in.Handle(faults.HostCrash, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			ph, idx, err := pod.faultHost(ev.Target)
+			ph, idx, err := t.faultHost(ev.Target)
 			if err != nil {
 				return err
 			}
-			for _, d := range pod.hostDrivers(ph) {
+			for _, d := range t.hostDrivers(ph) {
 				d.Stall()
 			}
-			if idx < len(pod.Raft) {
-				pod.Raft[idx].Stop()
+			if idx < len(t.Raft) {
+				t.Raft[idx].Stop()
 			}
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			ph, idx, err := pod.faultHost(ev.Target)
+			ph, idx, err := t.faultHost(ev.Target)
 			if err != nil {
 				return err
 			}
-			for _, d := range pod.hostDrivers(ph) {
+			for _, d := range t.hostDrivers(ph) {
 				d.Resume()
 			}
-			if idx < len(pod.Raft) {
-				pod.Raft[idx].Restart()
+			if idx < len(t.Raft) {
+				t.Raft[idx].Restart()
 			}
 			return nil
 		},
 	})
 	in.Handle(faults.EngineStall, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			d, err := pod.faultDriver(ev.Target)
+			d, err := t.faultDriver(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -74,7 +77,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			d, err := pod.faultDriver(ev.Target)
+			d, err := t.faultDriver(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -84,7 +87,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 	})
 	in.Handle(faults.NICLinkDown, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			n, err := pod.faultNIC(ev.Target)
+			n, err := t.faultNIC(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -92,7 +95,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			n, err := pod.faultNIC(ev.Target)
+			n, err := t.faultNIC(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -102,7 +105,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 	})
 	in.Handle(faults.SSDFail, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			d, err := pod.faultSSD(ev.Target)
+			d, err := t.faultSSD(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -110,7 +113,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			d, err := pod.faultSSD(ev.Target)
+			d, err := t.faultSSD(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -120,7 +123,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 	})
 	in.Handle(faults.PortFlap, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			n, err := pod.faultNIC(ev.Target)
+			n, err := t.faultNIC(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -128,7 +131,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			n, err := pod.faultNIC(ev.Target)
+			n, err := t.faultNIC(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -138,7 +141,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 	})
 	in.Handle(faults.CXLDegrade, faults.Handler{
 		Inject: func(ev faults.Event) error {
-			ph, _, err := pod.faultHost(ev.Target)
+			ph, _, err := t.faultHost(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -149,7 +152,7 @@ func (pod *Pod) BindFaults() *faults.Injector {
 			return nil
 		},
 		Heal: func(ev faults.Event) error {
-			ph, _, err := pod.faultHost(ev.Target)
+			ph, _, err := t.faultHost(ev.Target)
 			if err != nil {
 				return err
 			}
@@ -161,37 +164,54 @@ func (pod *Pod) BindFaults() *faults.Injector {
 		},
 	})
 
-	in.RegisterObs(pod.obs, "faults")
+	in.RegisterObs(t.obs, t.scope+"faults")
 	return in
 }
 
 // RunFaultPlan binds the injector (if needed) and schedules the plan.
-func (pod *Pod) RunFaultPlan(pl faults.Plan) error {
-	return pod.BindFaults().Schedule(pl)
+func (t *Topology) RunFaultPlan(pl faults.Plan) error {
+	return t.BindFaults().Schedule(pl)
 }
 
-// Injector returns the pod's fault injector (nil before BindFaults).
-func (pod *Pod) Injector() *faults.Injector { return pod.injector }
+// Injector returns the topology's fault injector (nil before BindFaults).
+func (t *Topology) Injector() *faults.Injector { return t.injector }
+
+// faultRef parses a target through the shared topo grammar and checks its
+// pod scope against this topology: unscoped targets address the local pod,
+// scoped ones must name it exactly.
+func (t *Topology) faultRef(target string, want topo.Kind) (topo.Ref, error) {
+	r, err := topo.Parse(target)
+	if err != nil {
+		return topo.Ref{}, fmt.Errorf("oasis: %w", err)
+	}
+	if r.Pod != topo.Unscoped && r.Pod != t.podIndex {
+		return topo.Ref{}, fmt.Errorf("oasis: target %q is scoped to pod%d, not this pod", target, r.Pod)
+	}
+	if r.Kind != want {
+		return topo.Ref{}, fmt.Errorf("oasis: target %q is a %s, want a %s", target, r.Kind, want)
+	}
+	return r, nil
+}
 
 // faultHost resolves a "host<N>" target.
-func (pod *Pod) faultHost(target string) (*Host, int, error) {
-	idx, err := faultIndex(target, "host")
+func (t *Topology) faultHost(target string) (*Host, int, error) {
+	r, err := t.faultRef(target, topo.KindHost)
 	if err != nil {
 		return nil, 0, err
 	}
-	if idx < 0 || idx >= len(pod.Hosts) {
+	if r.Index < 0 || r.Index >= len(t.Hosts) || t.Hosts[r.Index].removed {
 		return nil, 0, fmt.Errorf("oasis: no such host %q", target)
 	}
-	return pod.Hosts[idx], idx, nil
+	return t.Hosts[r.Index], r.Index, nil
 }
 
 // faultNIC resolves a "nic<N>" target.
-func (pod *Pod) faultNIC(target string) (*NIC, error) {
-	id, err := faultIndex(target, "nic")
+func (t *Topology) faultNIC(target string) (*NIC, error) {
+	r, err := t.faultRef(target, topo.KindNIC)
 	if err != nil {
 		return nil, err
 	}
-	n, ok := pod.NICs[uint16(id)]
+	n, ok := t.NICs[uint16(r.Index)]
 	if !ok {
 		return nil, fmt.Errorf("oasis: no such NIC %q", target)
 	}
@@ -199,44 +219,39 @@ func (pod *Pod) faultNIC(target string) (*NIC, error) {
 }
 
 // faultSSD resolves an "ssd<N>" target.
-func (pod *Pod) faultSSD(target string) (*SSDDev, error) {
-	id, err := faultIndex(target, "ssd")
+func (t *Topology) faultSSD(target string) (*SSDDev, error) {
+	r, err := t.faultRef(target, topo.KindSSD)
 	if err != nil {
 		return nil, err
 	}
-	d, ok := pod.SSDs[uint16(id)]
+	d, ok := t.SSDs[uint16(r.Index)]
 	if !ok {
 		return nil, fmt.Errorf("oasis: no such SSD %q", target)
 	}
 	return d, nil
 }
 
-// faultDriver resolves an engine-stall target by driver core name.
-func (pod *Pod) faultDriver(target string) (*core.Driver, error) {
-	for _, d := range pod.allDrivers() {
-		if d.Name() == target {
+// faultDriver resolves an engine-stall target by driver core name. Driver
+// names carry the pod scope already ("pod1/host2/fe" in a cluster), so the
+// parsed local name is re-prefixed before the exact match.
+func (t *Topology) faultDriver(target string) (*core.Driver, error) {
+	r, err := t.faultRef(target, topo.KindDriver)
+	if err != nil {
+		return nil, err
+	}
+	name := t.scope + r.Name
+	for _, d := range t.allDrivers() {
+		if d.Name() == name {
 			return d, nil
 		}
 	}
 	return nil, fmt.Errorf("oasis: no driver core named %q", target)
 }
 
-func faultIndex(target, prefix string) (int, error) {
-	num, ok := strings.CutPrefix(target, prefix)
-	if !ok {
-		return 0, fmt.Errorf("oasis: target %q must look like %q", target, prefix+"<N>")
-	}
-	idx, err := strconv.Atoi(num)
-	if err != nil {
-		return 0, fmt.Errorf("oasis: bad target %q: %w", target, err)
-	}
-	return idx, nil
-}
-
 // hostDrivers collects every driver core that runs on a host — the blast
 // radius of a host crash. Deterministic order, deduped by pointer (shared
 // host cores appear once).
-func (pod *Pod) hostDrivers(ph *Host) []*core.Driver {
+func (t *Topology) hostDrivers(ph *Host) []*core.Driver {
 	var out []*core.Driver
 	seen := make(map[*core.Driver]bool)
 	add := func(d *core.Driver) {
@@ -256,23 +271,24 @@ func (pod *Pod) hostDrivers(ph *Host) []*core.Driver {
 	for _, be := range ph.BEs {
 		add(be.Driver())
 	}
-	for _, id := range pod.ssdIDs() {
-		if d := pod.SSDs[id]; d.BE.Host() == ph.H {
+	for _, id := range t.ssdIDs() {
+		if d := t.SSDs[id]; d.BE.Host() == ph.H {
 			add(d.BE.Driver())
 		}
 	}
-	if pod.Alloc != nil && len(pod.Hosts) > 0 && pod.Hosts[0] == ph {
-		add(pod.Alloc.Driver())
+	if t.Alloc != nil && len(t.Hosts) > 0 && t.Hosts[0] == ph {
+		add(t.Alloc.Driver())
 	}
 	return out
 }
 
-// allDrivers collects every driver core in the pod in deterministic order.
-func (pod *Pod) allDrivers() []*core.Driver {
+// allDrivers collects every driver core in the topology in deterministic
+// order.
+func (t *Topology) allDrivers() []*core.Driver {
 	var out []*core.Driver
 	seen := make(map[*core.Driver]bool)
-	for _, ph := range pod.Hosts {
-		for _, d := range pod.hostDrivers(ph) {
+	for _, ph := range t.Hosts {
+		for _, d := range t.hostDrivers(ph) {
 			if !seen[d] {
 				seen[d] = true
 				out = append(out, d)

@@ -248,6 +248,77 @@ func (a *Allocator) AddStorageFrontend(hostID int, link *core.LinkEnd) {
 	a.sfeOrder = append(a.sfeOrder, hostID)
 }
 
+// RemoveNIC forgets a NIC and its control link (topology removal). The
+// caller guarantees no instance is still placed on it; the device simply
+// stops existing for placement, failover, and leases.
+func (a *Allocator) RemoveNIC(id uint16) {
+	delete(a.nics, id)
+	delete(a.beLinks, id)
+	a.beOrder = removeID(a.beOrder, id)
+}
+
+// RemoveSSD forgets a drive and its control link (topology removal).
+func (a *Allocator) RemoveSSD(id uint16) {
+	delete(a.ssds, id)
+	delete(a.ssdLinks, id)
+	a.ssdOrder = removeID(a.ssdOrder, id)
+}
+
+// RemoveFrontend forgets a host's frontend control link (host removal).
+func (a *Allocator) RemoveFrontend(hostID int) {
+	delete(a.feLinks, hostID)
+	a.feOrder = removeHostID(a.feOrder, hostID)
+	delete(a.sfeLinks, hostID)
+	a.sfeOrder = removeHostID(a.sfeOrder, hostID)
+}
+
+// ReleaseInstance forgets an instance's placement (cross-pod migration or
+// teardown): its demand is returned to its NIC and it no longer
+// participates in rebalancing or failover fan-out.
+func (a *Allocator) ReleaseInstance(ip netstack.IP) {
+	st := a.insts[ip]
+	if st == nil {
+		return
+	}
+	if ns := a.nics[st.primary]; ns != nil {
+		ns.demand -= st.demand
+	}
+	delete(a.insts, ip)
+}
+
+// InstancesOn counts instances whose primary or backup assignment is the
+// NIC — the "in use" check a topology-level NIC removal must clear.
+func (a *Allocator) InstancesOn(nic uint16) int {
+	n := 0
+	for _, st := range a.insts {
+		if st.primary == nic || st.backup == nic {
+			n++
+		}
+	}
+	return n
+}
+
+// Instances returns the number of placed instances.
+func (a *Allocator) Instances() int { return len(a.insts) }
+
+func removeID(s []uint16, id uint16) []uint16 {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func removeHostID(s []int, id int) []int {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
 // SetInstanceDemand declares an instance type's expected NIC bandwidth in
 // bytes/s, used by placement (§3.5 "static policies such as instance types").
 func (a *Allocator) SetInstanceDemand(ip netstack.IP, bps float64) {

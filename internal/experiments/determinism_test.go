@@ -51,3 +51,44 @@ func TestPodSnapshotDeterministic(t *testing.T) {
 		t.Fatalf("pod snapshot JSON not deterministic across reruns:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
 }
+
+// Racksweep stretches the same promise to rack scale: a 200+ host
+// multi-pod cluster (one engine, eight pods, live migration + traffic)
+// plus a par-fanned analytic sweep. The report must be byte-identical
+// across reruns AND across -parallel settings — workers only ever sit
+// between engines, never inside one.
+func TestRacksweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		// The race gate runs this package with -short: par.Do's race
+		// coverage already comes from the parallel-runner tests, and
+		// re-running a 208-host sim twice under the detector's ~10x
+		// overhead buys nothing extra.
+		t.Skip("skipping rack-scale byte-identity sweep in -short mode")
+	}
+	SetParallelism(1)
+	a := Racksweep(0.05)
+	SetParallelism(4)
+	b := Racksweep(0.05).String()
+	SetParallelism(1)
+	if a.String() != b {
+		t.Fatalf("racksweep not deterministic across -parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", a.String(), b)
+	}
+	if a.Values["hosts"] < 200 {
+		t.Fatalf("simulated cluster has %.0f hosts, want >= 200", a.Values["hosts"])
+	}
+	if a.Values["pods"] < 2 {
+		t.Fatalf("racksweep must span multiple pods, got %.0f", a.Values["pods"])
+	}
+	if a.Values["migrations"] == 0 {
+		t.Fatal("hot-spot rebalance performed no cross-pod migrations")
+	}
+	if a.Values["spread_final"] > a.Values["spread_skewed"]-2 {
+		t.Fatalf("rebalance barely helped: spread %v -> %v", a.Values["spread_skewed"], a.Values["spread_final"])
+	}
+	if a.Values["echoes"] == 0 {
+		t.Fatal("no traffic completed during the sweep")
+	}
+	if a.Values["pod64_nic"] >= a.Values["pod8_nic"] {
+		t.Fatal("analytic sweep: stranding should fall as the pooling domain grows")
+	}
+}

@@ -77,6 +77,7 @@ func Registry() []struct {
 		{"abl-qos", AblQoS},
 		{"abl-storage", AblStorage},
 		{"chaos", Chaos},
+		{"racksweep", Racksweep},
 	}
 }
 

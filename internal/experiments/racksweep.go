@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"oasis"
+	"oasis/internal/strand"
+)
+
+// Racksweep extends Table 2 / Figure 2 from a single pod to a rack: a
+// real multi-pod Cluster simulation of 200+ hosts (placement, hot-spot
+// migration, live traffic — every pod on one virtual clock), paired with
+// the analytic stranding model pushed to thousands of hosts.
+//
+// Part 1 (simulated): 8 pods x 26 hosts share one engine. Instances are
+// routed by the cluster's least-loaded placement, a deliberate hot-spot
+// is then piled onto pod 0, and the rebalancer migrates instances off it
+// (epoch-fenced, §3.5 lifted to rack scope) until the rack is even. One
+// echo flow per pod runs throughout, pinning down that a 208-host cluster
+// stays deterministic under concurrent traffic and migration.
+//
+// Part 2 (analytic): the §2.2 pooling model at 1000s of hosts, pod sizes
+// 8-64, trials fanned out over internal/par. Per-worker results reduce in
+// trial order, so the report is byte-identical at any -parallel setting.
+func Racksweep(scale float64) *Report {
+	scale = clampScale(scale)
+	r := newReport("racksweep", "Rack-scale utilization sweep (multi-pod cluster + pooling model)")
+
+	const (
+		pods        = 8
+		hostsPerPod = 26 // 208 hosts total
+		nicsPerPod  = 3
+		instPerPod  = 6
+		hotspot     = 6 // extra instances piled onto pod 0
+	)
+	window := oasis.Duration(float64(20*time.Millisecond) * scale)
+	if window < 2*time.Millisecond {
+		window = 2 * time.Millisecond
+	}
+
+	c := oasis.NewCluster()
+	clients := make([]*oasis.Client, pods)
+	for i := 0; i < pods; i++ {
+		cfg := oasis.DefaultConfig()
+		p := c.AddPod(cfg)
+		for h := 0; h < hostsPerPod; h++ {
+			p.AddHost()
+		}
+		for n := 0; n < nicsPerPod; n++ {
+			// Spread device backends across the pod's tail hosts.
+			p.AddNIC(p.Hosts[hostsPerPod-1-n], false)
+		}
+		p.AddSSD(p.Hosts[hostsPerPod-1], 1<<16)
+		clients[i] = p.AddClient(oasis.IP(10, byte(i), 99, 1))
+	}
+	c.Start()
+
+	// Balanced placement through the cluster router (post-Start: exercises
+	// the incremental wiring path at rack scale).
+	for i := 0; i < pods*instPerPod; i++ {
+		c.PlaceInstance(oasis.IP(10, 200, byte(i/200), byte(10+i%200)))
+	}
+	perPod := func() []int {
+		out := make([]int, pods)
+		for i := 0; i < pods; i++ {
+			out[i] = c.Pod(i).Instances()
+		}
+		return out
+	}
+	balanced := perPod()
+
+	// Hot-spot: bypass the router and pile extra instances onto pod 0.
+	p0 := c.Pod(0)
+	for i := 0; i < hotspot; i++ {
+		p0.AddInstance(p0.Hosts[i%4], oasis.IP(10, 201, 0, byte(10+i)))
+	}
+	skewed := perPod()
+
+	// One echo flow per pod, running across the rebalance.
+	echoes := make([]int, pods)
+	for i := 0; i < pods; i++ {
+		i := i
+		pod := c.Pod(i)
+		inst := pod.InstanceAt(0)
+		inst.RequestAllocation()
+		c.Go(fmt.Sprintf("rack-echo%d", i), func(p *oasis.Proc) {
+			if !inst.WaitReady(p, 50*time.Millisecond) {
+				return
+			}
+			conn, err := inst.Stack.ListenUDP(7)
+			if err != nil {
+				return
+			}
+			for {
+				dg := conn.Recv(p)
+				if conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data) != nil {
+					return
+				}
+			}
+		})
+		c.Go(fmt.Sprintf("rack-client%d", i), func(p *oasis.Proc) {
+			conn, err := clients[i].Stack.ListenUDP(0)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64)
+			p.Sleep(2 * time.Millisecond)
+			start := p.Now()
+			for p.Now()-start < window {
+				if conn.SendTo(p, inst.IPAddr(), 7, buf) != nil {
+					continue
+				}
+				if _, ok := conn.RecvTimeout(p, 5*time.Millisecond); ok {
+					echoes[i]++
+				}
+				p.Sleep(20 * time.Microsecond)
+			}
+		})
+	}
+
+	migrations := 0
+	var final []int
+	c.Go("rack-balancer", func(p *oasis.Proc) {
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 2*hotspot; i++ {
+			inst, err := c.RebalanceOnce(p, 1.2)
+			if err != nil || inst == nil {
+				break
+			}
+			migrations++
+		}
+		final = perPod()
+		p.Sleep(window + 3*time.Millisecond)
+		c.Shutdown()
+	})
+	c.Run(time.Minute)
+
+	spread := func(v []int) int {
+		min, max := v[0], v[0]
+		for _, n := range v {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		return max - min
+	}
+	totalEchoes := 0
+	for _, n := range echoes {
+		totalEchoes += n
+	}
+	r.addf("rack: %d pods x %d hosts = %d hosts, %d NICs + 1 SSD per pod, one engine",
+		pods, hostsPerPod, pods*hostsPerPod, nicsPerPod)
+	r.addf("placement: %d instances routed least-loaded -> per-pod %v (spread %d)",
+		pods*instPerPod, balanced, spread(balanced))
+	r.addf("hot-spot:  +%d on pod0 -> %v (spread %d)", hotspot, skewed, spread(skewed))
+	r.addf("rebalance: %d cross-pod migrations -> %v (spread %d)", migrations, final, spread(final))
+	r.addf("traffic:   %d echo flows alive throughout, %d echoes total", pods, totalEchoes)
+	r.Values["hosts"] = float64(pods * hostsPerPod)
+	r.Values["pods"] = float64(pods)
+	r.Values["spread_balanced"] = float64(spread(balanced))
+	r.Values["spread_skewed"] = float64(spread(skewed))
+	r.Values["spread_final"] = float64(spread(final))
+	r.Values["migrations"] = float64(migrations)
+	r.Values["echoes"] = float64(totalEchoes)
+
+	// --- Part 2: the pooling model at 1000s of hosts. ---
+	sc := strand.DefaultConfig()
+	sc.Hosts = int(2048 * scale)
+	if sc.Hosts < 512 {
+		sc.Hosts = 512
+	}
+	sc.Trials = 4
+	sc.PodSizes = []int{8, 16, 32, 64}
+	sc.Workers = Parallelism()
+	results := strand.Run(sc)
+	r.addf("pooling model: %d hosts, %d trials/size (workers between engines only)", sc.Hosts, sc.Trials)
+	r.addf("%-8s %8s %8s %10s %11s", "pod", "NIC%", "SSD%", "NICs/pod", "drives/pod")
+	for _, res := range results {
+		r.addf("%-8d %8.1f %8.1f %10.2f %11.1f",
+			res.PodSize, res.StrandedNIC*100, res.StrandedSSD*100, res.NICsPerPod, res.DrivesPerPod)
+		r.Values[fmt.Sprintf("pod%d_nic", res.PodSize)] = res.StrandedNIC
+		r.Values[fmt.Sprintf("pod%d_ssd", res.PodSize)] = res.StrandedSSD
+	}
+	r.addf("paper: stranding keeps falling as the pooling domain grows; composing pods")
+	r.addf("       extends §2.2's single-pod gains to the whole rack")
+	return r
+}

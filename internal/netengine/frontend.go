@@ -587,6 +587,39 @@ func (fe *Frontend) completeMigration(p *sim.Proc, inst *InstancePort, newNIC ui
 	}
 }
 
+// UsesNIC reports whether the instance is attached to the NIC as primary,
+// backup, or pending migration target — the "in use" check a topology-level
+// NIC removal must clear first.
+func (ip *InstancePort) UsesNIC(id uint16) bool {
+	if ip.primary != nil && ip.primary.nicID == id {
+		return true
+	}
+	if ip.backup != nil && ip.backup.nicID == id {
+		return true
+	}
+	return ip.pendingPrimary == id
+}
+
+// RemoveInstance detaches an instance from the frontend (topology removal
+// or cross-pod migration). The caller is responsible for quiescing the
+// instance's traffic first; the TX buffer area is intentionally not
+// returned to the pool, so a straggler TX completion frees into a dead
+// area instead of corrupting a reused region (it shows up as an
+// UnknownCompletion, which is the honest outcome).
+func (fe *Frontend) RemoveInstance(ip netstack.IP) error {
+	if _, ok := fe.insts[ip]; !ok {
+		return fmt.Errorf("netengine: instance %v not attached", ip)
+	}
+	delete(fe.insts, ip)
+	for i, o := range fe.instOrder {
+		if o == ip {
+			fe.instOrder = append(fe.instOrder[:i], fe.instOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // Stats exports the uniform engine counter block (link traffic,
 // backpressure, buffer-area pressure across all instances' TX areas).
 func (fe *Frontend) Stats() core.EngineStats {

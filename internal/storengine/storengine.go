@@ -45,6 +45,12 @@ import (
 // stalled silently.)
 var ErrVolumeLost = errors.New("storengine: volume lost")
 
+// ErrMigrating marks writes rejected while a volume is frozen for
+// migration. A rejected write was never acknowledged, so failing it breaks
+// no durability promise; the guest retries against the destination volume
+// after cutover.
+var ErrMigrating = errors.New("storengine: volume is migrating")
+
 // Config sizes the storage engine.
 type Config struct {
 	// BufAreaBytes is the per-volume I/O buffer area in shared CXL memory.
@@ -314,6 +320,8 @@ type Volume struct {
 	everReady bool
 	epoch     uint16 // bumped by each failover; fences stale completions
 	lost      bool
+	migrating bool // writes frozen for migration (FreezeWrites)
+	inflight  int  // submitted requests not yet resolved (Quiesce)
 	sig       *sim.Signal
 
 	// Stats.
@@ -433,6 +441,9 @@ func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []by
 	if v.lost {
 		return nil, fmt.Errorf("storengine: submit on %v: %w", v.ip, ErrVolumeLost)
 	}
+	if v.migrating && op == sOpWrite {
+		return nil, fmt.Errorf("storengine: write on %v: %w", v.ip, ErrMigrating)
+	}
 	if !v.everReady {
 		return nil, fmt.Errorf("storengine: volume not ready")
 	}
@@ -454,11 +465,96 @@ func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []by
 		vol: v, op: op, lba: lba, blocks: nblocks, buf: buf, data: data,
 		sig: sim.NewSignal(v.fe.h.Eng),
 	}
+	v.inflight++
 	v.fe.reqQ.Push(req)
 	for !req.done {
 		req.sig.Wait(p)
 	}
+	v.inflight--
 	return req, nil
+}
+
+// FreezeWrites begins a migration: new writes on the volume fail fast with
+// ErrMigrating (they are never acknowledged, so no durability promise is
+// broken), while reads keep serving so the migrator can copy the blocks.
+func (v *Volume) FreezeWrites() { v.migrating = true }
+
+// Migrating reports whether writes are frozen (FreezeWrites ran).
+func (v *Volume) Migrating() bool { return v.migrating }
+
+// UnfreezeWrites aborts a migration: writes flow again. The epoch bump
+// from an intervening Quiesce is harmless — it only widens the fence.
+func (v *Volume) UnfreezeWrites() { v.migrating = false }
+
+// Quiesce blocks until every in-flight request on the volume has resolved
+// — acked writes are then durable and visible to subsequent reads — and
+// bumps the fencing epoch so a straggler completion from a wedged backend
+// is rejected as stale (StaleRejected) instead of landing after the
+// cutover. Returns false if a leg was still stuck at the timeout; the
+// epoch bump fences it regardless.
+func (v *Volume) Quiesce(p *sim.Proc, timeout sim.Duration) bool {
+	deadline := p.Now() + timeout
+	for v.inflight > 0 {
+		if p.Now() >= deadline {
+			v.epoch++
+			return false
+		}
+		v.sig.WaitTimeout(p, minDuration(100*time.Microsecond, deadline-p.Now()))
+	}
+	v.epoch++
+	return true
+}
+
+func minDuration(a, b sim.Duration) sim.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Volume returns the frontend's volume for an instance (nil if none).
+func (fe *Frontend) Volume(ip netstack.IP) *Volume { return fe.vols[ip] }
+
+// VolumeCount returns the number of attached volumes.
+func (fe *Frontend) VolumeCount() int { return len(fe.volOrder) }
+
+// UsesSSD reports whether any volume is bound to the drive as primary or
+// mirror, or the drive is the designated backup while volumes exist — the
+// checks a topology-level SSD removal must clear first.
+func (fe *Frontend) UsesSSD(id uint16) bool {
+	for _, ip := range fe.volOrder {
+		v := fe.vols[ip]
+		if v.primaryID == id {
+			return true
+		}
+		if v.mirror != nil && v.mirror.ssdID == id {
+			return true
+		}
+	}
+	return fe.backupSSD == id && len(fe.volOrder) > 0
+}
+
+// RemoveVolume detaches a volume (end of migration or teardown). The
+// volume is marked lost so any straggler leg resolves as an error rather
+// than re-registering; its buffer area is intentionally not returned to
+// the pool, so zombie DMA frees hit a dead area instead of a reused region
+// (same quarantine policy the failover path applies).
+func (fe *Frontend) RemoveVolume(ip netstack.IP) error {
+	v := fe.vols[ip]
+	if v == nil {
+		return fmt.Errorf("storengine: no volume for %v", ip)
+	}
+	v.migrating = true
+	v.lost = true
+	v.sig.Broadcast()
+	delete(fe.vols, ip)
+	for i, o := range fe.volOrder {
+		if o == ip {
+			fe.volOrder = append(fe.volOrder[:i], fe.volOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // LoopName implements core.EngineLoop.

@@ -1,0 +1,191 @@
+// Package topo is the pod/cluster addressing scheme: one canonical string
+// grammar that names every node in a topology, shared by the fault
+// injector's target parser and the cluster placement layer so that a
+// target string means the same node everywhere.
+//
+// Grammar (one node per string):
+//
+//	pod<P>                  a whole pod (cluster scope only)
+//	host<N>                 pod host by index
+//	nic<N>                  pooled NIC by device id
+//	ssd<N>                  pooled SSD by device id
+//	inst-<ip>               instance by IPv4 address ("inst-10.0.0.20")
+//	<host>/<loop>           a driver core by its loop name ("host2/storage-be1")
+//
+// Any of the node forms may carry a "pod<P>/" prefix to scope it to one
+// pod of a cluster: "pod1/host2", "pod0/nic3", "pod2/host0/fe". Unscoped
+// strings address the local pod (Ref.Pod = -1).
+//
+// The grammar is intentionally closed: parsing and formatting round-trip,
+// so a Ref can be carried in fault plans, placement decisions, and metric
+// names without re-interpretation.
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a node reference.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind.
+	KindInvalid Kind = iota
+	// KindPod addresses a whole pod ("pod<P>").
+	KindPod
+	// KindHost addresses a pod host by index ("host<N>").
+	KindHost
+	// KindNIC addresses a pooled NIC by device id ("nic<N>").
+	KindNIC
+	// KindSSD addresses a pooled SSD by device id ("ssd<N>").
+	KindSSD
+	// KindInstance addresses an instance by IP ("inst-10.0.0.20").
+	KindInstance
+	// KindDriver addresses a driver core by loop name ("host2/storage-be1").
+	KindDriver
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPod:
+		return "pod"
+	case KindHost:
+		return "host"
+	case KindNIC:
+		return "nic"
+	case KindSSD:
+		return "ssd"
+	case KindInstance:
+		return "instance"
+	case KindDriver:
+		return "driver"
+	default:
+		return "invalid"
+	}
+}
+
+// Ref is one parsed node reference.
+type Ref struct {
+	// Pod is the pod index the node lives in, or Unscoped for a reference
+	// that addresses the local pod.
+	Pod int
+	// Kind says what the node is.
+	Kind Kind
+	// Index is the host index or device id (KindHost/KindNIC/KindSSD), or
+	// the pod index again for KindPod. Unused for instance/driver refs.
+	Index int
+	// Name carries the driver core's loop name (KindDriver) or the
+	// instance's IP text (KindInstance).
+	Name string
+}
+
+// Unscoped marks a Ref that does not name a pod (local-pod addressing).
+const Unscoped = -1
+
+// Parse interprets a target string against the grammar. The empty string
+// is invalid.
+func Parse(target string) (Ref, error) {
+	r := Ref{Pod: Unscoped}
+	s := target
+	// Peel an optional "pod<P>/" scope. A bare "pod<P>" is a pod ref.
+	if rest, ok := strings.CutPrefix(s, "pod"); ok {
+		slash := strings.IndexByte(rest, '/')
+		numPart := rest
+		if slash >= 0 {
+			numPart = rest[:slash]
+		}
+		p, err := strconv.Atoi(numPart)
+		if err == nil && p >= 0 && numPart != "" {
+			if slash < 0 {
+				r.Kind = KindPod
+				r.Pod, r.Index = p, p
+				return r, nil
+			}
+			r.Pod = p
+			s = rest[slash+1:]
+		}
+	}
+	if s == "" {
+		return Ref{}, fmt.Errorf("topo: empty target %q", target)
+	}
+	if ipText, ok := strings.CutPrefix(s, "inst-"); ok && !strings.Contains(s, "/") {
+		r.Kind, r.Name = KindInstance, ipText
+		return r, nil
+	}
+	// Driver core names are the only multi-segment form left.
+	if strings.Contains(s, "/") {
+		r.Kind, r.Name = KindDriver, s
+		return r, nil
+	}
+	for _, pk := range [...]struct {
+		prefix string
+		kind   Kind
+	}{{"host", KindHost}, {"nic", KindNIC}, {"ssd", KindSSD}} {
+		if num, ok := strings.CutPrefix(s, pk.prefix); ok {
+			idx, err := strconv.Atoi(num)
+			if err != nil || idx < 0 {
+				return Ref{}, fmt.Errorf("topo: bad target %q: %q is not a %s index", target, num, pk.prefix)
+			}
+			r.Kind, r.Index = pk.kind, idx
+			return r, nil
+		}
+	}
+	return Ref{}, fmt.Errorf("topo: target %q matches no node form (want pod<P>, host<N>, nic<N>, ssd<N>, inst-<ip>, or a driver core name)", target)
+}
+
+// String renders the canonical form; Parse(r.String()) round-trips.
+func (r Ref) String() string {
+	var b strings.Builder
+	if r.Pod != Unscoped && r.Kind != KindPod {
+		fmt.Fprintf(&b, "pod%d/", r.Pod)
+	}
+	switch r.Kind {
+	case KindPod:
+		fmt.Fprintf(&b, "pod%d", r.Index)
+	case KindHost, KindNIC, KindSSD:
+		fmt.Fprintf(&b, "%s%d", r.Kind, r.Index)
+	case KindInstance:
+		fmt.Fprintf(&b, "inst-%s", r.Name)
+	case KindDriver:
+		b.WriteString(r.Name)
+	default:
+		b.WriteString("invalid")
+	}
+	return b.String()
+}
+
+// InPod returns the same reference scoped to pod p.
+func (r Ref) InPod(p int) Ref {
+	r.Pod = p
+	return r
+}
+
+// Local returns the same reference with the pod scope stripped, for
+// resolution inside the pod it was routed to.
+func (r Ref) Local() Ref {
+	r.Pod = Unscoped
+	return r
+}
+
+// Scope renders the metric/name prefix for pod index p: "" for Unscoped
+// (standalone pods keep their historical flat names), "pod<P>/" otherwise.
+// Both the obs metric tree and driver-core names use it, which is what
+// makes a fault target like "pod1/host2/storage-be1" resolvable by exact
+// name match.
+func Scope(p int) string {
+	if p == Unscoped {
+		return ""
+	}
+	return "pod" + strconv.Itoa(p) + "/"
+}
+
+// HostName is the canonical name for host idx under scope p.
+func HostName(p, idx int) string { return Scope(p) + "host" + strconv.Itoa(idx) }
+
+// DeviceName is the canonical name for a device ("nic"/"ssd") id under
+// scope p.
+func DeviceName(p int, kind Kind, id int) string {
+	return Scope(p) + kind.String() + strconv.Itoa(id)
+}

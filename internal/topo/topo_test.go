@@ -1,0 +1,82 @@
+package topo
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Ref
+	}{
+		{"host0", Ref{Pod: Unscoped, Kind: KindHost, Index: 0}},
+		{"host12", Ref{Pod: Unscoped, Kind: KindHost, Index: 12}},
+		{"nic3", Ref{Pod: Unscoped, Kind: KindNIC, Index: 3}},
+		{"ssd1", Ref{Pod: Unscoped, Kind: KindSSD, Index: 1}},
+		{"pod2", Ref{Pod: 2, Kind: KindPod, Index: 2}},
+		{"pod1/host2", Ref{Pod: 1, Kind: KindHost, Index: 2}},
+		{"pod0/nic7", Ref{Pod: 0, Kind: KindNIC, Index: 7}},
+		{"pod3/ssd2", Ref{Pod: 3, Kind: KindSSD, Index: 2}},
+		{"host2/storage-be1", Ref{Pod: Unscoped, Kind: KindDriver, Name: "host2/storage-be1"}},
+		{"pod1/host2/storage-be1", Ref{Pod: 1, Kind: KindDriver, Name: "host2/storage-be1"}},
+		{"host0/fe", Ref{Pod: Unscoped, Kind: KindDriver, Name: "host0/fe"}},
+		{"inst-10.0.0.20", Ref{Pod: Unscoped, Kind: KindInstance, Name: "10.0.0.20"}},
+		{"pod2/inst-10.0.0.20", Ref{Pod: 2, Kind: KindInstance, Name: "10.0.0.20"}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if rt := got.String(); rt != c.in {
+			t.Fatalf("Parse(%q).String() = %q, does not round-trip", c.in, rt)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, in := range []string{"", "hostx", "host-1", "nic", "gpu3", "pod1/", "host"} {
+		if r, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) accepted as %+v, want error", in, r)
+		}
+	}
+}
+
+func TestPodScopedWeirdNames(t *testing.T) {
+	// "podX" with a non-numeric index is not a pod scope: it falls through
+	// to the driver-name / error forms.
+	r, err := Parse("podx/loop")
+	if err != nil {
+		t.Fatalf("podx/loop: %v", err)
+	}
+	if r.Kind != KindDriver || r.Name != "podx/loop" || r.Pod != Unscoped {
+		t.Fatalf("podx/loop parsed as %+v", r)
+	}
+}
+
+func TestScopeAndNames(t *testing.T) {
+	if Scope(Unscoped) != "" {
+		t.Fatal("unscoped prefix must be empty (standalone pods keep flat names)")
+	}
+	if Scope(2) != "pod2/" {
+		t.Fatalf("Scope(2) = %q", Scope(2))
+	}
+	if HostName(Unscoped, 3) != "host3" || HostName(1, 3) != "pod1/host3" {
+		t.Fatal("HostName wrong")
+	}
+	if DeviceName(0, KindNIC, 4) != "pod0/nic4" || DeviceName(Unscoped, KindSSD, 1) != "ssd1" {
+		t.Fatal("DeviceName wrong")
+	}
+}
+
+func TestLocalAndInPod(t *testing.T) {
+	r, _ := Parse("pod1/host2")
+	if r.Local().Pod != Unscoped || r.Local().Index != 2 {
+		t.Fatal("Local() wrong")
+	}
+	u, _ := Parse("host2")
+	if u.InPod(4).String() != "pod4/host2" {
+		t.Fatal("InPod() wrong")
+	}
+}

@@ -25,17 +25,35 @@
 // Everything runs in virtual time: pod.Run(d) executes d of simulated time
 // deterministically.
 //
+// # Topology graph and incremental wiring
+//
+// Pod is a thin compatibility wrapper over Topology, the incremental node
+// graph that owns every host, device, instance, and client. Nodes are
+// added (and removed) one at a time through the ...Err builders; Start
+// wires whatever exists in a deterministic order, and nodes added after
+// Start are wired immediately — links to every peer, driver launch, and
+// metric registration happen as part of the add. See DESIGN.md §10.
+//
+// # Clusters
+//
+// Cluster composes pods into a rack-scale topology on one shared engine:
+// each pod keeps its own CXL pool, ToR switch, allocator, and raft group,
+// while the cluster routes instance placements to the least-loaded pod and
+// migrates instances (with their volumes, epoch-fenced) between pods on
+// load imbalance. Node identity is pod-scoped — metric names and fault
+// targets gain a "pod<P>/" prefix resolved through internal/topo.
+//
 // # Builder errors and migration
 //
 // Every Add* builder has two forms. The AddNICErr/AddSSDErr/AddVolumeErr/
 // AddInstanceErr (and AddLocalNICErr/AddLocalInstanceErr) forms return
 // (T, error) and are the preferred API: wiring mistakes — duplicate
-// instance IPs, exhausted pool memory, a frozen topology — come back as
-// errors the caller can handle. The original AddNIC/AddSSD/AddVolume/
-// AddInstance forms are kept as thin legacy wrappers that panic on those
-// same errors, which is fine for tests and examples where a wiring bug
-// should abort loudly. New code should migrate to the Err forms; the panic
-// wrappers will not grow new capabilities.
+// instance IPs, exhausted pool memory, a frozen baseline topology — come
+// back as errors the caller can handle. The original AddNIC/AddSSD/
+// AddVolume/AddInstance forms are thin legacy wrappers that call the Err
+// forms and panic on those same errors, which is fine for tests and
+// examples where a wiring bug should abort loudly. There is exactly one
+// wiring code path: the wrappers add nothing but the panic.
 //
 // # Observability
 //
@@ -47,21 +65,14 @@
 package oasis
 
 import (
-	"fmt"
-	"sort"
-	"time"
-
 	"oasis/internal/allocator"
-	"oasis/internal/core"
 	"oasis/internal/cxl"
-	"oasis/internal/faults"
 	"oasis/internal/host"
 	"oasis/internal/netengine"
 	"oasis/internal/netstack"
 	"oasis/internal/netsw"
 	"oasis/internal/nic"
 	"oasis/internal/obs"
-	"oasis/internal/raft"
 	"oasis/internal/sim"
 	"oasis/internal/ssd"
 	"oasis/internal/storengine"
@@ -124,813 +135,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// Host is one pod member: the underlying host model, its frontend driver,
-// and any backend drivers for locally-attached NICs.
-type Host struct {
-	H   *host.Host
-	FE  *netengine.Frontend
-	BEs []*netengine.Backend
-	// SFE is the storage frontend (created on demand by AddSSD/AddVolume).
-	SFE *storengine.Frontend
-	// LD is the baseline Junction-style local driver (set by AddLocalNIC).
-	LD *netengine.LocalDriver
-	// Driver is the host's shared driver core when Config.SharedHostCore is
-	// set: every engine loop on this host polls from it.
-	Driver *core.Driver
-}
-
-// SSDDev is one pooled SSD: the device and its storage backend driver.
-type SSDDev struct {
-	ID     uint16
-	Dev    *ssd.SSD
-	BE     *storengine.Backend
-	Backup bool
-}
-
-// NIC is one pooled NIC: the device and its backend driver.
-type NIC struct {
-	ID     uint16
-	Dev    *nic.NIC
-	BE     *netengine.Backend
-	SwPort *netsw.Port
-	Backup bool
-}
-
-// Instance is a container instance: its frontend attachment and its
-// network stack. Exactly one of Port (pooled, via the Oasis frontend) or
-// LocalPort (baseline, via a LocalDriver) is set.
-type Instance struct {
-	Port      *netengine.InstancePort
-	LocalPort *netengine.LocalPort
-	Stack     *netstack.Stack
-	host      *Host
-	pod       *Pod
-}
-
-// IPAddr returns the instance's address.
-func (i *Instance) IPAddr() netstack.IP { return i.Stack.IP() }
-
-// Host returns the pod host the instance runs on.
-func (i *Instance) Host() *Host { return i.host }
-
-// IsPooled reports whether the instance attaches to the pooled datapath
-// (an Oasis frontend port) rather than a baseline local driver.
-func (i *Instance) IsPooled() bool { return i.Port != nil }
-
-// Assign sets the instance's primary and backup NICs directly (bypassing
-// the allocator). backup may be 0. Baseline local instances have no pooled
-// frontend port to assign; that returns a descriptive error instead of the
-// historical nil-pointer panic.
-func (i *Instance) Assign(primary, backup uint16) error {
-	if i.Port == nil {
-		return fmt.Errorf("oasis: Assign on baseline local instance %v: it has no pooled frontend port (AddLocalInstance attaches to the host's local driver; use AddInstance for the pooled datapath)", i.IPAddr())
-	}
-	i.Port.Assign(primary, backup)
-	return nil
-}
-
-// RequestAllocation asks the pod-wide allocator for a NIC assignment.
-// Baseline local instances need no assignment; the request is ignored.
-func (i *Instance) RequestAllocation() {
-	if i.Port == nil {
-		return
-	}
-	i.Port.RequestAllocation()
-}
-
-// WaitReady blocks until the instance can transmit. Baseline local
-// instances are ready immediately.
-func (i *Instance) WaitReady(p *Proc, timeout Duration) bool {
-	if i.Port == nil {
-		return true
-	}
-	return i.Port.WaitReady(p, timeout)
-}
-
-// Client is a load-generator node outside the pod, attached directly to
-// the ToR switch (the paper's "network load driver", §5).
-type Client struct {
-	Stack  *netstack.Stack
-	SwPort *netsw.Port
-	mac    netsw.MAC
-}
-
-// Transmit implements netstack.Endpoint for the raw client.
-func (c *Client) Transmit(p *Proc, frame []byte) {
-	var f netsw.Frame
-	copy(f.Dst[:], frame[0:6])
-	copy(f.Src[:], frame[6:12])
-	f.Bytes = frame
-	c.SwPort.Send(&f)
-}
-
-// DeliverFrame implements netsw.Sink for the raw client.
-func (c *Client) DeliverFrame(f *netsw.Frame) { c.Stack.DeliverFrame(f.Bytes) }
-
-// Pod owns the whole simulated rack.
+// Pod owns one whole simulated rack-scale pod. It is a thin compatibility
+// wrapper over Topology: every builder, accessor, and lifecycle method is
+// promoted from the embedded graph, so historical code keeps working while
+// new code may hold the Topology directly (or compose pods with Cluster).
 type Pod struct {
-	Eng    *sim.Engine
-	Pool   *cxl.Pool
-	Switch *netsw.Switch
-	Hosts  []*Host
-	NICs   map[uint16]*NIC
-	SSDs   map[uint16]*SSDDev
-	Alloc  *allocator.Allocator
-	// Raft holds the allocator's replicas when Config.RaftReplicas > 0;
-	// Raft[0] runs beside the allocator and is the expected leader.
-	Raft []*raft.Node
-
-	cfg       Config
-	obs       *obs.Registry
-	nicDir    map[uint16]netsw.MAC
-	nextNICID uint16
-	nextSSDID uint16
-	nextMAC   uint64
-	instances []*Instance
-	clients   []*Client
-	started   bool
-	injector  *faults.Injector
+	*Topology
 }
 
-// NewPod creates an empty pod.
+// NewPod creates an empty standalone pod (its own engine, flat metric
+// names, local fault targets).
 func NewPod(cfg Config) *Pod {
-	eng := sim.New()
-	return &Pod{
-		Eng:       eng,
-		Pool:      cxl.NewPool(eng, cfg.PoolBytes, cfg.CXL),
-		Switch:    netsw.New(eng, cfg.Switch),
-		NICs:      make(map[uint16]*NIC),
-		SSDs:      make(map[uint16]*SSDDev),
-		cfg:       cfg,
-		obs:       obs.New(),
-		nicDir:    make(map[uint16]netsw.MAC),
-		nextNICID: 1,
-		nextSSDID: 1,
-		nextMAC:   0x02_00_00_00_00_01, // locally administered
-	}
-}
-
-// AddHost adds a pod member with a frontend driver.
-func (pod *Pod) AddHost() *Host {
-	pod.mustNotBeStarted()
-	id := len(pod.Hosts)
-	h := host.New(pod.Eng, id, fmt.Sprintf("host%d", id), pod.Pool, pod.cfg.Host)
-	ph := &Host{H: h, FE: netengine.NewFrontend(h, pod.Pool, pod.cfg.Engine)}
-	pod.Hosts = append(pod.Hosts, ph)
-	return ph
-}
-
-// allocMAC hands out a unique locally-administered MAC.
-func (pod *Pod) allocMAC() netsw.MAC {
-	var m netsw.MAC
-	v := pod.nextMAC
-	pod.nextMAC++
-	for i := 5; i >= 0; i-- {
-		m[i] = byte(v)
-		v >>= 8
-	}
-	return m
-}
-
-// AddNICErr attaches a pooled NIC to a host and creates its backend driver.
-// backup marks the pod's reserved failover NIC (§3.3.3).
-func (pod *Pod) AddNICErr(on *Host, backup bool) (*NIC, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	id := pod.nextNICID
-	pod.nextNICID++
-	mac := pod.allocMAC()
-	name := fmt.Sprintf("nic%d", id)
-	dev := nic.New(pod.Eng, name, mac, pod.Pool.AttachPort(name+"-dma"), netstack.FlowKey, pod.cfg.NIC)
-	swPort := pod.Switch.AttachPort(name, dev)
-	dev.Connect(swPort)
-	dev.SetSnooper(on.H.Cache) // DMA snoops the owning host's cache (§3.2.1)
-	be, err := netengine.NewBackend(on.H, id, dev, pod.Pool, pod.nicDir, pod.cfg.Engine)
-	if err != nil {
-		return nil, err
-	}
-	pod.nicDir[id] = mac
-	n := &NIC{ID: id, Dev: dev, BE: be, SwPort: swPort, Backup: backup}
-	pod.NICs[id] = n
-	on.BEs = append(on.BEs, be)
-	return n, nil
-}
-
-// AddNIC is the legacy panic-on-error wrapper around AddNICErr.
-func (pod *Pod) AddNIC(on *Host, backup bool) *NIC {
-	n, err := pod.AddNICErr(on, backup)
-	if err != nil {
-		panic(err)
-	}
-	return n
-}
-
-// AddLocalNICErr attaches a NIC served by a Junction-style local driver —
-// the evaluation baseline (§5.1): one intermediary core, no pooling, no
-// message channels. Instances added with AddLocalInstance use it.
-func (pod *Pod) AddLocalNICErr(on *Host) (*NIC, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	if on.LD != nil {
-		return nil, fmt.Errorf("oasis: host %s already has a local driver", on.H.Name)
-	}
-	id := pod.nextNICID
-	pod.nextNICID++
-	mac := pod.allocMAC()
-	name := fmt.Sprintf("nic%d", id)
-	dev := nic.New(pod.Eng, name, mac, pod.Pool.AttachPort(name+"-dma"), netstack.FlowKey, pod.cfg.NIC)
-	swPort := pod.Switch.AttachPort(name, dev)
-	dev.Connect(swPort)
-	dev.SetSnooper(on.H.Cache)
-	ld, err := netengine.NewLocalDriver(on.H, dev, pod.Pool, pod.cfg.Engine)
-	if err != nil {
-		return nil, err
-	}
-	on.LD = ld
-	n := &NIC{ID: id, Dev: dev, SwPort: swPort}
-	pod.NICs[id] = n
-	return n, nil
-}
-
-// AddLocalNIC is the legacy panic-on-error wrapper around AddLocalNICErr.
-func (pod *Pod) AddLocalNIC(on *Host) *NIC {
-	n, err := pod.AddLocalNICErr(on)
-	if err != nil {
-		panic(err)
-	}
-	return n
-}
-
-// AddLocalInstanceErr launches an instance on the host's baseline local
-// driver.
-func (pod *Pod) AddLocalInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	if on.LD == nil {
-		return nil, fmt.Errorf("oasis: AddLocalInstance requires AddLocalNIC first")
-	}
-	lp, err := on.LD.AddInstance(ip)
-	if err != nil {
-		return nil, err
-	}
-	stack := netstack.NewStack(pod.Eng, fmt.Sprintf("inst-%v", ip), ip, lp.CurrentMAC, lp, pod.cfg.Stack)
-	lp.AttachStack(stack)
-	inst := &Instance{LocalPort: lp, Stack: stack, host: on, pod: pod}
-	pod.instances = append(pod.instances, inst)
-	return inst, nil
-}
-
-// AddLocalInstance is the legacy panic-on-error wrapper around
-// AddLocalInstanceErr.
-func (pod *Pod) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
-	inst, err := pod.AddLocalInstanceErr(on, ip)
-	if err != nil {
-		panic(err)
-	}
-	return inst
-}
-
-// AddSSDErr attaches a pooled SSD of the given capacity (in 4 KiB blocks)
-// to a host and creates its storage backend driver (§3.4).
-func (pod *Pod) AddSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
-	return pod.addSSD(on, capacityBlocks, false)
-}
-
-// AddSSD is the legacy panic-on-error wrapper around AddSSDErr.
-func (pod *Pod) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
-	d, err := pod.AddSSDErr(on, capacityBlocks)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
-// AddBackupSSDErr attaches the pod's reserved backup drive — the §3.3.3
-// backup-NIC mechanism applied to storage. Every volume on other drives is
-// mirrored onto it (RAID-1 style) by the storage frontends, and the
-// allocator re-binds volumes onto it when their primary drive fails. A pod
-// has at most one backup drive; it should be at least as large as the sum
-// of the volumes it protects.
-func (pod *Pod) AddBackupSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
-	for _, id := range pod.ssdIDs() {
-		if pod.SSDs[id].Backup {
-			return nil, fmt.Errorf("oasis: pod already has backup SSD %d", id)
-		}
-	}
-	return pod.addSSD(on, capacityBlocks, true)
-}
-
-// AddBackupSSD is the panic-on-error wrapper around AddBackupSSDErr.
-func (pod *Pod) AddBackupSSD(on *Host, capacityBlocks uint64) *SSDDev {
-	d, err := pod.AddBackupSSDErr(on, capacityBlocks)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
-func (pod *Pod) addSSD(on *Host, capacityBlocks uint64, backup bool) (*SSDDev, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	id := pod.nextSSDID
-	pod.nextSSDID++
-	name := fmt.Sprintf("ssd%d", id)
-	dev := ssd.New(pod.Eng, name, pod.Pool.AttachPort(name+"-dma"), pod.cfg.SSD)
-	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, pod.cfg.Storage)
-	d := &SSDDev{ID: id, Dev: dev, BE: be, Backup: backup}
-	pod.SSDs[id] = d
-	return d, nil
-}
-
-// storageFE returns (creating if needed) a host's storage frontend.
-func (pod *Pod) storageFE(on *Host) *storengine.Frontend {
-	if on.SFE == nil {
-		on.SFE = storengine.NewFrontend(on.H, pod.Pool, pod.cfg.Storage)
-	}
-	return on.SFE
-}
-
-// AddVolumeErr provisions a block volume for an instance on a pooled SSD.
-// Must be called before Start (the registration completes shortly after).
-// The instance's host is taken from the instance itself (recorded at
-// AddInstance time), so no pod-wide scan is needed.
-func (pod *Pod) AddVolumeErr(inst *Instance, ssdID uint16, blocks uint64) (*storengine.Volume, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	if inst == nil || inst.host == nil {
-		return nil, fmt.Errorf("oasis: AddVolume: instance has no host (not built by AddInstance/AddLocalInstance)")
-	}
-	fe := pod.storageFE(inst.host)
-	return fe.AddVolume(inst.IPAddr(), ssdID, blocks)
-}
-
-// AddVolume is the legacy panic-on-error wrapper around AddVolumeErr.
-func (pod *Pod) AddVolume(inst *Instance, ssdID uint16, blocks uint64) *storengine.Volume {
-	vol, err := pod.AddVolumeErr(inst, ssdID, blocks)
-	if err != nil {
-		panic(err)
-	}
-	return vol
-}
-
-// AddInstanceErr launches a container instance on a pod host.
-func (pod *Pod) AddInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
-	if err := pod.frozenErr(); err != nil {
-		return nil, err
-	}
-	port, err := on.FE.AddInstance(ip)
-	if err != nil {
-		return nil, err
-	}
-	name := fmt.Sprintf("inst-%v", ip)
-	stack := netstack.NewStack(pod.Eng, name, ip, port.CurrentMAC, port, pod.cfg.Stack)
-	port.AttachStack(stack)
-	inst := &Instance{Port: port, Stack: stack, host: on, pod: pod}
-	pod.instances = append(pod.instances, inst)
-	return inst, nil
-}
-
-// AddInstance is the legacy panic-on-error wrapper around AddInstanceErr.
-func (pod *Pod) AddInstance(on *Host, ip netstack.IP) *Instance {
-	inst, err := pod.AddInstanceErr(on, ip)
-	if err != nil {
-		panic(err)
-	}
-	return inst
-}
-
-// AddClient attaches a raw load-generator node to the switch.
-func (pod *Pod) AddClient(ip netstack.IP) *Client {
-	pod.mustNotBeStarted()
-	c := &Client{mac: pod.allocMAC()}
-	c.SwPort = pod.Switch.AttachPort(fmt.Sprintf("client-%v", ip), c)
-	mac := c.mac
-	c.Stack = netstack.NewStack(pod.Eng, fmt.Sprintf("client-%v", ip), ip,
-		func() netsw.MAC { return mac }, c, pod.cfg.Stack)
-	pod.clients = append(pod.clients, c)
-	return c
-}
-
-// nicIDs returns the pooled NIC ids in ascending order, so pod wiring and
-// reports never depend on map iteration order (determinism).
-func (pod *Pod) nicIDs() []uint16 {
-	ids := make([]uint16, 0, len(pod.NICs))
-	for id := range pod.NICs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// ssdIDs returns the pooled SSD ids in ascending order.
-func (pod *Pod) ssdIDs() []uint16 {
-	ids := make([]uint16, 0, len(pod.SSDs))
-	for id := range pod.SSDs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// backupSSDID returns the pod's reserved backup drive id (0 if none).
-func (pod *Pod) backupSSDID() uint16 {
-	for _, id := range pod.ssdIDs() {
-		if pod.SSDs[id].Backup {
-			return id
-		}
-	}
-	return 0
-}
-
-// Start wires the control and data links (frontend↔backend full mesh,
-// allocator links for every device backend) and launches every driver,
-// device, and stack process. Topology is frozen afterwards.
-func (pod *Pod) Start() {
-	if pod.started {
-		return
-	}
-	pod.started = true
-	nicIDs, ssdIDs := pod.nicIDs(), pod.ssdIDs()
-
-	// Data links: every frontend to every backend.
-	for _, ph := range pod.Hosts {
-		for _, id := range nicIDs {
-			n := pod.NICs[id]
-			if n.BE == nil {
-				continue // baseline local NIC: no backend driver
-			}
-			feEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ph.H, n.BE.Host(), pod.cfg.Engine.Chan)
-			if err != nil {
-				panic(err)
-			}
-			ph.FE.ConnectBackend(n.ID, n.Dev.MAC(), feEnd)
-			n.BE.ConnectFrontend(ph.H.ID, beEnd)
-		}
-		if ph.SFE != nil {
-			for _, id := range ssdIDs {
-				d := pod.SSDs[id]
-				feEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ph.H, d.BE.Host(), pod.cfg.Storage.Chan)
-				if err != nil {
-					panic(err)
-				}
-				ph.SFE.ConnectBackend(d.ID, feEnd)
-				d.BE.ConnectFrontend(ph.H.ID, beEnd)
-			}
-		}
-	}
-
-	// Backup-drive mirroring: every storage frontend mirrors its volumes
-	// onto the pod's reserved backup drive (the §3.3.3 mechanism applied to
-	// storage). Needs the backend mesh above so mirror registrations can
-	// ride the normal request path.
-	if bid := pod.backupSSDID(); bid != 0 {
-		for _, ph := range pod.Hosts {
-			if ph.SFE != nil {
-				ph.SFE.SetBackupSSD(bid)
-			}
-		}
-	}
-
-	// Control plane: the allocator gets a link to every frontend and every
-	// device backend — NIC and SSD backends report through the same path.
-	if !pod.cfg.NoAllocator && len(pod.Hosts) > 0 {
-		ah := pod.Hosts[0].H // allocator runs on host 0
-		pod.Alloc = allocator.New(ah, pod.cfg.Allocator)
-		for _, ph := range pod.Hosts {
-			aEnd, feEnd, err := core.NewDuplexLink(pod.Pool, ah, ph.H, pod.cfg.Engine.Chan)
-			if err != nil {
-				panic(err)
-			}
-			pod.Alloc.AddFrontend(ph.H.ID, aEnd)
-			ph.FE.SetControlLink(feEnd)
-		}
-		for _, id := range nicIDs {
-			n := pod.NICs[id]
-			if n.BE == nil {
-				continue
-			}
-			aEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ah, n.BE.Host(), pod.cfg.Engine.Chan)
-			if err != nil {
-				panic(err)
-			}
-			pod.Alloc.AddNIC(allocator.NICInfo{
-				ID:          n.ID,
-				HostID:      n.BE.Host().ID,
-				CapacityBps: pod.cfg.Switch.PortBandwidth,
-				Backup:      n.Backup,
-			}, aEnd)
-			n.BE.SetControlLink(beEnd)
-		}
-		for _, id := range ssdIDs {
-			d := pod.SSDs[id]
-			aEnd, beEnd, err := core.NewDuplexLink(pod.Pool, ah, d.BE.Host(), pod.cfg.Engine.Chan)
-			if err != nil {
-				panic(err)
-			}
-			pod.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID, Backup: d.Backup}, aEnd)
-			d.BE.SetControlLink(beEnd)
-		}
-		// Storage frontends get a control link too: SSD failover commands
-		// (volume re-binds, fencing epochs) are broadcast over it.
-		for _, ph := range pod.Hosts {
-			if ph.SFE == nil {
-				continue
-			}
-			aEnd, sfeEnd, err := core.NewDuplexLink(pod.Pool, ah, ph.H, pod.cfg.Engine.Chan)
-			if err != nil {
-				panic(err)
-			}
-			pod.Alloc.AddStorageFrontend(ph.H.ID, aEnd)
-			ph.SFE.SetControlLink(sfeEnd)
-		}
-		if pod.cfg.RaftReplicas > 0 {
-			pod.setupRaft()
-		}
-		pod.Alloc.Start()
-	}
-
-	// Shared host cores (§5.1): one driver core per host multiplexes the
-	// host's frontend loops and locally-attached backend loops. Joins must
-	// precede each engine's Start (which then just starts the shared core).
-	if pod.cfg.SharedHostCore {
-		for _, ph := range pod.Hosts {
-			ph.Driver = core.NewDriver(ph.H, ph.H.Name+"/engines", core.DriverConfig{
-				LoopCost:    pod.cfg.Engine.LoopCost,
-				IdleBackoff: pod.cfg.Engine.IdleBackoff,
-			})
-			ph.FE.Join(ph.Driver)
-			if ph.SFE != nil {
-				ph.SFE.Join(ph.Driver)
-			}
-			for _, be := range ph.BEs {
-				be.Join(ph.Driver)
-			}
-		}
-		for _, id := range ssdIDs {
-			d := pod.SSDs[id]
-			for _, ph := range pod.Hosts {
-				if ph.H == d.BE.Host() {
-					d.BE.Join(ph.Driver)
-					break
-				}
-			}
-		}
-	}
-
-	// Launch everything.
-	for _, id := range nicIDs {
-		n := pod.NICs[id]
-		n.Dev.Start()
-		if n.BE != nil {
-			n.BE.Start()
-		}
-	}
-	for _, id := range ssdIDs {
-		d := pod.SSDs[id]
-		d.Dev.Start()
-		d.BE.Start()
-	}
-	for _, ph := range pod.Hosts {
-		ph.FE.Start()
-		if ph.SFE != nil {
-			ph.SFE.Start()
-		}
-		if ph.LD != nil {
-			ph.LD.Start()
-		}
-	}
-	for _, inst := range pod.instances {
-		inst.Stack.Start()
-	}
-	for _, c := range pod.clients {
-		c.Stack.Start()
-	}
-
-	pod.registerObs()
-}
-
-// registerObs walks the frozen topology and registers every component's
-// instruments with the pod registry. Runs once, at the end of Start, so
-// channel-latency trackers and driver loops already exist. Registration
-// order is deterministic (sorted device ids, host insertion order), and
-// Snapshot re-sorts by name anyway.
-func (pod *Pod) registerObs() {
-	r := pod.obs
-	seen := make(map[*core.Driver]bool)
-	regDriver := func(d *core.Driver, prefix string) {
-		if d == nil || seen[d] {
-			return
-		}
-		seen[d] = true
-		d.RegisterObs(r, prefix)
-	}
-	for _, id := range pod.nicIDs() {
-		n := pod.NICs[id]
-		n.Dev.RegisterObs(r, fmt.Sprintf("nic%d", id))
-		if n.BE != nil {
-			n.BE.RegisterObs(r, n.BE.LoopName())
-		}
-	}
-	for _, id := range pod.ssdIDs() {
-		d := pod.SSDs[id]
-		d.Dev.RegisterObs(r, fmt.Sprintf("ssd%d", id))
-		d.BE.RegisterObs(r, d.BE.LoopName())
-	}
-	for _, pt := range pod.Pool.Ports() {
-		pt.RegisterObs(r, "cxl/port/"+pt.Name())
-	}
-	for _, ph := range pod.Hosts {
-		if ph.H.Cache != nil {
-			ph.H.Cache.RegisterObs(r, ph.H.Name+"/cache")
-		}
-		ph.FE.RegisterObs(r, ph.FE.LoopName())
-		if ph.SFE != nil {
-			ph.SFE.RegisterObs(r, ph.SFE.LoopName())
-		}
-		if ph.LD != nil {
-			ph.LD.RegisterObs(r, ph.LD.LoopName())
-		}
-		// The shared host core (if any) registers under core/<host>; the
-		// dedicated per-engine drivers below dedupe against it by pointer
-		// and register under core/<loop name> instead.
-		regDriver(ph.Driver, "core/"+ph.H.Name)
-		if d := ph.FE.Driver(); d != nil {
-			regDriver(d, "core/"+d.Name())
-		}
-		if ph.SFE != nil {
-			if d := ph.SFE.Driver(); d != nil {
-				regDriver(d, "core/"+d.Name())
-			}
-		}
-		if ph.LD != nil {
-			if d := ph.LD.Driver(); d != nil {
-				regDriver(d, "core/"+d.Name())
-			}
-		}
-		for _, be := range ph.BEs {
-			if d := be.Driver(); d != nil {
-				regDriver(d, "core/"+d.Name())
-			}
-		}
-	}
-	for _, id := range pod.ssdIDs() {
-		if d := pod.SSDs[id].BE.Driver(); d != nil {
-			regDriver(d, "core/"+d.Name())
-		}
-	}
-	if pod.Alloc != nil {
-		pod.Alloc.RegisterObs(r, "alloc")
-		if d := pod.Alloc.Driver(); d != nil {
-			regDriver(d, "core/"+d.Name())
-		}
-	}
-	for i, node := range pod.Raft {
-		node.RegisterObs(r, fmt.Sprintf("raft/%d", i))
-	}
-}
-
-// Go spawns an application process.
-func (pod *Pod) Go(name string, fn func(p *Proc)) { pod.Eng.Go(name, fn) }
-
-// Run executes d of virtual time and returns the clock.
-func (pod *Pod) Run(d Duration) Duration { return pod.Eng.RunUntil(d) }
-
-// Shutdown unwinds all processes (end of an experiment).
-func (pod *Pod) Shutdown() { pod.Eng.Shutdown() }
-
-// Now returns the virtual clock.
-func (pod *Pod) Now() Duration { return pod.Eng.Now() }
-
-// FailNICPort injects the paper's §5.3 failure: the switch port connected
-// to the NIC is disabled.
-func (pod *Pod) FailNICPort(id uint16) {
-	if n, ok := pod.NICs[id]; ok {
-		n.SwPort.SetEnabled(false)
-	}
-}
-
-// RestoreNICPort re-enables a failed port.
-func (pod *Pod) RestoreNICPort(id uint16) {
-	if n, ok := pod.NICs[id]; ok {
-		n.SwPort.SetEnabled(true)
-	}
-}
-
-// frozenErr reports whether the pod topology is frozen (Start has run).
-// The ...Err builder forms return it; the legacy wrappers panic on it.
-func (pod *Pod) frozenErr() error {
-	if pod.started {
-		return fmt.Errorf("oasis: pod topology is frozen after Start")
-	}
-	return nil
-}
-
-func (pod *Pod) mustNotBeStarted() {
-	if err := pod.frozenErr(); err != nil {
-		panic(err)
-	}
-}
-
-// setupRaft builds the allocator's replica group: RaftReplicas nodes on the
-// first hosts, RPCs over 64 B message channels, with the allocator's
-// decisions proposed to the log before being acted on (§3.5).
-func (pod *Pod) setupRaft() {
-	n := pod.cfg.RaftReplicas
-	if n < 3 || n%2 == 0 || n > len(pod.Hosts) {
-		panic(fmt.Sprintf("oasis: RaftReplicas = %d needs an odd count >= 3 and <= hosts", n))
-	}
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
-	}
-	trs := make([]*raft.ChannelTransport, n)
-	for i := range trs {
-		trs[i] = raft.NewChannelTransport(pod.Eng, i)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if err := trs[i].ConnectPeer(pod.Pool, pod.Hosts[i].H, trs[j], pod.Hosts[j].H); err != nil {
-				panic(err)
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		cfg := raft.DefaultConfig()
-		cfg.Seed = 11
-		// Fail proposals fast: the allocator retries them with backoff (see
-		// allocator.deferRetry), so a commit stuck behind a mid-election
-		// group should return quickly rather than stall the control plane.
-		cfg.ProposeLimit = 100 * time.Millisecond
-		if i == 0 {
-			// The allocator runs on host 0; bias it to win the first
-			// election so proposals originate beside the leader.
-			cfg.ElectionMin = 10 * time.Millisecond
-			cfg.ElectionMax = 15 * time.Millisecond
-		} else {
-			cfg.ElectionMin = 40 * time.Millisecond
-			cfg.ElectionMax = 60 * time.Millisecond
-		}
-		node := raft.New(pod.Eng, i, ids, trs[i], nil, cfg)
-		trs[i].Bind(node)
-		pod.Raft = append(pod.Raft, node)
-		node.Start()
-	}
-	pod.Alloc.Replicate(&multiReplicator{nodes: pod.Raft})
-}
-
-// multiReplicator adapts the raft group to the allocator's replication
-// hook. Unlike a replicator pinned to one node, it proposes through
-// whichever live replica currently leads, so allocator decisions survive
-// the loss of the original leader (node 0's host crashing): after
-// re-election the promoted follower carries the log and proposals resume
-// through it.
-type multiReplicator struct {
-	nodes []*raft.Node
-}
-
-// Propose finds a live leader (bounded wait, exponential backoff while an
-// election is in flight) and blocks until the command commits. A stopped
-// node still claiming leadership is a zombie and is skipped.
-func (r *multiReplicator) Propose(p *Proc, cmd []byte) bool {
-	deadline := p.Now() + 120*time.Millisecond
-	backoff := time.Millisecond
-	for {
-		for _, node := range r.nodes {
-			if node.IsLeader() && !node.Stopped() {
-				return node.Propose(p, cmd)
-			}
-		}
-		if p.Now() >= deadline {
-			return false
-		}
-		p.Sleep(backoff)
-		if backoff < 16*time.Millisecond {
-			backoff *= 2
-		}
-	}
+	return &Pod{Topology: NewTopology(cfg)}
 }
 
 // Snapshot is the structured result of Pod.Stats: a sorted, deterministic
 // view of every registered series plus the retained trace events. It
 // marshals to stable JSON and renders to Prometheus text via PromText.
 type Snapshot = obs.Snapshot
-
-// Obs exposes the pod's metrics registry so applications and tests can
-// register their own instruments alongside the built-in ones.
-func (pod *Pod) Obs() *obs.Registry { return pod.obs }
-
-// Stats samples every registered instrument at the current virtual time and
-// returns a typed, deterministically ordered snapshot. Instruments are only
-// read here — sampling costs no virtual time and never perturbs the run.
-func (pod *Pod) Stats() Snapshot { return pod.obs.Snapshot(pod.Eng.Now()) }
-
-// StatsReport returns a human-readable dump of the pod's counters: per-NIC
-// traffic, per-port CXL bandwidth by category, driver counters, and
-// allocator decisions. Examples and operators print it after a run. It is
-// exactly Stats().String(); use Stats for programmatic access.
-func (pod *Pod) StatsReport() string { return pod.Stats().String() }

@@ -769,24 +769,27 @@ func TestBuilderErrForms(t *testing.T) {
 		t.Fatal("AddVolumeErr accepted an instance with no host")
 	}
 	pod.Start()
-	// Topology is frozen: every Err builder must refuse, not panic.
-	if _, err := pod.AddNICErr(h, false); err == nil {
-		t.Fatal("AddNICErr after Start should fail")
+	// The topology stays mutable after Start: pooled adds wire their node
+	// immediately…
+	if _, err := pod.AddNICErr(h, false); err != nil {
+		t.Fatalf("AddNICErr after Start: %v", err)
 	}
-	if _, err := pod.AddSSDErr(h, 1024); err == nil {
-		t.Fatal("AddSSDErr after Start should fail")
+	if _, err := pod.AddSSDErr(h, 1024); err != nil {
+		t.Fatalf("AddSSDErr after Start: %v", err)
 	}
-	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 2)); err == nil {
-		t.Fatal("AddInstanceErr after Start should fail")
+	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 2)); err != nil {
+		t.Fatalf("AddInstanceErr after Start: %v", err)
 	}
-	if _, err := pod.AddLocalNICErr(h); err == nil {
-		t.Fatal("AddLocalNICErr after Start should fail")
+	if _, err := pod.AddVolumeErr(inst, 1, 64); err != nil {
+		t.Fatalf("AddVolumeErr after Start: %v", err)
 	}
-	if _, err := pod.AddLocalInstanceErr(h, IP(10, 0, 0, 3)); err == nil {
-		t.Fatal("AddLocalInstanceErr after Start should fail")
+	// …while the baseline local-driver path stays construct-then-run and
+	// refuses with the typed frozen error.
+	if _, err := pod.AddLocalNICErr(h); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddLocalNICErr after Start: got %v, want ErrFrozen", err)
 	}
-	if _, err := pod.AddVolumeErr(inst, 1, 64); err == nil {
-		t.Fatal("AddVolumeErr after Start should fail")
+	if _, err := pod.AddLocalInstanceErr(h, IP(10, 0, 0, 3)); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddLocalInstanceErr after Start: got %v, want ErrFrozen", err)
 	}
 	pod.Shutdown()
 }

@@ -32,7 +32,7 @@ go test ./...
 # under race there — the rest of the suite re-runs every figure at ~10x
 # race overhead without touching any additional concurrency.
 echo "== go test -race (concurrent-facing packages) =="
-go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par ./internal/faults
+go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par ./internal/faults ./internal/topo
 # -short: one chaos run (invariants only) — the byte-identical rerun is
 # asserted by the non-race tier above; doubling it under the detector's
 # ~10x overhead buys no extra race coverage.
@@ -50,5 +50,11 @@ go run ./cmd/oasis-bench -run all -scale 0.05 -parallel > /dev/null
 # control-plane recovery). The report says so in one grep-able line.
 echo "== chaos campaign smoke =="
 go run ./cmd/oasis-bench -run chaos | grep -q "invariants: OK"
+
+# Rack smoke: the 200+ host multi-pod cluster must place, hot-spot, and
+# rebalance with cross-pod migrations on one engine. (Byte-identity across
+# reruns and -parallel is asserted by TestRacksweepDeterministic...)
+echo "== racksweep cluster smoke =="
+go run ./cmd/oasis-bench -run racksweep -scale 0.05 | grep -q "cross-pod migrations"
 
 echo "verify: OK"

@@ -1,0 +1,950 @@
+package oasis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"oasis/internal/allocator"
+	"oasis/internal/core"
+	"oasis/internal/cxl"
+	"oasis/internal/faults"
+	"oasis/internal/host"
+	"oasis/internal/netengine"
+	"oasis/internal/netstack"
+	"oasis/internal/netsw"
+	"oasis/internal/nic"
+	"oasis/internal/obs"
+	"oasis/internal/raft"
+	"oasis/internal/sim"
+	"oasis/internal/ssd"
+	"oasis/internal/storengine"
+	"oasis/internal/topo"
+)
+
+// Typed topology-mutation errors. Callers match them with errors.Is; the
+// builders wrap them with node-specific context.
+var (
+	// ErrFrozen marks mutations the topology cannot absorb after Start —
+	// only the baseline local-driver path, which exists to reproduce the
+	// paper's static Junction setup, stays construct-then-run.
+	ErrFrozen = errors.New("topology is frozen after Start for baseline local drivers")
+	// ErrDuplicateNode marks an add whose node id is already in the graph.
+	ErrDuplicateNode = errors.New("duplicate node id")
+	// ErrNoSuchNode marks an operation on a node the graph does not hold.
+	ErrNoSuchNode = errors.New("no such node")
+	// ErrNodeInUse marks a removal blocked by dependents (instances on a
+	// NIC, volumes on an SSD, the allocator or a raft replica on a host).
+	ErrNodeInUse = errors.New("node is in use")
+	// ErrHostNotEmpty marks a host removal while instances or device
+	// backends still live on it; migrate or remove them first.
+	ErrHostNotEmpty = errors.New("host still has live instances or devices")
+)
+
+// Host is one pod member: the underlying host model, its frontend driver,
+// and any backend drivers for locally-attached NICs.
+type Host struct {
+	H   *host.Host
+	FE  *netengine.Frontend
+	BEs []*netengine.Backend
+	// SFE is the storage frontend (created on demand by AddSSD/AddVolume).
+	SFE *storengine.Frontend
+	// LD is the baseline Junction-style local driver (set by AddLocalNIC).
+	LD *netengine.LocalDriver
+	// Driver is the host's shared driver core when Config.SharedHostCore is
+	// set: every engine loop on this host polls from it.
+	Driver *core.Driver
+
+	removed bool
+}
+
+// Removed reports whether the host has been removed from the topology (its
+// slot in Hosts stays, so host indices remain stable).
+func (h *Host) Removed() bool { return h.removed }
+
+// SSDDev is one pooled SSD: the device and its storage backend driver.
+type SSDDev struct {
+	ID     uint16
+	Dev    *ssd.SSD
+	BE     *storengine.Backend
+	Backup bool
+
+	dmaPort *cxl.Port
+}
+
+// NIC is one pooled NIC: the device and its backend driver.
+type NIC struct {
+	ID     uint16
+	Dev    *nic.NIC
+	BE     *netengine.Backend
+	SwPort *netsw.Port
+	Backup bool
+
+	dmaPort *cxl.Port
+}
+
+// Instance is a container instance: its frontend attachment and its
+// network stack. Exactly one of Port (pooled, via the Oasis frontend) or
+// LocalPort (baseline, via a LocalDriver) is set.
+type Instance struct {
+	Port      *netengine.InstancePort
+	LocalPort *netengine.LocalPort
+	Stack     *netstack.Stack
+	host      *Host
+	topo      *Topology
+}
+
+// IPAddr returns the instance's address.
+func (i *Instance) IPAddr() netstack.IP { return i.Stack.IP() }
+
+// Host returns the pod host the instance runs on.
+func (i *Instance) Host() *Host { return i.host }
+
+// IsPooled reports whether the instance attaches to the pooled datapath
+// (an Oasis frontend port) rather than a baseline local driver.
+func (i *Instance) IsPooled() bool { return i.Port != nil }
+
+// Assign sets the instance's primary and backup NICs directly (bypassing
+// the allocator). backup may be 0. Baseline local instances have no pooled
+// frontend port to assign; that returns a descriptive error instead of the
+// historical nil-pointer panic.
+func (i *Instance) Assign(primary, backup uint16) error {
+	if i.Port == nil {
+		return fmt.Errorf("oasis: Assign on baseline local instance %v: it has no pooled frontend port (AddLocalInstance attaches to the host's local driver; use AddInstance for the pooled datapath)", i.IPAddr())
+	}
+	i.Port.Assign(primary, backup)
+	return nil
+}
+
+// RequestAllocation asks the pod-wide allocator for a NIC assignment.
+// Baseline local instances need no assignment; the request is ignored.
+func (i *Instance) RequestAllocation() {
+	if i.Port == nil {
+		return
+	}
+	i.Port.RequestAllocation()
+}
+
+// WaitReady blocks until the instance can transmit. Baseline local
+// instances are ready immediately.
+func (i *Instance) WaitReady(p *Proc, timeout Duration) bool {
+	if i.Port == nil {
+		return true
+	}
+	return i.Port.WaitReady(p, timeout)
+}
+
+// Client is a load-generator node outside the pod, attached directly to
+// the ToR switch (the paper's "network load driver", §5).
+type Client struct {
+	Stack  *netstack.Stack
+	SwPort *netsw.Port
+	mac    netsw.MAC
+}
+
+// Transmit implements netstack.Endpoint for the raw client.
+func (c *Client) Transmit(p *Proc, frame []byte) {
+	var f netsw.Frame
+	copy(f.Dst[:], frame[0:6])
+	copy(f.Src[:], frame[6:12])
+	f.Bytes = frame
+	c.SwPort.Send(&f)
+}
+
+// DeliverFrame implements netsw.Sink for the raw client.
+func (c *Client) DeliverFrame(f *netsw.Frame) { c.Stack.DeliverFrame(f.Bytes) }
+
+// Topology is the incremental node graph behind a pod: the engine, the CXL
+// pool, the ToR switch, and every host, device, instance, and client node.
+// Nodes are added one at a time through the ...Err builders and may be
+// removed again; Start wires whatever exists in one deterministic pass,
+// and nodes added afterwards are wired immediately (links to every peer,
+// driver launch, metric registration). Pod and Cluster are thin layers
+// over it.
+type Topology struct {
+	Eng    *sim.Engine
+	Pool   *cxl.Pool
+	Switch *netsw.Switch
+	Hosts  []*Host
+	NICs   map[uint16]*NIC
+	SSDs   map[uint16]*SSDDev
+	Alloc  *allocator.Allocator
+	// Raft holds the allocator's replicas when Config.RaftReplicas > 0;
+	// Raft[0] runs beside the allocator and is the expected leader.
+	Raft []*raft.Node
+
+	cfg       Config
+	obs       *obs.Registry
+	nicDir    map[uint16]netsw.MAC
+	nextNICID uint16
+	nextSSDID uint16
+	nextMAC   uint64
+	instances []*Instance
+	clients   []*Client
+	started   bool
+	injector  *faults.Injector
+
+	// Identity scope: standalone pods are unscoped (flat names, the
+	// historical scheme); pods inside a Cluster carry their pod index and
+	// prefix every host, device, driver, and metric name with "pod<P>/".
+	podIndex int
+	scope    string
+	// ownEngine is false for cluster pods sharing the cluster's engine.
+	ownEngine bool
+
+	// nodes is the graph's id set — one canonical topo-grammar key per
+	// node — used to reject double-adds of the same id.
+	nodes map[string]bool
+	// obsDrivers dedupes driver-core registration across Start and late
+	// node wiring (shared host cores appear once).
+	obsDrivers map[*core.Driver]bool
+}
+
+// NewTopology creates an empty standalone topology with its own engine.
+func NewTopology(cfg Config) *Topology {
+	return newTopology(sim.New(), cfg, topo.Unscoped, true)
+}
+
+// newTopology builds the graph shell on an engine. podIndex scopes every
+// name when the topology joins a cluster.
+func newTopology(eng *sim.Engine, cfg Config, podIndex int, ownEngine bool) *Topology {
+	return &Topology{
+		Eng:        eng,
+		Pool:       cxl.NewPool(eng, cfg.PoolBytes, cfg.CXL),
+		Switch:     netsw.New(eng, cfg.Switch),
+		NICs:       make(map[uint16]*NIC),
+		SSDs:       make(map[uint16]*SSDDev),
+		cfg:        cfg,
+		obs:        obs.New(),
+		nicDir:     make(map[uint16]netsw.MAC),
+		nextNICID:  1,
+		nextSSDID:  1,
+		nextMAC:    0x02_00_00_00_00_01, // locally administered
+		podIndex:   podIndex,
+		scope:      topo.Scope(podIndex),
+		ownEngine:  ownEngine,
+		nodes:      make(map[string]bool),
+		obsDrivers: make(map[*core.Driver]bool),
+	}
+}
+
+// PodIndex returns the topology's index inside its cluster, or
+// topo.Unscoped for a standalone pod.
+func (t *Topology) PodIndex() int { return t.podIndex }
+
+// Started reports whether Start has run (late adds wire immediately).
+func (t *Topology) Started() bool { return t.started }
+
+// Instances returns the number of placed instances.
+func (t *Topology) Instances() int { return len(t.instances) }
+
+// InstanceAt returns the i-th placed instance in placement order, or nil
+// when out of range.
+func (t *Topology) InstanceAt(i int) *Instance {
+	if i < 0 || i >= len(t.instances) {
+		return nil
+	}
+	return t.instances[i]
+}
+
+// addNode claims a canonical node id in the graph.
+func (t *Topology) addNode(key string) error {
+	if t.nodes[key] {
+		return fmt.Errorf("oasis: %w: %s%s", ErrDuplicateNode, t.scope, key)
+	}
+	t.nodes[key] = true
+	return nil
+}
+
+// dropNode releases a node id.
+func (t *Topology) dropNode(key string) { delete(t.nodes, key) }
+
+func (t *Topology) hostName(idx int) string { return topo.HostName(t.podIndex, idx) }
+func (t *Topology) nicName(id uint16) string {
+	return topo.DeviceName(t.podIndex, topo.KindNIC, int(id))
+}
+func (t *Topology) ssdName(id uint16) string {
+	return topo.DeviceName(t.podIndex, topo.KindSSD, int(id))
+}
+
+// AddHostErr adds a pod member with a frontend driver. After Start the new
+// host is wired immediately: data links to every pooled NIC backend, an
+// allocator control link, and a running frontend loop.
+func (t *Topology) AddHostErr() (*Host, error) {
+	id := len(t.Hosts)
+	if err := t.addNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindHost, Index: id}.String()); err != nil {
+		return nil, err
+	}
+	h := host.New(t.Eng, id, t.hostName(id), t.Pool, t.cfg.Host)
+	ph := &Host{H: h, FE: netengine.NewFrontend(h, t.Pool, t.cfg.Engine)}
+	t.Hosts = append(t.Hosts, ph)
+	if t.started {
+		if err := t.wireHostLate(ph); err != nil {
+			return nil, err
+		}
+	}
+	return ph, nil
+}
+
+// AddHost is the legacy panic-on-error wrapper around AddHostErr.
+func (t *Topology) AddHost() *Host {
+	ph, err := t.AddHostErr()
+	if err != nil {
+		panic(err)
+	}
+	return ph
+}
+
+// allocMAC hands out a unique locally-administered MAC.
+func (t *Topology) allocMAC() netsw.MAC {
+	var m netsw.MAC
+	v := t.nextMAC
+	t.nextMAC++
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+// checkHost validates a host argument.
+func (t *Topology) checkHost(on *Host) error {
+	if on == nil {
+		return fmt.Errorf("oasis: %w: nil host", ErrNoSuchNode)
+	}
+	if on.removed {
+		return fmt.Errorf("oasis: %w: %s was removed", ErrNoSuchNode, on.H.Name)
+	}
+	return nil
+}
+
+// AddNICErr attaches a pooled NIC to a host and creates its backend driver.
+// backup marks the pod's reserved failover NIC (§3.3.3). After Start the
+// NIC is wired immediately: links from every host frontend, an allocator
+// link, and a running device + backend loop.
+func (t *Topology) AddNICErr(on *Host, backup bool) (*NIC, error) {
+	if err := t.checkHost(on); err != nil {
+		return nil, err
+	}
+	id := t.nextNICID
+	if err := t.addNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindNIC, Index: int(id)}.String()); err != nil {
+		return nil, err
+	}
+	t.nextNICID++
+	mac := t.allocMAC()
+	name := t.nicName(id)
+	dma := t.Pool.AttachPort(name + "-dma")
+	dev := nic.New(t.Eng, name, mac, dma, netstack.FlowKey, t.cfg.NIC)
+	swPort := t.Switch.AttachPort(name, dev)
+	dev.Connect(swPort)
+	dev.SetSnooper(on.H.Cache) // DMA snoops the owning host's cache (§3.2.1)
+	be, err := netengine.NewBackend(on.H, id, dev, t.Pool, t.nicDir, t.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	t.nicDir[id] = mac
+	n := &NIC{ID: id, Dev: dev, BE: be, SwPort: swPort, Backup: backup, dmaPort: dma}
+	t.NICs[id] = n
+	on.BEs = append(on.BEs, be)
+	if t.started {
+		if err := t.wireNICLate(on, n); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// AddNIC is the legacy panic-on-error wrapper around AddNICErr.
+func (t *Topology) AddNIC(on *Host, backup bool) *NIC {
+	n, err := t.AddNICErr(on, backup)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddLocalNICErr attaches a NIC served by a Junction-style local driver —
+// the evaluation baseline (§5.1): one intermediary core, no pooling, no
+// message channels. Instances added with AddLocalInstance use it. The
+// baseline path is construct-then-run by design and stays frozen after
+// Start.
+func (t *Topology) AddLocalNICErr(on *Host) (*NIC, error) {
+	if t.started {
+		return nil, fmt.Errorf("oasis: %w (AddLocalNIC)", ErrFrozen)
+	}
+	if err := t.checkHost(on); err != nil {
+		return nil, err
+	}
+	if on.LD != nil {
+		return nil, fmt.Errorf("oasis: host %s already has a local driver", on.H.Name)
+	}
+	id := t.nextNICID
+	if err := t.addNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindNIC, Index: int(id)}.String()); err != nil {
+		return nil, err
+	}
+	t.nextNICID++
+	mac := t.allocMAC()
+	name := t.nicName(id)
+	dma := t.Pool.AttachPort(name + "-dma")
+	dev := nic.New(t.Eng, name, mac, dma, netstack.FlowKey, t.cfg.NIC)
+	swPort := t.Switch.AttachPort(name, dev)
+	dev.Connect(swPort)
+	dev.SetSnooper(on.H.Cache)
+	ld, err := netengine.NewLocalDriver(on.H, dev, t.Pool, t.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	on.LD = ld
+	n := &NIC{ID: id, Dev: dev, SwPort: swPort, dmaPort: dma}
+	t.NICs[id] = n
+	return n, nil
+}
+
+// AddLocalNIC is the legacy panic-on-error wrapper around AddLocalNICErr.
+func (t *Topology) AddLocalNIC(on *Host) *NIC {
+	n, err := t.AddLocalNICErr(on)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddLocalInstanceErr launches an instance on the host's baseline local
+// driver. Like the driver itself, baseline instances are pre-Start only.
+func (t *Topology) AddLocalInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
+	if t.started {
+		return nil, fmt.Errorf("oasis: %w (AddLocalInstance)", ErrFrozen)
+	}
+	if err := t.checkHost(on); err != nil {
+		return nil, err
+	}
+	if on.LD == nil {
+		return nil, fmt.Errorf("oasis: AddLocalInstance requires AddLocalNIC first")
+	}
+	if err := t.addNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindInstance, Name: ip.String()}.String()); err != nil {
+		return nil, err
+	}
+	lp, err := on.LD.AddInstance(ip)
+	if err != nil {
+		t.dropNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindInstance, Name: ip.String()}.String())
+		return nil, err
+	}
+	stack := netstack.NewStack(t.Eng, t.scope+fmt.Sprintf("inst-%v", ip), ip, lp.CurrentMAC, lp, t.cfg.Stack)
+	lp.AttachStack(stack)
+	inst := &Instance{LocalPort: lp, Stack: stack, host: on, topo: t}
+	t.instances = append(t.instances, inst)
+	return inst, nil
+}
+
+// AddLocalInstance is the legacy panic-on-error wrapper around
+// AddLocalInstanceErr.
+func (t *Topology) AddLocalInstance(on *Host, ip netstack.IP) *Instance {
+	inst, err := t.AddLocalInstanceErr(on, ip)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// AddSSDErr attaches a pooled SSD of the given capacity (in 4 KiB blocks)
+// to a host and creates its storage backend driver (§3.4).
+func (t *Topology) AddSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
+	return t.addSSD(on, capacityBlocks, false)
+}
+
+// AddSSD is the legacy panic-on-error wrapper around AddSSDErr.
+func (t *Topology) AddSSD(on *Host, capacityBlocks uint64) *SSDDev {
+	d, err := t.AddSSDErr(on, capacityBlocks)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// AddBackupSSDErr attaches the pod's reserved backup drive — the §3.3.3
+// backup-NIC mechanism applied to storage. Every volume on other drives is
+// mirrored onto it (RAID-1 style) by the storage frontends, and the
+// allocator re-binds volumes onto it when their primary drive fails. A pod
+// has at most one backup drive; it should be at least as large as the sum
+// of the volumes it protects.
+func (t *Topology) AddBackupSSDErr(on *Host, capacityBlocks uint64) (*SSDDev, error) {
+	for _, id := range t.ssdIDs() {
+		if t.SSDs[id].Backup {
+			return nil, fmt.Errorf("oasis: pod already has backup SSD %d", id)
+		}
+	}
+	return t.addSSD(on, capacityBlocks, true)
+}
+
+// AddBackupSSD is the panic-on-error wrapper around AddBackupSSDErr.
+func (t *Topology) AddBackupSSD(on *Host, capacityBlocks uint64) *SSDDev {
+	d, err := t.AddBackupSSDErr(on, capacityBlocks)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (t *Topology) addSSD(on *Host, capacityBlocks uint64, backup bool) (*SSDDev, error) {
+	if err := t.checkHost(on); err != nil {
+		return nil, err
+	}
+	id := t.nextSSDID
+	if err := t.addNode(topo.Ref{Pod: topo.Unscoped, Kind: topo.KindSSD, Index: int(id)}.String()); err != nil {
+		return nil, err
+	}
+	t.nextSSDID++
+	name := t.ssdName(id)
+	dma := t.Pool.AttachPort(name + "-dma")
+	dev := ssd.New(t.Eng, name, dma, t.cfg.SSD)
+	be := storengine.NewBackend(on.H, id, dev, capacityBlocks, t.cfg.Storage)
+	d := &SSDDev{ID: id, Dev: dev, BE: be, Backup: backup, dmaPort: dma}
+	t.SSDs[id] = d
+	if t.started {
+		if err := t.wireSSDLate(on, d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// storageFE returns (creating and, post-Start, wiring if needed) a host's
+// storage frontend.
+func (t *Topology) storageFE(on *Host) (*storengine.Frontend, error) {
+	if on.SFE == nil {
+		on.SFE = storengine.NewFrontend(on.H, t.Pool, t.cfg.Storage)
+		if t.started {
+			if err := t.wireStorageFELate(on); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return on.SFE, nil
+}
+
+// AddVolumeErr provisions a block volume for an instance on a pooled SSD.
+// The instance's host is taken from the instance itself (recorded at
+// AddInstance time), so no pod-wide scan is needed. Volumes may be added
+// after Start: registration rides the normal request path.
+func (t *Topology) AddVolumeErr(inst *Instance, ssdID uint16, blocks uint64) (*storengine.Volume, error) {
+	if inst == nil || inst.host == nil {
+		return nil, fmt.Errorf("oasis: AddVolume: instance has no host (not built by AddInstance/AddLocalInstance)")
+	}
+	fe, err := t.storageFE(inst.host)
+	if err != nil {
+		return nil, err
+	}
+	return fe.AddVolume(inst.IPAddr(), ssdID, blocks)
+}
+
+// AddVolume is the legacy panic-on-error wrapper around AddVolumeErr.
+func (t *Topology) AddVolume(inst *Instance, ssdID uint16, blocks uint64) *storengine.Volume {
+	vol, err := t.AddVolumeErr(inst, ssdID, blocks)
+	if err != nil {
+		panic(err)
+	}
+	return vol
+}
+
+// AddInstanceErr launches a container instance on a pod host. After Start
+// the instance's network stack is started immediately.
+func (t *Topology) AddInstanceErr(on *Host, ip netstack.IP) (*Instance, error) {
+	if err := t.checkHost(on); err != nil {
+		return nil, err
+	}
+	key := topo.Ref{Pod: topo.Unscoped, Kind: topo.KindInstance, Name: ip.String()}.String()
+	if err := t.addNode(key); err != nil {
+		return nil, err
+	}
+	port, err := on.FE.AddInstance(ip)
+	if err != nil {
+		t.dropNode(key)
+		return nil, err
+	}
+	name := t.scope + fmt.Sprintf("inst-%v", ip)
+	stack := netstack.NewStack(t.Eng, name, ip, port.CurrentMAC, port, t.cfg.Stack)
+	port.AttachStack(stack)
+	inst := &Instance{Port: port, Stack: stack, host: on, topo: t}
+	t.instances = append(t.instances, inst)
+	if t.started {
+		stack.Start()
+	}
+	return inst, nil
+}
+
+// AddInstance is the legacy panic-on-error wrapper around AddInstanceErr.
+func (t *Topology) AddInstance(on *Host, ip netstack.IP) *Instance {
+	inst, err := t.AddInstanceErr(on, ip)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// AddClientErr attaches a raw load-generator node to the switch. After
+// Start its stack is started immediately.
+func (t *Topology) AddClientErr(ip netstack.IP) (*Client, error) {
+	c := &Client{mac: t.allocMAC()}
+	c.SwPort = t.Switch.AttachPort(t.scope+fmt.Sprintf("client-%v", ip), c)
+	mac := c.mac
+	c.Stack = netstack.NewStack(t.Eng, t.scope+fmt.Sprintf("client-%v", ip), ip,
+		func() netsw.MAC { return mac }, c, t.cfg.Stack)
+	t.clients = append(t.clients, c)
+	if t.started {
+		c.Stack.Start()
+	}
+	return c, nil
+}
+
+// AddClient is the legacy panic-on-error wrapper around AddClientErr.
+func (t *Topology) AddClient(ip netstack.IP) *Client {
+	c, err := t.AddClientErr(ip)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// nicIDs returns the pooled NIC ids in ascending order, so pod wiring and
+// reports never depend on map iteration order (determinism).
+func (t *Topology) nicIDs() []uint16 {
+	ids := make([]uint16, 0, len(t.NICs))
+	for id := range t.NICs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ssdIDs returns the pooled SSD ids in ascending order.
+func (t *Topology) ssdIDs() []uint16 {
+	ids := make([]uint16, 0, len(t.SSDs))
+	for id := range t.SSDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// backupSSDID returns the pod's reserved backup drive id (0 if none).
+func (t *Topology) backupSSDID() uint16 {
+	for _, id := range t.ssdIDs() {
+		if t.SSDs[id].Backup {
+			return id
+		}
+	}
+	return 0
+}
+
+// allocHost returns the host the allocator runs on (host 0).
+func (t *Topology) allocHost() *Host { return t.Hosts[0] }
+
+// Start wires the control and data links (frontend↔backend full mesh,
+// allocator links for every device backend) and launches every driver,
+// device, and stack process. The wiring pass runs in one deterministic
+// order; the topology stays mutable afterwards — late adds wire their node
+// immediately, removals detach it.
+func (t *Topology) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	nicIDs, ssdIDs := t.nicIDs(), t.ssdIDs()
+
+	// Data links: every frontend to every backend.
+	for _, ph := range t.Hosts {
+		if ph.removed {
+			continue
+		}
+		for _, id := range nicIDs {
+			n := t.NICs[id]
+			if n.BE == nil {
+				continue // baseline local NIC: no backend driver
+			}
+			feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, n.BE.Host(), t.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			ph.FE.ConnectBackend(n.ID, n.Dev.MAC(), feEnd)
+			n.BE.ConnectFrontend(ph.H.ID, beEnd)
+		}
+		if ph.SFE != nil {
+			for _, id := range ssdIDs {
+				d := t.SSDs[id]
+				feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, d.BE.Host(), t.cfg.Storage.Chan)
+				if err != nil {
+					panic(err)
+				}
+				ph.SFE.ConnectBackend(d.ID, feEnd)
+				d.BE.ConnectFrontend(ph.H.ID, beEnd)
+			}
+		}
+	}
+
+	// Backup-drive mirroring: every storage frontend mirrors its volumes
+	// onto the pod's reserved backup drive (the §3.3.3 mechanism applied to
+	// storage). Needs the backend mesh above so mirror registrations can
+	// ride the normal request path.
+	if bid := t.backupSSDID(); bid != 0 {
+		for _, ph := range t.Hosts {
+			if ph.removed {
+				continue
+			}
+			if ph.SFE != nil {
+				ph.SFE.SetBackupSSD(bid)
+			}
+		}
+	}
+
+	// Control plane: the allocator gets a link to every frontend and every
+	// device backend — NIC and SSD backends report through the same path.
+	if !t.cfg.NoAllocator && len(t.Hosts) > 0 {
+		ah := t.allocHost().H // allocator runs on host 0
+		t.Alloc = allocator.New(ah, t.cfg.Allocator)
+		for _, ph := range t.Hosts {
+			if ph.removed {
+				continue
+			}
+			aEnd, feEnd, err := core.NewDuplexLink(t.Pool, ah, ph.H, t.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			t.Alloc.AddFrontend(ph.H.ID, aEnd)
+			ph.FE.SetControlLink(feEnd)
+		}
+		for _, id := range nicIDs {
+			n := t.NICs[id]
+			if n.BE == nil {
+				continue
+			}
+			aEnd, beEnd, err := core.NewDuplexLink(t.Pool, ah, n.BE.Host(), t.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			t.Alloc.AddNIC(allocator.NICInfo{
+				ID:          n.ID,
+				HostID:      n.BE.Host().ID,
+				CapacityBps: t.cfg.Switch.PortBandwidth,
+				Backup:      n.Backup,
+			}, aEnd)
+			n.BE.SetControlLink(beEnd)
+		}
+		for _, id := range ssdIDs {
+			d := t.SSDs[id]
+			aEnd, beEnd, err := core.NewDuplexLink(t.Pool, ah, d.BE.Host(), t.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			t.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID, Backup: d.Backup}, aEnd)
+			d.BE.SetControlLink(beEnd)
+		}
+		// Storage frontends get a control link too: SSD failover commands
+		// (volume re-binds, fencing epochs) are broadcast over it.
+		for _, ph := range t.Hosts {
+			if ph.removed || ph.SFE == nil {
+				continue
+			}
+			aEnd, sfeEnd, err := core.NewDuplexLink(t.Pool, ah, ph.H, t.cfg.Engine.Chan)
+			if err != nil {
+				panic(err)
+			}
+			t.Alloc.AddStorageFrontend(ph.H.ID, aEnd)
+			ph.SFE.SetControlLink(sfeEnd)
+		}
+		if t.cfg.RaftReplicas > 0 {
+			t.setupRaft()
+		}
+		t.Alloc.Start()
+	}
+
+	// Shared host cores (§5.1): one driver core per host multiplexes the
+	// host's frontend loops and locally-attached backend loops. Joins must
+	// precede each engine's Start (which then just starts the shared core).
+	if t.cfg.SharedHostCore {
+		for _, ph := range t.Hosts {
+			if ph.removed {
+				continue
+			}
+			ph.Driver = core.NewDriver(ph.H, ph.H.Name+"/engines", core.DriverConfig{
+				LoopCost:    t.cfg.Engine.LoopCost,
+				IdleBackoff: t.cfg.Engine.IdleBackoff,
+			})
+			ph.FE.Join(ph.Driver)
+			if ph.SFE != nil {
+				ph.SFE.Join(ph.Driver)
+			}
+			for _, be := range ph.BEs {
+				be.Join(ph.Driver)
+			}
+		}
+		for _, id := range ssdIDs {
+			d := t.SSDs[id]
+			for _, ph := range t.Hosts {
+				if ph.removed {
+					continue
+				}
+				if ph.H == d.BE.Host() {
+					d.BE.Join(ph.Driver)
+					break
+				}
+			}
+		}
+	}
+
+	// Launch everything.
+	for _, id := range nicIDs {
+		n := t.NICs[id]
+		n.Dev.Start()
+		if n.BE != nil {
+			n.BE.Start()
+		}
+	}
+	for _, id := range ssdIDs {
+		d := t.SSDs[id]
+		d.Dev.Start()
+		d.BE.Start()
+	}
+	for _, ph := range t.Hosts {
+		if ph.removed {
+			continue
+		}
+		ph.FE.Start()
+		if ph.SFE != nil {
+			ph.SFE.Start()
+		}
+		if ph.LD != nil {
+			ph.LD.Start()
+		}
+	}
+	for _, inst := range t.instances {
+		inst.Stack.Start()
+	}
+	for _, c := range t.clients {
+		c.Stack.Start()
+	}
+
+	t.registerObs()
+}
+
+// Go spawns an application process.
+func (t *Topology) Go(name string, fn func(p *Proc)) { t.Eng.Go(name, fn) }
+
+// Run executes d of virtual time and returns the clock. Cluster pods share
+// the cluster engine; drive them with Cluster.Run instead.
+func (t *Topology) Run(d Duration) Duration { return t.Eng.RunUntil(d) }
+
+// Shutdown unwinds all processes (end of an experiment).
+func (t *Topology) Shutdown() { t.Eng.Shutdown() }
+
+// Now returns the virtual clock.
+func (t *Topology) Now() Duration { return t.Eng.Now() }
+
+// FailNICPort injects the paper's §5.3 failure: the switch port connected
+// to the NIC is disabled.
+func (t *Topology) FailNICPort(id uint16) {
+	if n, ok := t.NICs[id]; ok {
+		n.SwPort.SetEnabled(false)
+	}
+}
+
+// RestoreNICPort re-enables a failed port.
+func (t *Topology) RestoreNICPort(id uint16) {
+	if n, ok := t.NICs[id]; ok {
+		n.SwPort.SetEnabled(true)
+	}
+}
+
+// setupRaft builds the allocator's replica group: RaftReplicas nodes on the
+// first hosts, RPCs over 64 B message channels, with the allocator's
+// decisions proposed to the log before being acted on (§3.5).
+func (t *Topology) setupRaft() {
+	n := t.cfg.RaftReplicas
+	if n < 3 || n%2 == 0 || n > len(t.Hosts) {
+		panic(fmt.Sprintf("oasis: RaftReplicas = %d needs an odd count >= 3 and <= hosts", n))
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	trs := make([]*raft.ChannelTransport, n)
+	for i := range trs {
+		trs[i] = raft.NewChannelTransport(t.Eng, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := trs[i].ConnectPeer(t.Pool, t.Hosts[i].H, trs[j], t.Hosts[j].H); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := raft.DefaultConfig()
+		cfg.Seed = 11
+		// Fail proposals fast: the allocator retries them with backoff (see
+		// allocator.deferRetry), so a commit stuck behind a mid-election
+		// group should return quickly rather than stall the control plane.
+		cfg.ProposeLimit = 100 * time.Millisecond
+		if i == 0 {
+			// The allocator runs on host 0; bias it to win the first
+			// election so proposals originate beside the leader.
+			cfg.ElectionMin = 10 * time.Millisecond
+			cfg.ElectionMax = 15 * time.Millisecond
+		} else {
+			cfg.ElectionMin = 40 * time.Millisecond
+			cfg.ElectionMax = 60 * time.Millisecond
+		}
+		node := raft.New(t.Eng, i, ids, trs[i], nil, cfg)
+		trs[i].Bind(node)
+		t.Raft = append(t.Raft, node)
+		node.Start()
+	}
+	t.Alloc.Replicate(&multiReplicator{nodes: t.Raft})
+}
+
+// multiReplicator adapts the raft group to the allocator's replication
+// hook. Unlike a replicator pinned to one node, it proposes through
+// whichever live replica currently leads, so allocator decisions survive
+// the loss of the original leader (node 0's host crashing): after
+// re-election the promoted follower carries the log and proposals resume
+// through it.
+type multiReplicator struct {
+	nodes []*raft.Node
+}
+
+// Propose finds a live leader (bounded wait, exponential backoff while an
+// election is in flight) and blocks until the command commits. A stopped
+// node still claiming leadership is a zombie and is skipped.
+func (r *multiReplicator) Propose(p *Proc, cmd []byte) bool {
+	deadline := p.Now() + 120*time.Millisecond
+	backoff := time.Millisecond
+	for {
+		for _, node := range r.nodes {
+			if node.IsLeader() && !node.Stopped() {
+				return node.Propose(p, cmd)
+			}
+		}
+		if p.Now() >= deadline {
+			return false
+		}
+		p.Sleep(backoff)
+		if backoff < 16*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Obs exposes the pod's metrics registry so applications and tests can
+// register their own instruments alongside the built-in ones.
+func (t *Topology) Obs() *obs.Registry { return t.obs }
+
+// Stats samples every registered instrument at the current virtual time and
+// returns a typed, deterministically ordered snapshot. Instruments are only
+// read here — sampling costs no virtual time and never perturbs the run.
+func (t *Topology) Stats() obs.Snapshot { return t.obs.Snapshot(t.Eng.Now()) }
+
+// StatsReport returns a human-readable dump of the pod's counters: per-NIC
+// traffic, per-port CXL bandwidth by category, driver counters, and
+// allocator decisions. Examples and operators print it after a run. It is
+// exactly Stats().String(); use Stats for programmatic access.
+func (t *Topology) StatsReport() string { return t.Stats().String() }

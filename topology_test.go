@@ -1,0 +1,218 @@
+package oasis
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// --- topology mutation edges ---
+
+func TestRemoveHostWithLiveInstances(t *testing.T) {
+	pod := NewPod(DefaultConfig())
+	h0 := pod.AddHost()
+	h1 := pod.AddHost()
+	h2 := pod.AddHost()
+	h3 := pod.AddHost() // safely removable: no allocator, no raft replica
+	_ = h2
+	pod.AddNIC(h1, false)
+	inst := pod.AddInstance(h3, IP(10, 0, 0, 10))
+
+	if err := pod.RemoveHostErr(h3); !errors.Is(err, ErrHostNotEmpty) {
+		t.Fatalf("remove host with live instance: got %v, want ErrHostNotEmpty", err)
+	}
+	if err := pod.RemoveHostErr(h0); !errors.Is(err, ErrNodeInUse) {
+		t.Fatalf("remove allocator host: got %v, want ErrNodeInUse", err)
+	}
+	if err := pod.RemoveHostErr(h1); !errors.Is(err, ErrHostNotEmpty) {
+		t.Fatalf("remove NIC backend host: got %v, want ErrHostNotEmpty", err)
+	}
+	if err := pod.RemoveInstanceErr(inst); err != nil {
+		t.Fatalf("remove instance: %v", err)
+	}
+	if err := pod.RemoveHostErr(h3); err != nil {
+		t.Fatalf("remove emptied host: %v", err)
+	}
+	if !h3.Removed() {
+		t.Fatal("host not marked removed")
+	}
+	if err := pod.RemoveHostErr(h3); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("double host removal: got %v, want ErrNoSuchNode", err)
+	}
+	// Host slots stay index-stable after removal.
+	if len(pod.Hosts) != 4 || pod.Hosts[3] != h3 {
+		t.Fatal("removal perturbed host indices")
+	}
+}
+
+func TestDoubleAddSameID(t *testing.T) {
+	pod := NewPod(DefaultConfig())
+	h := pod.AddHost()
+	pod.AddNIC(h, false)
+	pod.AddInstance(h, IP(10, 0, 0, 10))
+	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 10)); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate instance IP: got %v, want ErrDuplicateNode", err)
+	}
+	// Removal releases the id for reuse.
+	inst := pod.instances[0]
+	if err := pod.RemoveInstanceErr(inst); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := pod.AddInstanceErr(h, IP(10, 0, 0, 10)); err != nil {
+		t.Fatalf("re-add after removal: %v", err)
+	}
+}
+
+// TestAddDeviceAfterRunStarted verifies the incremental path end-to-end:
+// a NIC and an instance added after virtual time has already advanced get
+// wired into the live pod and carry real traffic.
+func TestAddDeviceAfterRunStarted(t *testing.T) {
+	pod := NewPod(DefaultConfig())
+	hA := pod.AddHost()
+	hB := pod.AddHost()
+	pod.AddNIC(hB, false)
+	client := pod.AddClient(IP(10, 0, 99, 1))
+	pod.Start()
+	pod.Run(5 * time.Millisecond) // the pod is live; time has passed
+
+	hC, err := pod.AddHostErr()
+	if err != nil {
+		t.Fatalf("late AddHost: %v", err)
+	}
+	if _, err := pod.AddNICErr(hC, false); err != nil {
+		t.Fatalf("late AddNIC: %v", err)
+	}
+	inst, err := pod.AddInstanceErr(hA, IP(10, 0, 0, 20))
+	if err != nil {
+		t.Fatalf("late AddInstance: %v", err)
+	}
+	inst.RequestAllocation()
+
+	echoed := false
+	pod.Go("late-echo", func(p *Proc) {
+		if !inst.WaitReady(p, 100*time.Millisecond) {
+			t.Error("late instance never became ready")
+			pod.Shutdown()
+			return
+		}
+		conn, err := inst.Stack.ListenUDP(7)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			pod.Shutdown()
+			return
+		}
+		dg := conn.Recv(p)
+		conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data)
+	})
+	pod.Go("late-client", func(p *Proc) {
+		defer pod.Shutdown()
+		conn, err := client.Stack.ListenUDP(0)
+		if err != nil {
+			return
+		}
+		p.Sleep(2 * time.Millisecond)
+		for try := 0; try < 20 && !echoed; try++ {
+			if conn.SendTo(p, inst.IPAddr(), 7, []byte("late")) != nil {
+				continue
+			}
+			if _, ok := conn.RecvTimeout(p, 2*time.Millisecond); ok {
+				echoed = true
+			}
+		}
+	})
+	pod.Run(time.Second)
+	if !echoed {
+		t.Fatal("late-added instance carried no traffic")
+	}
+}
+
+// --- wrapper equivalence ---
+
+// TestPanicWrappersMatchErrForms pins down that the legacy panic wrappers
+// are pure pass-throughs: a pod built with AddHost/AddNIC/... and one
+// built with the Err forms run the same workload to byte-identical
+// observability snapshots.
+func TestPanicWrappersMatchErrForms(t *testing.T) {
+	workload := func(pod *Pod, inst *Instance, client *Client) []byte {
+		pod.Start()
+		inst.RequestAllocation()
+		pod.Go("echo", func(p *Proc) {
+			if !inst.WaitReady(p, 100*time.Millisecond) {
+				return
+			}
+			conn, err := inst.Stack.ListenUDP(7)
+			if err != nil {
+				return
+			}
+			for {
+				dg := conn.Recv(p)
+				if conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data) != nil {
+					return
+				}
+			}
+		})
+		pod.Go("client", func(p *Proc) {
+			defer pod.Shutdown()
+			conn, err := client.Stack.ListenUDP(0)
+			if err != nil {
+				return
+			}
+			p.Sleep(2 * time.Millisecond)
+			for i := 0; i < 50; i++ {
+				if conn.SendTo(p, inst.IPAddr(), 7, []byte("ping")) != nil {
+					continue
+				}
+				conn.RecvTimeout(p, 2*time.Millisecond)
+			}
+		})
+		pod.Run(time.Second)
+		return pod.Stats().JSON()
+	}
+
+	viaPanic := func() []byte {
+		pod := NewPod(DefaultConfig())
+		hA := pod.AddHost()
+		hB := pod.AddHost()
+		pod.AddNIC(hB, false)
+		pod.AddSSD(hB, 1<<12)
+		inst := pod.AddInstance(hA, IP(10, 0, 0, 10))
+		pod.AddVolume(inst, 1, 16)
+		client := pod.AddClient(IP(10, 0, 99, 1))
+		return workload(pod, inst, client)
+	}
+	viaErr := func() []byte {
+		pod := NewPod(DefaultConfig())
+		hA, err := pod.AddHostErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hB, err := pod.AddHostErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pod.AddNICErr(hB, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pod.AddSSDErr(hB, 1<<12); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := pod.AddInstanceErr(hA, IP(10, 0, 0, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pod.AddVolumeErr(inst, 1, 16); err != nil {
+			t.Fatal(err)
+		}
+		client, err := pod.AddClientErr(IP(10, 0, 99, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload(pod, inst, client)
+	}
+
+	a, b := viaPanic(), viaErr()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("panic-wrapper pod and Err-form pod diverged:\n--- wrappers ---\n%s\n--- Err forms ---\n%s", a, b)
+	}
+}

@@ -1,0 +1,266 @@
+package oasis
+
+import (
+	"fmt"
+
+	"oasis/internal/allocator"
+	"oasis/internal/core"
+)
+
+// registerObs walks the topology and registers every component's
+// instruments with the registry. Runs once at the end of Start, so
+// channel-latency trackers and driver loops already exist; nodes added
+// later register their own instruments as part of late wiring (the
+// obsDrivers set dedupes shared cores across both paths). Registration
+// order is deterministic (sorted device ids, host insertion order), and
+// Snapshot re-sorts by name anyway.
+func (t *Topology) registerObs() {
+	r := t.obs
+	for _, id := range t.nicIDs() {
+		n := t.NICs[id]
+		n.Dev.RegisterObs(r, t.nicName(id))
+		if n.BE != nil {
+			n.BE.RegisterObs(r, n.BE.LoopName())
+		}
+	}
+	for _, id := range t.ssdIDs() {
+		d := t.SSDs[id]
+		d.Dev.RegisterObs(r, t.ssdName(id))
+		d.BE.RegisterObs(r, d.BE.LoopName())
+	}
+	for _, pt := range t.Pool.Ports() {
+		pt.RegisterObs(r, "cxl/port/"+pt.Name())
+	}
+	for _, ph := range t.Hosts {
+		if ph.removed {
+			continue
+		}
+		if ph.H.Cache != nil {
+			ph.H.Cache.RegisterObs(r, ph.H.Name+"/cache")
+		}
+		ph.FE.RegisterObs(r, ph.FE.LoopName())
+		if ph.SFE != nil {
+			ph.SFE.RegisterObs(r, ph.SFE.LoopName())
+		}
+		if ph.LD != nil {
+			ph.LD.RegisterObs(r, ph.LD.LoopName())
+		}
+		// The shared host core (if any) registers under core/<host>; the
+		// dedicated per-engine drivers below dedupe against it by pointer
+		// and register under core/<loop name> instead.
+		t.regDriver(ph.Driver, "core/"+ph.H.Name)
+		if d := ph.FE.Driver(); d != nil {
+			t.regDriver(d, "core/"+d.Name())
+		}
+		if ph.SFE != nil {
+			if d := ph.SFE.Driver(); d != nil {
+				t.regDriver(d, "core/"+d.Name())
+			}
+		}
+		if ph.LD != nil {
+			if d := ph.LD.Driver(); d != nil {
+				t.regDriver(d, "core/"+d.Name())
+			}
+		}
+		for _, be := range ph.BEs {
+			if d := be.Driver(); d != nil {
+				t.regDriver(d, "core/"+d.Name())
+			}
+		}
+	}
+	for _, id := range t.ssdIDs() {
+		if d := t.SSDs[id].BE.Driver(); d != nil {
+			t.regDriver(d, "core/"+d.Name())
+		}
+	}
+	if t.Alloc != nil {
+		t.Alloc.RegisterObs(r, t.scope+"alloc")
+		if d := t.Alloc.Driver(); d != nil {
+			t.regDriver(d, "core/"+d.Name())
+		}
+	}
+	for i, node := range t.Raft {
+		node.RegisterObs(r, fmt.Sprintf("%sraft/%d", t.scope, i))
+	}
+}
+
+// regDriver registers a driver core's instruments once (shared host cores
+// are reached through several engines; the persistent set dedupes them
+// across Start and late wiring).
+func (t *Topology) regDriver(d *core.Driver, prefix string) {
+	if d == nil || t.obsDrivers[d] {
+		return
+	}
+	t.obsDrivers[d] = true
+	d.RegisterObs(t.obs, prefix)
+}
+
+// --- Late wiring: the post-Start halves of the Add* builders. Each mirrors
+// the corresponding slice of Start for exactly one node: links to every
+// existing peer, control-plane registration, driver launch, and metric
+// registration. The engine is cooperative, so growing the link and peer
+// maps between poll iterations is safe.
+
+// wireHostLate wires a host added after Start.
+func (t *Topology) wireHostLate(ph *Host) error {
+	for _, id := range t.nicIDs() {
+		n := t.NICs[id]
+		if n.BE == nil {
+			continue
+		}
+		feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, n.BE.Host(), t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		ph.FE.ConnectBackend(n.ID, n.Dev.MAC(), feEnd)
+		n.BE.ConnectFrontend(ph.H.ID, beEnd)
+	}
+	if t.Alloc != nil {
+		aEnd, feEnd, err := core.NewDuplexLink(t.Pool, t.allocHost().H, ph.H, t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		t.Alloc.AddFrontend(ph.H.ID, aEnd)
+		ph.FE.SetControlLink(feEnd)
+	}
+	if t.cfg.SharedHostCore {
+		ph.Driver = core.NewDriver(ph.H, ph.H.Name+"/engines", core.DriverConfig{
+			LoopCost:    t.cfg.Engine.LoopCost,
+			IdleBackoff: t.cfg.Engine.IdleBackoff,
+		})
+		ph.FE.Join(ph.Driver)
+	}
+	ph.FE.Start()
+	if pt := ph.H.CXLPort; pt != nil {
+		pt.RegisterObs(t.obs, "cxl/port/"+pt.Name())
+	}
+	if ph.H.Cache != nil {
+		ph.H.Cache.RegisterObs(t.obs, ph.H.Name+"/cache")
+	}
+	ph.FE.RegisterObs(t.obs, ph.FE.LoopName())
+	t.regDriver(ph.Driver, "core/"+ph.H.Name)
+	if d := ph.FE.Driver(); d != nil {
+		t.regDriver(d, "core/"+d.Name())
+	}
+	return nil
+}
+
+// wireNICLate wires a pooled NIC added after Start.
+func (t *Topology) wireNICLate(on *Host, n *NIC) error {
+	for _, ph := range t.Hosts {
+		if ph.removed {
+			continue
+		}
+		feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, n.BE.Host(), t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		ph.FE.ConnectBackend(n.ID, n.Dev.MAC(), feEnd)
+		n.BE.ConnectFrontend(ph.H.ID, beEnd)
+	}
+	if t.Alloc != nil {
+		aEnd, beEnd, err := core.NewDuplexLink(t.Pool, t.allocHost().H, n.BE.Host(), t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		t.Alloc.AddNIC(allocator.NICInfo{
+			ID:          n.ID,
+			HostID:      n.BE.Host().ID,
+			CapacityBps: t.cfg.Switch.PortBandwidth,
+			Backup:      n.Backup,
+		}, aEnd)
+		n.BE.SetControlLink(beEnd)
+	}
+	if t.cfg.SharedHostCore && on.Driver != nil {
+		n.BE.Join(on.Driver)
+	}
+	n.Dev.Start()
+	n.BE.Start()
+	n.Dev.RegisterObs(t.obs, t.nicName(n.ID))
+	n.BE.RegisterObs(t.obs, n.BE.LoopName())
+	if n.dmaPort != nil {
+		n.dmaPort.RegisterObs(t.obs, "cxl/port/"+n.dmaPort.Name())
+	}
+	if d := n.BE.Driver(); d != nil {
+		t.regDriver(d, "core/"+d.Name())
+	}
+	return nil
+}
+
+// wireSSDLate wires a pooled SSD added after Start.
+func (t *Topology) wireSSDLate(on *Host, d *SSDDev) error {
+	for _, ph := range t.Hosts {
+		if ph.removed || ph.SFE == nil {
+			continue
+		}
+		feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, d.BE.Host(), t.cfg.Storage.Chan)
+		if err != nil {
+			return err
+		}
+		ph.SFE.ConnectBackend(d.ID, feEnd)
+		d.BE.ConnectFrontend(ph.H.ID, beEnd)
+	}
+	if t.Alloc != nil {
+		aEnd, beEnd, err := core.NewDuplexLink(t.Pool, t.allocHost().H, d.BE.Host(), t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		t.Alloc.AddSSD(allocator.SSDInfo{ID: d.ID, HostID: d.BE.Host().ID, Backup: d.Backup}, aEnd)
+		d.BE.SetControlLink(beEnd)
+	}
+	if t.cfg.SharedHostCore && on.Driver != nil {
+		d.BE.Join(on.Driver)
+	}
+	d.Dev.Start()
+	d.BE.Start()
+	if d.Backup {
+		for _, ph := range t.Hosts {
+			if !ph.removed && ph.SFE != nil {
+				ph.SFE.SetBackupSSD(d.ID)
+			}
+		}
+	}
+	d.Dev.RegisterObs(t.obs, t.ssdName(d.ID))
+	d.BE.RegisterObs(t.obs, d.BE.LoopName())
+	if d.dmaPort != nil {
+		d.dmaPort.RegisterObs(t.obs, "cxl/port/"+d.dmaPort.Name())
+	}
+	if drv := d.BE.Driver(); drv != nil {
+		t.regDriver(drv, "core/"+drv.Name())
+	}
+	return nil
+}
+
+// wireStorageFELate wires a storage frontend created after Start (first
+// AddVolume on a host that had none).
+func (t *Topology) wireStorageFELate(ph *Host) error {
+	for _, id := range t.ssdIDs() {
+		d := t.SSDs[id]
+		feEnd, beEnd, err := core.NewDuplexLink(t.Pool, ph.H, d.BE.Host(), t.cfg.Storage.Chan)
+		if err != nil {
+			return err
+		}
+		ph.SFE.ConnectBackend(d.ID, feEnd)
+		d.BE.ConnectFrontend(ph.H.ID, beEnd)
+	}
+	if bid := t.backupSSDID(); bid != 0 {
+		ph.SFE.SetBackupSSD(bid)
+	}
+	if t.Alloc != nil {
+		aEnd, sfeEnd, err := core.NewDuplexLink(t.Pool, t.allocHost().H, ph.H, t.cfg.Engine.Chan)
+		if err != nil {
+			return err
+		}
+		t.Alloc.AddStorageFrontend(ph.H.ID, aEnd)
+		ph.SFE.SetControlLink(sfeEnd)
+	}
+	if t.cfg.SharedHostCore && ph.Driver != nil {
+		ph.SFE.Join(ph.Driver)
+	}
+	ph.SFE.Start()
+	ph.SFE.RegisterObs(t.obs, ph.SFE.LoopName())
+	if d := ph.SFE.Driver(); d != nil {
+		t.regDriver(d, "core/"+d.Name())
+	}
+	return nil
+}
