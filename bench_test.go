@@ -219,8 +219,8 @@ func BenchmarkAblStorage(b *testing.B) {
 	})
 }
 
-// BenchmarkRacksweep measures the rack-scale sweep: a 208-host multi-pod
-// cluster (placement, hot-spot migration, live traffic on one engine)
+// BenchmarkRacksweep measures the rack-scale sweep: a 512-host multi-pod
+// cluster (placement, hot-spot migration, live traffic, serial execution)
 // plus the pooling model at 2048 hosts. Its ns/op is the headline
 // wall-clock number for simulator capacity at rack scale.
 func BenchmarkRacksweep(b *testing.B) {
@@ -230,3 +230,27 @@ func BenchmarkRacksweep(b *testing.B) {
 		"pod64_nic":  "NICstranded-pod64",
 	})
 }
+
+// benchRacksweepSim is the partitions=1 vs partitions=N comparison row:
+// the same 512-host rack simulation (no analytic tail), timed over its Run
+// phase only — construction is serial in both modes. The partitioned
+// variant runs each pod's event loop on its own goroutine inside
+// conservative lookahead windows; "run-s" is the metric to compare. Even
+// single-core, the split wins ~1.5× (smaller per-pod heaps, more Sleep
+// fast-path hits); multi-core hosts add parallel speedup on top.
+func benchRacksweepSim(b *testing.B, partitioned bool) {
+	for i := 0; i < b.N; i++ {
+		secs, parts, vals := experiments.RacksweepSimTimed(0.2, partitioned)
+		b.ReportMetric(secs, "run-s")
+		b.ReportMetric(float64(parts), "partitions")
+		b.ReportMetric(vals["hosts"], "hosts")
+		b.ReportMetric(vals["echoes"], "echoes")
+	}
+}
+
+// BenchmarkRacksweepSimPartitions1 is the serial baseline row.
+func BenchmarkRacksweepSimPartitions1(b *testing.B) { benchRacksweepSim(b, false) }
+
+// BenchmarkRacksweepSimPartitionsN runs the identical simulation split
+// into one partition per pod (plus the control partition).
+func BenchmarkRacksweepSimPartitionsN(b *testing.B) { benchRacksweepSim(b, true) }

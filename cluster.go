@@ -42,18 +42,78 @@ type Cluster struct {
 	Eng  *sim.Engine
 	pods []*Pod
 
+	// group is non-nil in partitioned mode (NewPartitionedCluster): each
+	// pod runs on its own partition engine and Eng is the control
+	// partition hosting cluster-level processes.
+	group *sim.Group
+
 	// MigrationCopyBudget bounds how long a migration waits for the source
 	// volume to quiesce and for the destination volume to register.
 	MigrationCopyBudget Duration
+
+	// HopLatency is the modeled control-plane RPC cost a cluster-level
+	// operation pays each time it moves between pods (placement probe,
+	// migration step). Charged identically in serial and partitioned mode
+	// — in the latter it doubles as the mobile-process lookahead — so the
+	// two modes produce byte-identical virtual timelines. Set it via
+	// SetHopLatency before spawning cluster processes.
+	HopLatency Duration
 
 	// Stats.
 	Placements int64
 	Migrations int64
 }
 
-// NewCluster creates an empty cluster on a fresh shared engine.
+// DefaultHopLatency models one cross-pod control RPC: a rack-local
+// round trip through the spine plus kernel/IPC overhead on both ends.
+const DefaultHopLatency = 20 * time.Microsecond
+
+// NewCluster creates an empty cluster on a fresh shared engine: every pod
+// shares one serial event loop.
 func NewCluster() *Cluster {
-	return &Cluster{Eng: sim.New(), MigrationCopyBudget: 500 * time.Millisecond}
+	return &Cluster{Eng: sim.New(), MigrationCopyBudget: 500 * time.Millisecond, HopLatency: DefaultHopLatency}
+}
+
+// NewPartitionedCluster creates an empty cluster in partitioned execution
+// mode: each AddPod gets its own sim partition, cluster-level processes
+// (Cluster.Go) run as mobile processes that hop between pods, and Run
+// advances all partitions in parallel under the group's conservative
+// windows. Simulation results are byte-identical to NewCluster provided
+// cross-pod work is written against the cluster API (Go/GoPod/Migrate*):
+// pods share no other channels, so the only cross-partition traffic is the
+// hop itself, which serial mode charges as an equal Sleep.
+func NewPartitionedCluster() *Cluster {
+	g := sim.NewGroup()
+	c := &Cluster{
+		Eng:                 g.AddPartition(),
+		group:               g,
+		MigrationCopyBudget: 500 * time.Millisecond,
+		HopLatency:          DefaultHopLatency,
+	}
+	g.SetMobileLatency(c.HopLatency)
+	return c
+}
+
+// Partitioned reports whether the cluster runs in partitioned mode.
+func (c *Cluster) Partitioned() bool { return c.group != nil }
+
+// Partitions returns the number of sim partitions backing the cluster
+// (1 + one per pod in partitioned mode, 1 in serial mode).
+func (c *Cluster) Partitions() int {
+	if c.group == nil {
+		return 1
+	}
+	return c.group.Partitions()
+}
+
+// SetHopLatency changes the modeled cross-pod control RPC cost. Call it
+// before spawning cluster processes; in partitioned mode the latency is
+// also the mobile-process lookahead, so it must respect the group's floor.
+func (c *Cluster) SetHopLatency(d Duration) {
+	c.HopLatency = d
+	if c.group != nil {
+		c.group.SetMobileLatency(d)
+	}
 }
 
 // AddPodErr appends a pod built from cfg; its index (and thereby its
@@ -63,7 +123,16 @@ func NewCluster() *Cluster {
 // immediately.
 func (c *Cluster) AddPodErr(cfg Config) (*Pod, error) {
 	idx := len(c.pods)
-	p := &Pod{Topology: newTopology(c.Eng, cfg, idx, false)}
+	eng := c.Eng
+	if c.group != nil {
+		// Partitioned mode: the pod is a partition of its own. Pods share
+		// no sim channels (cross-pod interaction is the migration layer's
+		// hop), so no CrossLink registration is needed here; wiring that
+		// ever spans pods must declare one (cxl.Pool.DeclareCrossLink,
+		// netsw.Switch.DeclareCrossUplink, core.NewCrossChannel).
+		eng = c.group.AddPartition()
+	}
+	p := &Pod{Topology: newTopology(eng, cfg, idx, false)}
 	c.pods = append(c.pods, p)
 	return p, nil
 }
@@ -95,17 +164,67 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Go spawns an application process on the shared engine.
-func (c *Cluster) Go(name string, fn func(p *Proc)) { c.Eng.Go(name, fn) }
+// Go spawns a cluster-level application process. In serial mode it runs on
+// the shared engine; in partitioned mode it becomes a mobile process homed
+// on the control partition, free to hop between pods (MigrateInstance and
+// friends hop on its behalf). Cross-pod drivers — anything that may call
+// the migration layer — must be spawned here, not with GoPod.
+func (c *Cluster) Go(name string, fn func(p *Proc)) {
+	if c.group != nil {
+		c.group.GoMobile(c.Eng, name, fn)
+		return
+	}
+	c.Eng.Go(name, fn)
+}
+
+// GoPod spawns an application process inside pod i's own execution domain:
+// its partition in partitioned mode, the shared engine in serial mode
+// (where the two are the same thing). Pod-local workloads spawned here are
+// what partitioned execution runs in parallel.
+func (c *Cluster) GoPod(i int, name string, fn func(p *Proc)) {
+	pod := c.Pod(i)
+	if pod == nil {
+		panic(fmt.Sprintf("oasis: GoPod: no such pod %d", i))
+	}
+	pod.Eng.Go(name, fn)
+}
 
 // Run executes d of virtual time across the whole cluster.
-func (c *Cluster) Run(d Duration) Duration { return c.Eng.RunUntil(d) }
+func (c *Cluster) Run(d Duration) Duration {
+	if c.group != nil {
+		return c.group.RunUntil(d)
+	}
+	return c.Eng.RunUntil(d)
+}
 
 // Shutdown unwinds all processes in every pod.
-func (c *Cluster) Shutdown() { c.Eng.Shutdown() }
+func (c *Cluster) Shutdown() {
+	if c.group != nil {
+		c.group.Shutdown()
+		return
+	}
+	c.Eng.Shutdown()
+}
 
-// Now returns the shared virtual clock.
-func (c *Cluster) Now() Duration { return c.Eng.Now() }
+// Now returns the cluster's virtual clock: the shared engine's clock in
+// serial mode, the committed (barrier) time in partitioned mode.
+func (c *Cluster) Now() Duration {
+	if c.group != nil {
+		return c.group.Now()
+	}
+	return c.Eng.Now()
+}
+
+// hop moves a cluster-level process's execution context to pod, charging
+// HopLatency of virtual time: a partition hop in partitioned mode, a plain
+// sleep in serial mode — identical timelines either way.
+func (c *Cluster) hop(p *Proc, pod *Pod) {
+	if c.group != nil {
+		c.group.Hop(p, pod.Eng)
+		return
+	}
+	p.Sleep(c.HopLatency)
+}
 
 // podLoad is the placement layer's load proxy for one pod: placed
 // instances per usable (non-backup) NIC. It needs no cross-pod telemetry
@@ -229,6 +348,14 @@ func (c *Cluster) PlaceInstance(ip netstack.IP) *Instance {
 //
 // On any failure the source instance is left intact with writes unfrozen
 // (the epoch bump is harmless) and ErrMigrationFailed is returned.
+//
+// The driver executes against one pod at a time, paying a HopLatency
+// control RPC to move between them: source for freeze/quiesce/copy-read,
+// destination for placement and copy-write, source again for the cutover
+// removal. In partitioned mode each hop re-homes the (mobile) process onto
+// that pod's partition, which is also what makes the pod-local state it
+// touches race-free; serial mode charges the identical virtual time as a
+// sleep. Call it only from processes spawned with Cluster.Go.
 func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, error) {
 	dstPod := c.Pod(dst)
 	if dstPod == nil {
@@ -244,6 +371,7 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	if inst.Port == nil {
 		return nil, fmt.Errorf("oasis: %w: baseline local instance %v cannot migrate", ErrNodeInUse, ip)
 	}
+	c.hop(p, srcPod)
 
 	var vol *storengine.Volume
 	if sfe := inst.host.SFE; sfe != nil {
@@ -274,26 +402,27 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 		}
 	}
 
-	dstHost := leastLoadedHost(dstPod)
-	if dstHost == nil {
-		if vol != nil {
-			vol.UnfreezeWrites()
-		}
-		return nil, fmt.Errorf("oasis: %w: pod%d has no live hosts", ErrMigrationFailed, dst)
-	}
-	newInst, err := dstPod.AddInstanceErr(dstHost, ip)
-	if err != nil {
-		if vol != nil {
-			vol.UnfreezeWrites()
-		}
-		return nil, fmt.Errorf("oasis: %w: %v", ErrMigrationFailed, err)
-	}
-	abort := func(reason error) (*Instance, error) {
-		_ = dstPod.RemoveInstanceErr(newInst)
+	c.hop(p, dstPod)
+	// unwind returns to the source pod's domain before unfreezing: the
+	// volume is source-pod state and must only be touched from there.
+	unwind := func(reason error) (*Instance, error) {
+		c.hop(p, srcPod)
 		if vol != nil {
 			vol.UnfreezeWrites()
 		}
 		return nil, fmt.Errorf("oasis: %w: %v", ErrMigrationFailed, reason)
+	}
+	dstHost := leastLoadedHost(dstPod)
+	if dstHost == nil {
+		return unwind(fmt.Errorf("pod%d has no live hosts", dst))
+	}
+	newInst, err := dstPod.AddInstanceErr(dstHost, ip)
+	if err != nil {
+		return unwind(err)
+	}
+	abort := func(reason error) (*Instance, error) {
+		_ = dstPod.RemoveInstanceErr(newInst)
+		return unwind(reason)
 	}
 	if dstPod.Started() && dstPod.Alloc != nil {
 		newInst.RequestAllocation()
@@ -328,7 +457,9 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 			}
 		}
 	}
+	c.hop(p, srcPod)
 	if err := srcPod.RemoveInstanceErr(inst); err != nil {
+		c.hop(p, dstPod)
 		return abort(err)
 	}
 	c.Migrations++

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"oasis/internal/sim"
+)
+
+// runCrossPingPong wires a LinkSet on each of two partitions through a
+// CrossEnd duplex channel and runs a request/response exchange, returning
+// a rendered transcript plus the responder-side latency histogram count.
+func runCrossPingPong(t *testing.T) (string, int64) {
+	t.Helper()
+	g := sim.NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	const lat = 700 * time.Nanosecond
+	aEnd, bEnd := NewCrossChannel(g, a, b, lat)
+
+	aLinks, bLinks := NewLinkSet(DefaultPendingLimit), NewLinkSet(DefaultPendingLimit)
+	aLinks.Add(1, aEnd)
+	bLinks.Add(1, bEnd)
+
+	var out []string
+	a.Go("requester", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Sleep(time.Duration(200+i*110) * time.Nanosecond)
+			msg := []byte(fmt.Sprintf("req-%d", i))
+			if !aLinks.Get(1).Send(p, msg) {
+				t.Error("cross send reported full")
+				return
+			}
+			out = append(out, fmt.Sprintf("%8d a sent req-%d", p.Now(), i))
+		}
+	})
+	a.Go("reply-poller", func(p *sim.Proc) {
+		for n := 0; n < 8; {
+			aLinks.PollEach(p, 4, func(p *sim.Proc, l *Link, payload []byte) {
+				out = append(out, fmt.Sprintf("%8d a got %s", p.Now(), payload))
+				n++
+			})
+			p.Sleep(300 * time.Nanosecond)
+		}
+	})
+	b.Go("responder", func(p *sim.Proc) {
+		for n := 0; n < 8; {
+			bLinks.PollEach(p, 4, func(p *sim.Proc, l *Link, payload []byte) {
+				bLinks.Get(1).Send(p, append([]byte("ack-"), payload...))
+				n++
+			})
+			p.Sleep(250 * time.Nanosecond)
+		}
+	})
+	g.RunUntil(60 * time.Microsecond)
+	g.Shutdown()
+
+	hist := bEnd.InLatency()
+	if hist == nil {
+		t.Fatal("CrossEnd.InLatency returned nil")
+	}
+	return fmt.Sprint(out), hist.Count()
+}
+
+// A cross-partition channel must deliver every message, in FIFO order, no
+// earlier than the declared latency, and byte-identically across reruns.
+func TestCrossChannelPingPong(t *testing.T) {
+	first, n := runCrossPingPong(t)
+	if n != 8 {
+		t.Fatalf("responder drained %d messages, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("a got ack-req-%d", i)
+		if !strings.Contains(first, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, first)
+		}
+	}
+	second, _ := runCrossPingPong(t)
+	if first != second {
+		t.Fatalf("cross-channel exchange not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// The latency histogram must never record a delivery faster than the
+// channel's declared one-way latency — that would mean an event jumped a
+// window boundary.
+func TestCrossChannelLatencyFloor(t *testing.T) {
+	g := sim.NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	const lat = 1 * time.Microsecond
+	aEnd, bEnd := NewCrossChannel(g, a, b, lat)
+	const n = 5
+	a.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			aEnd.Send(p, []byte{byte(i)})
+			p.Sleep(777 * time.Nanosecond)
+		}
+	})
+	got := 0
+	b.Go("receiver", func(p *sim.Proc) {
+		for got < n {
+			if _, ok := bEnd.Poll(p); ok {
+				got++
+				continue
+			}
+			p.Sleep(100 * time.Nanosecond)
+		}
+	})
+	g.RunUntil(50 * time.Microsecond)
+	g.Shutdown()
+	if got != n {
+		t.Fatalf("received %d/%d messages", got, n)
+	}
+	h := bEnd.InLatency()
+	if h.Count() != n {
+		t.Fatalf("histogram has %d samples, want %d", h.Count(), n)
+	}
+	if min := h.Min(); min < lat {
+		t.Fatalf("fastest delivery %v beats the declared latency %v", min, lat)
+	}
+}

@@ -1,0 +1,18 @@
+package cxl
+
+import "oasis/internal/sim"
+
+// DeclareCrossLink registers a cross-partition event channel from the
+// pool's partition toward dst, declaring the pool's intrinsic minimum
+// event latency as lookahead: no CXL-mediated interaction — a line load,
+// a posted write landing, a message-channel doorbell — can reach another
+// host faster than the cheaper of the pool's load and write latencies.
+// Wiring code calls this when a channel it builds over the pool spans
+// partitions; the returned link carries the events.
+func (p *Pool) DeclareCrossLink(g *sim.Group, dst *sim.Engine) *sim.CrossLink {
+	min := p.params.LoadLatency
+	if p.params.WriteLatency < min {
+		min = p.params.WriteLatency
+	}
+	return g.Link(p.eng, dst, min)
+}

@@ -1,0 +1,38 @@
+package cxl
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/sim"
+)
+
+// The pool must declare the cheaper of its load and write latencies as
+// lookahead — any larger claim would let a posted write outrun the window.
+func TestDeclareCrossLinkLatency(t *testing.T) {
+	g := sim.NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	pool := NewPool(a, 1<<20, DefaultParams())
+	link := pool.DeclareCrossLink(g, b)
+	want := DefaultParams().WriteLatency
+	if DefaultParams().LoadLatency < want {
+		want = DefaultParams().LoadLatency
+	}
+	if link.MinLatency() != want {
+		t.Fatalf("declared lookahead %v, want min(load, write) = %v", link.MinLatency(), want)
+	}
+	if link.Src() != a || link.Dst() != b {
+		t.Fatal("link endpoints do not match the pool's partition and its peer")
+	}
+	// The declared latency must actually carry events across the partition.
+	var at sim.Duration
+	a.Go("poker", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond)
+		link.Send(p.Now()+link.MinLatency(), func() { at = b.Now() })
+	})
+	g.RunUntil(10 * time.Microsecond)
+	g.Shutdown()
+	if at != time.Microsecond+want {
+		t.Fatalf("cross event fired at %v, want %v", at, time.Microsecond+want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"oasis"
 	"oasis/internal/faults"
+	"oasis/internal/sim"
 	"oasis/internal/ssd"
 )
 
@@ -39,7 +40,20 @@ import (
 func Chaos(scale float64) *Report {
 	_ = clampScale(scale) // validated for interface symmetry; timeline is fixed
 	r := newReport("chaos", "chaos campaign: all fault kinds + recovery invariants (2.6 s run)")
+	return chaosRun(r, false)
+}
 
+// ChaosPartitioned runs the identical campaign with the pod mounted on a
+// one-partition sim.Group — the degenerate partitioned-execution
+// configuration, which must reduce to the serial loop byte for byte. Its
+// report body (Lines and Values) must equal Chaos's exactly.
+func ChaosPartitioned(scale float64) *Report {
+	_ = clampScale(scale)
+	r := newReport("chaos-par", "chaos campaign on a one-partition group (must match chaos byte-for-byte)")
+	return chaosRun(r, true)
+}
+
+func chaosRun(r *Report, partitioned bool) *Report {
 	const (
 		span        = 2600 * time.Millisecond
 		writerStop  = span - 200*time.Millisecond
@@ -65,7 +79,14 @@ func Chaos(scale float64) *Report {
 	cfg.Storage.TelemetryEvery = 40 * time.Millisecond
 	cfg.Engine.TelemetryEvery = 40 * time.Millisecond
 	cfg.RaftReplicas = 3
-	pod := oasis.NewPod(cfg)
+	var group *sim.Group
+	var pod *oasis.Pod
+	if partitioned {
+		group = sim.NewGroup()
+		pod = oasis.NewPodOnEngine(group.AddPartition(), cfg)
+	} else {
+		pod = oasis.NewPod(cfg)
+	}
 	host0 := pod.AddHost() // allocator + raft replica 0
 	host1 := pod.AddHost() // nic1 + raft replica 1
 	host2 := pod.AddHost() // nic2 + ssd1 backend + raft replica 2
@@ -227,8 +248,13 @@ func Chaos(scale float64) *Report {
 		}
 	})
 
-	pod.Run(span + time.Second)
-	pod.Shutdown()
+	if partitioned {
+		group.RunUntil(span + time.Second)
+		group.Shutdown()
+	} else {
+		pod.Run(span + time.Second)
+		pod.Shutdown()
+	}
 
 	// Cluster probe losses into outage windows.
 	type window struct{ start, end oasis.Duration }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -91,4 +92,49 @@ func TestRacksweepDeterministicAcrossParallelism(t *testing.T) {
 	if a.Values["pod64_nic"] >= a.Values["pod8_nic"] {
 		t.Fatal("analytic sweep: stranding should fall as the pooling domain grows")
 	}
+}
+
+// reportBody renders the mode-independent part of a report — the lines and
+// the sorted values, but not the ID/Title header, which legitimately
+// differs between the serial and partitioned registry entries.
+func reportBody(r *Report) string {
+	var b bytes.Buffer
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, k := range sortedKeys(r.Values) {
+		fmt.Fprintf(&b, "%s=%v\n", k, r.Values[k])
+	}
+	return b.String()
+}
+
+// TestIntraRunPartitionedMatchesSerial is the acceptance gate for
+// partitioned execution: the same experiment run serially (all pods on one
+// engine, one goroutine) and partitioned (one sim partition per pod,
+// advancing in parallel under conservative windows) must produce
+// byte-identical report bodies. verify.sh re-runs this test at
+// GOMAXPROCS=1, 2, and 8 — the schedule of OS threads must not leak into
+// the virtual timeline.
+func TestIntraRunPartitionedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		// The race gate covers the partitioned goroutines via
+		// internal/sim's and the cluster's own race-mode tests; the full
+		// double runs here are too slow under the detector.
+		t.Skip("skipping intra-run byte-identity sweep in -short mode")
+	}
+	t.Run("racksweep", func(t *testing.T) {
+		serial := reportBody(Racksweep(0.05))
+		part := reportBody(RacksweepPartitioned(0.05))
+		if serial != part {
+			t.Fatalf("racksweep diverges between serial and partitioned execution:\n--- serial ---\n%s--- partitioned ---\n%s", serial, part)
+		}
+	})
+	t.Run("chaos", func(t *testing.T) {
+		serial := reportBody(Chaos(1.0))
+		part := reportBody(ChaosPartitioned(1.0))
+		if serial != part {
+			t.Fatalf("chaos diverges between serial and one-partition group execution:\n--- serial ---\n%s--- partitioned ---\n%s", serial, part)
+		}
+	})
 }

@@ -77,7 +77,9 @@ func Registry() []struct {
 		{"abl-qos", AblQoS},
 		{"abl-storage", AblStorage},
 		{"chaos", Chaos},
+		{"chaos-par", ChaosPartitioned},
 		{"racksweep", Racksweep},
+		{"racksweep-par", RacksweepPartitioned},
 	}
 }
 

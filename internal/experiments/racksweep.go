@@ -8,41 +8,70 @@ import (
 	"oasis/internal/strand"
 )
 
-// Racksweep extends Table 2 / Figure 2 from a single pod to a rack: a
-// real multi-pod Cluster simulation of 200+ hosts (placement, hot-spot
-// migration, live traffic — every pod on one virtual clock), paired with
-// the analytic stranding model pushed to thousands of hosts.
-//
-// Part 1 (simulated): 8 pods x 26 hosts share one engine. Instances are
-// routed by the cluster's least-loaded placement, a deliberate hot-spot
-// is then piled onto pod 0, and the rebalancer migrates instances off it
-// (epoch-fenced, §3.5 lifted to rack scope) until the rack is even. One
-// echo flow per pod runs throughout, pinning down that a 208-host cluster
-// stays deterministic under concurrent traffic and migration.
-//
-// Part 2 (analytic): the §2.2 pooling model at 1000s of hosts, pod sizes
-// 8-64, trials fanned out over internal/par. Per-worker results reduce in
-// trial order, so the report is byte-identical at any -parallel setting.
-func Racksweep(scale float64) *Report {
-	scale = clampScale(scale)
-	r := newReport("racksweep", "Rack-scale utilization sweep (multi-pod cluster + pooling model)")
+// rackSimResult is the outcome of the simulated rack sweep (Part 1),
+// shared verbatim by the serial and partitioned runners so the two modes'
+// reports can be compared byte for byte.
+type rackSimResult struct {
+	lines  []string
+	values map[string]float64
+	// partitions is the execution shape (1 serial; control + one per pod
+	// when partitioned). Kept out of values so the report bodies of the two
+	// modes stay byte-identical.
+	partitions int
+}
 
+// racksweepPhaseHook, when non-nil, is called at racksweepSim phase
+// boundaries ("build", "start", "place+spawn", "run", "shutdown"). The
+// speedup benchmark uses it to time the Run phase alone — construction is
+// serial in both modes and would dilute the comparison.
+var racksweepPhaseHook func(string)
+
+// racksweepSim runs the simulated rack: 8 pods x 64 hosts (512 hosts) on
+// one virtual clock. Instances are routed by the cluster's least-loaded
+// placement, a deliberate hot-spot is piled onto pod 0, and the rebalancer
+// migrates instances off it (epoch-fenced, §3.5 lifted to rack scope)
+// while three echo flows per pod run throughout. The run is fixed-length:
+// every process either finishes before the deadline or is unwound by the
+// post-run Shutdown, so the virtual timeline — and with it every counter —
+// is identical whether the pods execute serially on a shared engine or in
+// parallel as partitions of a sim.Group.
+func racksweepSim(scale float64, partitioned bool) rackSimResult {
+	mark := func(s string) {
+		if racksweepPhaseHook != nil {
+			racksweepPhaseHook(s)
+		}
+	}
 	const (
 		pods        = 8
-		hostsPerPod = 26 // 208 hosts total
+		hostsPerPod = 64 // 512 hosts total
 		nicsPerPod  = 3
 		instPerPod  = 6
+		flowsPerPod = 3
 		hotspot     = 6 // extra instances piled onto pod 0
 	)
 	window := oasis.Duration(float64(20*time.Millisecond) * scale)
 	if window < 2*time.Millisecond {
 		window = 2 * time.Millisecond
 	}
+	// Client warmup (2 ms) + measurement window + the last RecvTimeout tail
+	// (5 ms) + margin. Nobody shuts the cluster down mid-run: a variable-
+	// time Shutdown from inside one partition would not be a single global
+	// instant in partitioned mode.
+	deadline := window + 8*time.Millisecond
 
-	c := oasis.NewCluster()
-	clients := make([]*oasis.Client, pods)
+	var c *oasis.Cluster
+	if partitioned {
+		c = oasis.NewPartitionedCluster()
+	} else {
+		c = oasis.NewCluster()
+	}
+	clients := make([]*oasis.Client, pods*flowsPerPod)
 	for i := 0; i < pods; i++ {
 		cfg := oasis.DefaultConfig()
+		// No volumes are placed in this sweep, so the default 1 GiB pool per
+		// pod is pure allocation churn at 8 pods; 256 MiB covers the NIC
+		// queues and instance state with room to spare.
+		cfg.PoolBytes = 256 << 20
 		p := c.AddPod(cfg)
 		for h := 0; h < hostsPerPod; h++ {
 			p.AddHost()
@@ -52,9 +81,13 @@ func Racksweep(scale float64) *Report {
 			p.AddNIC(p.Hosts[hostsPerPod-1-n], false)
 		}
 		p.AddSSD(p.Hosts[hostsPerPod-1], 1<<16)
-		clients[i] = p.AddClient(oasis.IP(10, byte(i), 99, 1))
+		for f := 0; f < flowsPerPod; f++ {
+			clients[i*flowsPerPod+f] = p.AddClient(oasis.IP(10, byte(i), 99, byte(1+f)))
+		}
 	}
+	mark("build")
 	c.Start()
+	mark("start")
 
 	// Balanced placement through the cluster router (post-Start: exercises
 	// the incremental wiring path at rack scale).
@@ -77,48 +110,60 @@ func Racksweep(scale float64) *Report {
 	}
 	skewed := perPod()
 
-	// One echo flow per pod, running across the rebalance.
-	echoes := make([]int, pods)
+	// Echo flows per pod, running across the rebalance. These are pod-local
+	// (client i talks to an instance in its own pod), so they spawn with
+	// GoPod — the workload partitioned execution runs in parallel. The
+	// rebalancer only ever migrates a pod's newest placement, so the flow
+	// instances (the oldest) never move mid-flow.
+	echoes := make([]int, pods*flowsPerPod)
 	for i := 0; i < pods; i++ {
-		i := i
 		pod := c.Pod(i)
-		inst := pod.InstanceAt(0)
-		inst.RequestAllocation()
-		c.Go(fmt.Sprintf("rack-echo%d", i), func(p *oasis.Proc) {
-			if !inst.WaitReady(p, 50*time.Millisecond) {
-				return
-			}
-			conn, err := inst.Stack.ListenUDP(7)
-			if err != nil {
-				return
-			}
-			for {
-				dg := conn.Recv(p)
-				if conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data) != nil {
+		for f := 0; f < flowsPerPod; f++ {
+			i, f := i, f
+			inst := pod.InstanceAt(f)
+			inst.RequestAllocation()
+			client := clients[i*flowsPerPod+f]
+			c.GoPod(i, fmt.Sprintf("rack-echo%d-%d", i, f), func(p *oasis.Proc) {
+				if !inst.WaitReady(p, 50*time.Millisecond) {
 					return
 				}
-			}
-		})
-		c.Go(fmt.Sprintf("rack-client%d", i), func(p *oasis.Proc) {
-			conn, err := clients[i].Stack.ListenUDP(0)
-			if err != nil {
-				return
-			}
-			buf := make([]byte, 64)
-			p.Sleep(2 * time.Millisecond)
-			start := p.Now()
-			for p.Now()-start < window {
-				if conn.SendTo(p, inst.IPAddr(), 7, buf) != nil {
-					continue
+				conn, err := inst.Stack.ListenUDP(7)
+				if err != nil {
+					return
 				}
-				if _, ok := conn.RecvTimeout(p, 5*time.Millisecond); ok {
-					echoes[i]++
+				for {
+					dg := conn.Recv(p)
+					if conn.SendTo(p, dg.Src, dg.SrcPort, dg.Data) != nil {
+						return
+					}
 				}
-				p.Sleep(20 * time.Microsecond)
-			}
-		})
+			})
+			c.GoPod(i, fmt.Sprintf("rack-client%d-%d", i, f), func(p *oasis.Proc) {
+				conn, err := client.Stack.ListenUDP(0)
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 64)
+				p.Sleep(2 * time.Millisecond)
+				start := p.Now()
+				for p.Now()-start < window {
+					if conn.SendTo(p, inst.IPAddr(), 7, buf) != nil {
+						continue
+					}
+					if _, ok := conn.RecvTimeout(p, 5*time.Millisecond); ok {
+						echoes[i*flowsPerPod+f]++
+					}
+					p.Sleep(20 * time.Microsecond)
+				}
+			})
+		}
 	}
 
+	// The rebalancer is the only cross-pod actor: spawned with Cluster.Go,
+	// it becomes a mobile process in partitioned mode, hopping between pods
+	// for each migration step. It returns when the rack is even; from then
+	// on no cross-pod coupling remains and the conservative windows open to
+	// the full deadline.
 	migrations := 0
 	var final []int
 	c.Go("rack-balancer", func(p *oasis.Proc) {
@@ -131,10 +176,12 @@ func Racksweep(scale float64) *Report {
 			migrations++
 		}
 		final = perPod()
-		p.Sleep(window + 3*time.Millisecond)
-		c.Shutdown()
 	})
-	c.Run(time.Minute)
+	mark("place+spawn")
+	c.Run(deadline)
+	mark("run")
+	c.Shutdown()
+	mark("shutdown")
 
 	spread := func(v []int) int {
 		min, max := v[0], v[0]
@@ -152,20 +199,36 @@ func Racksweep(scale float64) *Report {
 	for _, n := range echoes {
 		totalEchoes += n
 	}
-	r.addf("rack: %d pods x %d hosts = %d hosts, %d NICs + 1 SSD per pod, one engine",
+	res := rackSimResult{values: map[string]float64{}, partitions: c.Partitions()}
+	addf := func(format string, args ...any) {
+		res.lines = append(res.lines, fmt.Sprintf(format, args...))
+	}
+	addf("rack: %d pods x %d hosts = %d hosts, %d NICs + 1 SSD per pod, one virtual clock",
 		pods, hostsPerPod, pods*hostsPerPod, nicsPerPod)
-	r.addf("placement: %d instances routed least-loaded -> per-pod %v (spread %d)",
+	addf("placement: %d instances routed least-loaded -> per-pod %v (spread %d)",
 		pods*instPerPod, balanced, spread(balanced))
-	r.addf("hot-spot:  +%d on pod0 -> %v (spread %d)", hotspot, skewed, spread(skewed))
-	r.addf("rebalance: %d cross-pod migrations -> %v (spread %d)", migrations, final, spread(final))
-	r.addf("traffic:   %d echo flows alive throughout, %d echoes total", pods, totalEchoes)
-	r.Values["hosts"] = float64(pods * hostsPerPod)
-	r.Values["pods"] = float64(pods)
-	r.Values["spread_balanced"] = float64(spread(balanced))
-	r.Values["spread_skewed"] = float64(spread(skewed))
-	r.Values["spread_final"] = float64(spread(final))
-	r.Values["migrations"] = float64(migrations)
-	r.Values["echoes"] = float64(totalEchoes)
+	addf("hot-spot:  +%d on pod0 -> %v (spread %d)", hotspot, skewed, spread(skewed))
+	addf("rebalance: %d cross-pod migrations -> %v (spread %d)", migrations, final, spread(final))
+	addf("traffic:   %d echo flows alive throughout, %d echoes total", pods*flowsPerPod, totalEchoes)
+	res.values["hosts"] = float64(pods * hostsPerPod)
+	res.values["pods"] = float64(pods)
+	res.values["spread_balanced"] = float64(spread(balanced))
+	res.values["spread_skewed"] = float64(spread(skewed))
+	res.values["spread_final"] = float64(spread(final))
+	res.values["migrations"] = float64(migrations)
+	res.values["echoes"] = float64(totalEchoes)
+	return res
+}
+
+// renderRacksweep assembles the full report from a Part-1 sim result plus
+// the Part-2 analytic model.
+func renderRacksweep(r *Report, sim rackSimResult, scale float64) *Report {
+	for _, l := range sim.lines {
+		r.addf("%s", l)
+	}
+	for k, v := range sim.values {
+		r.Values[k] = v
+	}
 
 	// --- Part 2: the pooling model at 1000s of hosts. ---
 	sc := strand.DefaultConfig()
@@ -188,4 +251,52 @@ func Racksweep(scale float64) *Report {
 	r.addf("paper: stranding keeps falling as the pooling domain grows; composing pods")
 	r.addf("       extends §2.2's single-pod gains to the whole rack")
 	return r
+}
+
+// Racksweep extends Table 2 / Figure 2 from a single pod to a rack: a
+// real multi-pod Cluster simulation of 512 hosts (placement, hot-spot
+// migration, live traffic — every pod on one virtual clock, executed
+// serially), paired with the analytic stranding model pushed to thousands
+// of hosts.
+//
+// Part 2 (analytic): the §2.2 pooling model at 1000s of hosts, pod sizes
+// 8-64, trials fanned out over internal/par. Per-worker results reduce in
+// trial order, so the report is byte-identical at any -parallel setting.
+func Racksweep(scale float64) *Report {
+	scale = clampScale(scale)
+	r := newReport("racksweep", "Rack-scale utilization sweep (multi-pod cluster + pooling model)")
+	return renderRacksweep(r, racksweepSim(scale, false), scale)
+}
+
+// RacksweepSimTimed runs just the simulated rack (no analytic Part 2) and
+// returns the wall-clock seconds spent inside the Run phase — the part
+// partitioned execution parallelizes; construction and wiring are serial
+// in either mode — plus the partition count and the report values. This is
+// the surface behind the make-bench partitions=1 vs partitions=N
+// comparison row. Wall-clock gain from the partitioned mode scales with
+// available cores; even on one core the per-pod heap split wins ~1.5×
+// (see DESIGN.md §8, partitioned execution).
+func RacksweepSimTimed(scale float64, partitioned bool) (runSeconds float64, partitions int, values map[string]float64) {
+	var t0 time.Time
+	racksweepPhaseHook = func(s string) {
+		switch s {
+		case "place+spawn":
+			t0 = time.Now()
+		case "run":
+			runSeconds = time.Since(t0).Seconds()
+		}
+	}
+	defer func() { racksweepPhaseHook = nil }()
+	res := racksweepSim(clampScale(scale), partitioned)
+	return runSeconds, res.partitions, res.values
+}
+
+// RacksweepPartitioned is Racksweep with the rack in partitioned execution
+// mode: each pod on its own sim partition, advancing in parallel under
+// conservative windows. The simulated results are byte-identical to the
+// serial runner at any GOMAXPROCS — only wall-clock time changes.
+func RacksweepPartitioned(scale float64) *Report {
+	scale = clampScale(scale)
+	r := newReport("racksweep-par", "Rack-scale utilization sweep (partitioned: one sim partition per pod)")
+	return renderRacksweep(r, racksweepSim(scale, true), scale)
 }

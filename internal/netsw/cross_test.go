@@ -1,0 +1,32 @@
+package netsw
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/sim"
+)
+
+// The switch must declare store-and-forward processing plus one cable hop
+// as lookahead — the floor under every frame it could push to a peer
+// partition.
+func TestDeclareCrossUplinkLatency(t *testing.T) {
+	g := sim.NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	sw := New(a, DefaultParams())
+	link := sw.DeclareCrossUplink(g, b)
+	want := DefaultParams().ProcessingDelay + DefaultParams().PropagationDelay
+	if link.MinLatency() != want {
+		t.Fatalf("declared lookahead %v, want processing+propagation = %v", link.MinLatency(), want)
+	}
+	var at sim.Duration
+	a.Go("framer", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond)
+		link.Send(p.Now()+link.MinLatency(), func() { at = b.Now() })
+	})
+	g.RunUntil(10 * time.Microsecond)
+	g.Shutdown()
+	if at != time.Microsecond+want {
+		t.Fatalf("cross frame event fired at %v, want %v", at, time.Microsecond+want)
+	}
+}

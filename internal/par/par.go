@@ -9,14 +9,28 @@
 package par
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// jobPanic carries a worker panic back to the Do caller with the job index
+// attached, so the re-panic names the failing job instead of a goroutine.
+type jobPanic struct {
+	i int
+	v any
+}
 
 // Do runs fn(0..n-1) on up to workers goroutines and returns when all
 // jobs have finished. workers <= 1 (or n <= 1) runs serially on the
 // calling goroutine. Jobs are handed out in index order, but may complete
 // in any order; fn must not assume otherwise.
+//
+// A panicking job does not crash its worker goroutine (which would take
+// the process down with an unrecoverable trace): remaining jobs still run,
+// and after they finish Do re-panics on the calling goroutine with the
+// lowest panicking job index — the same panic a serial run would surface
+// first, so failure reporting is worker-count independent too.
 func Do(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -29,6 +43,8 @@ func Do(workers, n int, fn func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first *jobPanic
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -38,9 +54,39 @@ func Do(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if first == nil || i < first.i {
+								first = &jobPanic{i: i, v: r}
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if first != nil {
+		panic(fmt.Sprintf("par: job %d panicked: %v", first.i, first.v))
+	}
+}
+
+// DoErr is Do for fallible jobs: it runs fn(0..n-1) and returns the error
+// from the lowest-indexed failing job (the one a serial loop would have
+// hit first), or nil if every job succeeded. All jobs run regardless of
+// failures — results land at caller-owned indices either way — so the
+// chosen error does not depend on worker scheduling.
+func DoErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	Do(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

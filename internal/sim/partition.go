@@ -1,0 +1,506 @@
+// Partitioned execution: conservative-lookahead parallel discrete-event
+// simulation (PDES) inside one run.
+//
+// A Group splits a simulation into N partitions — each an ordinary Engine
+// with its own clock, heap, and token-passing loop — and advances them in
+// conservative time windows on separate goroutines. The window width is
+// derived from the minimum latency any cross-partition interaction can
+// have: if every event one partition can send another arrives at least L
+// in the future, then all partitions can safely execute a window of L in
+// parallel without ever receiving an event in their committed past. That
+// minimum is declared up front:
+//
+//   - CrossLink{MinLatency}: a registered cross-partition event channel
+//     (core.LinkSet, cxl, and netsw declare one when a channel spans
+//     partitions). Sends are timestamp-fenced (at >= sender now + min) and
+//     land in the destination's bounded inbox; a barrier between windows
+//     merges inboxes in (timestamp, source partition, source sequence)
+//     order, so delivery — and with it every simulation result — is
+//     byte-identical regardless of GOMAXPROCS or worker interleaving.
+//
+//   - Mobile processes: a process registered with GoMobile may Hop between
+//     partitions, modeling a control-plane RPC with the group's mobile
+//     latency. While any mobile process could act (it is runnable or
+//     parked on a signal), windows shrink to the mobile latency; while all
+//     mobile processes are parked on pure timers, windows extend to their
+//     next wake + latency; with none left, windows open to the deadline.
+//
+// Zero-lookahead couplings (shared-core hosts, intra-pod links) are not
+// expressible as CrossLinks — the affected processes must share one
+// partition. A degenerate one-partition group delegates RunUntil straight
+// to the engine, reducing byte-for-byte to the serial loop.
+package sim
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// simCheck enables the scheduling-in-the-past invariant guard
+// (OASIS_SIMCHECK=1): any event scheduled before its partition's committed
+// window start indicates a lookahead bug and panics immediately instead of
+// silently clamping. Tests may toggle it directly.
+var simCheck = os.Getenv("OASIS_SIMCHECK") == "1"
+
+// minCrossLatency is the physical floor for declared cross-partition
+// latencies. Anything smaller makes windows degenerate (and 0 would
+// livelock the barrier loop); real cross-partition media — CXL port hops,
+// NIC wire latency, cross-pod RPCs — are all far above it.
+const minCrossLatency Duration = 100
+
+// DefaultInboxBound caps each partition's cross-event inbox per window.
+// Overflow panics: a partition flooding another faster than the barrier
+// drains is a model bug (unbounded hidden queueing), not backpressure.
+const DefaultInboxBound = 1 << 14
+
+// extEvent is a cross-partition event awaiting barrier delivery: a
+// callback or timer sent through a CrossLink, or a mobile process transfer
+// (proc != nil). (at, srcPid, srcSeq) is its canonical merge key.
+type extEvent struct {
+	at     Duration
+	srcPid int
+	srcSeq uint64
+	fn     func()
+	tm     Timer
+	proc   *Proc
+	srcEng *Engine // transfer bookkeeping (nprocs accounting, unwinding)
+	dst    *Engine // transfer destination
+}
+
+// inbox is one partition's bounded cross-event queue. Senders append under
+// the lock while the destination window runs; only the barrier drains it.
+type inbox struct {
+	mu  sync.Mutex
+	evs []extEvent
+}
+
+// Group coordinates partitioned execution. Build one with NewGroup, add
+// partitions, register cross-partition couplings (Link, SetMobileLatency),
+// then drive the whole simulation with RunUntil. Methods on Group must be
+// called from the coordinating goroutine (the one calling RunUntil) unless
+// documented otherwise.
+type Group struct {
+	parts     []*Engine
+	now       Duration // committed global time (last barrier)
+	lookahead Duration // min over registered CrossLinks; MaxTime if none
+	mobileLat Duration // hop latency for mobile processes; 0 = none set
+	inboxCap  int
+
+	mu        sync.Mutex // guards transfers + mobile during windows
+	transfers []extEvent
+	mobile    map[*Proc]bool
+
+	running bool
+}
+
+// NewGroup returns an empty group with no partitions.
+func NewGroup() *Group {
+	return &Group{lookahead: MaxTime, inboxCap: DefaultInboxBound, mobile: make(map[*Proc]bool)}
+}
+
+// AddPartition creates a new partition engine. Partitions added after the
+// group has advanced start at the committed global time, matching the
+// clamp-to-now semantics a late-built component sees on a shared engine.
+func (g *Group) AddPartition() *Engine {
+	e := New()
+	e.group = g
+	e.pid = len(g.parts)
+	e.now = g.now
+	g.parts = append(g.parts, e)
+	return e
+}
+
+// Partition returns partition i, or nil when out of range.
+func (g *Group) Partition(i int) *Engine {
+	if i < 0 || i >= len(g.parts) {
+		return nil
+	}
+	return g.parts[i]
+}
+
+// Partitions returns the number of partitions.
+func (g *Group) Partitions() int { return len(g.parts) }
+
+// Now returns the committed global time: every partition has executed all
+// events up to and including it.
+func (g *Group) Now() Duration { return g.now }
+
+// Procs returns the number of live processes across all partitions.
+func (g *Group) Procs() int {
+	n := 0
+	for _, e := range g.parts {
+		n += e.nprocs
+	}
+	return n
+}
+
+// SetInboxBound overrides the per-partition cross-event inbox cap.
+func (g *Group) SetInboxBound(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.inboxCap = n
+}
+
+// SetMobileLatency declares the virtual latency of a mobile-process Hop —
+// the control-plane RPC cost of moving execution between partitions. It is
+// a lookahead source, so it must be at least the 100 ns physical floor.
+func (g *Group) SetMobileLatency(d Duration) {
+	if d < minCrossLatency {
+		panic(fmt.Sprintf("sim: mobile latency %v below the %v lookahead floor", d, minCrossLatency))
+	}
+	g.mobileLat = d
+}
+
+// MobileLatency returns the declared hop latency (0 if unset).
+func (g *Group) MobileLatency() Duration { return g.mobileLat }
+
+// CrossLink is a declared cross-partition event channel. Every event sent
+// through it must carry a timestamp at least MinLatency after the sender's
+// clock — the conservative lookahead that lets partitions run a window of
+// MinLatency in parallel. core.LinkSet, cxl, and netsw declare one
+// whenever a channel they wire spans partitions.
+type CrossLink struct {
+	g        *Group
+	src, dst *Engine
+	min      Duration
+}
+
+// Link registers a cross-partition channel from src to dst with the given
+// minimum event latency and returns it. The group's window shrinks to the
+// smallest registered latency. src == dst is allowed (the link degenerates
+// to local scheduling), letting callers wire uniformly and only pay for
+// spans that exist.
+func (g *Group) Link(src, dst *Engine, min Duration) *CrossLink {
+	if src.group != g || dst.group != g {
+		panic("sim: CrossLink endpoints must be partitions of this group")
+	}
+	if min < minCrossLatency {
+		panic(fmt.Sprintf("sim: cross-partition latency %v below the %v lookahead floor (zero-lookahead edges must share a partition)", min, minCrossLatency))
+	}
+	if src != dst && min < g.lookahead {
+		g.lookahead = min
+	}
+	return &CrossLink{g: g, src: src, dst: dst, min: min}
+}
+
+// MinLatency returns the link's declared minimum event latency.
+func (x *CrossLink) MinLatency() Duration { return x.min }
+
+// Src and Dst return the link's endpoints.
+func (x *CrossLink) Src() *Engine { return x.src }
+func (x *CrossLink) Dst() *Engine { return x.dst }
+
+// Send schedules fn on the destination partition at absolute time at. It
+// must be called from the source partition's execution context (a process
+// or callback running there). The timestamp fence — at >= sender now +
+// MinLatency — is what makes the declared lookahead sound, so violating
+// it panics rather than silently reordering the simulation.
+func (x *CrossLink) Send(at Duration, fn func()) { x.send(at, fn, nil) }
+
+// SendTimer is the closure-free form of Send.
+func (x *CrossLink) SendTimer(at Duration, tm Timer) { x.send(at, nil, tm) }
+
+func (x *CrossLink) send(at Duration, fn func(), tm Timer) {
+	if at < x.src.now+x.min {
+		panic(fmt.Sprintf("sim: cross-partition send at %v violates timestamp fence (sender now %v + min latency %v)",
+			at, x.src.now, x.min))
+	}
+	if x.src == x.dst {
+		x.src.schedule(at, fn, tm, nil)
+		return
+	}
+	x.src.seq++
+	ev := extEvent{at: at, srcPid: x.src.pid, srcSeq: x.src.seq, fn: fn, tm: tm}
+	ib := &x.dst.inbox
+	ib.mu.Lock()
+	if len(ib.evs) >= x.g.inboxCap {
+		ib.mu.Unlock()
+		panic(fmt.Sprintf("sim: partition %d inbox overflow (bound %d): partition %d is flooding faster than the barrier drains",
+			x.dst.pid, x.g.inboxCap, x.src.pid))
+	}
+	ib.evs = append(ib.evs, ev)
+	ib.mu.Unlock()
+}
+
+// GoMobile spawns fn as a mobile process homed on partition e: it may Hop
+// between partitions mid-run. While it is registered the group's windows
+// stay within the mobile latency of its next possible action; the
+// registration is dropped automatically when fn returns. Register mobile
+// processes before RunUntil (or from another mobile process): a mobile
+// spawned mid-window by a non-mobile context is invisible to the window
+// bound already in force and its first hop may trip the delivery fence.
+func (g *Group) GoMobile(e *Engine, name string, fn func(p *Proc)) *Proc {
+	if g.mobileLat == 0 {
+		panic("sim: GoMobile requires SetMobileLatency")
+	}
+	var p *Proc
+	p = e.Go(name, func(q *Proc) {
+		defer g.demobilize(q)
+		fn(q)
+	})
+	g.mu.Lock()
+	g.mobile[p] = true
+	g.mu.Unlock()
+	return p
+}
+
+// demobilize drops a mobile registration; safe from partition goroutines.
+func (g *Group) demobilize(p *Proc) {
+	g.mu.Lock()
+	delete(g.mobile, p)
+	g.mu.Unlock()
+}
+
+// Hop moves the calling mobile process to partition dst, arriving exactly
+// MobileLatency later — the modeled cost of a cross-partition control RPC.
+// A same-partition hop degenerates to a sleep of the same length, so a
+// process's virtual timeline is identical however partitions are drawn
+// (and identical to a serial run that sleeps at the same points). Must be
+// called by the process itself.
+func (g *Group) Hop(p *Proc, dst *Engine) {
+	if g.mobileLat == 0 {
+		panic("sim: Hop requires SetMobileLatency")
+	}
+	src := p.eng
+	if src == dst {
+		p.Sleep(g.mobileLat)
+		return
+	}
+	if dst.group != g || src.group != g {
+		panic("sim: Hop destination must be a partition of this group")
+	}
+	at := src.now + g.mobileLat
+	src.seq++
+	g.mu.Lock()
+	if !g.mobile[p] {
+		g.mu.Unlock()
+		panic(fmt.Sprintf("sim: process %q hopped without GoMobile registration", p.name))
+	}
+	g.transfers = append(g.transfers, extEvent{at: at, srcPid: src.pid, srcSeq: src.seq, proc: p, srcEng: src, dst: dst})
+	g.mu.Unlock()
+	p.parkDetached()
+}
+
+// parkDetached parks a process that is leaving its engine: no wake event
+// exists locally — the barrier re-homes it and schedules its arrival on
+// the destination. The calling goroutine keeps driving the old engine's
+// loop exactly as an ordinary park would.
+func (p *Proc) parkDetached() {
+	e := p.eng
+	if e.dead {
+		panic(killed{})
+	}
+	switch e.drive(p) {
+	case driveOwnerWakeup:
+		panic("sim: detached process has a pending local wakeup")
+	case driveDone:
+		if e.dead {
+			panic(killed{})
+		}
+		e.host <- struct{}{} // window over while we're in flight: wake RunUntil
+	case driveHandoff:
+		// another process drives the old engine; wait for the barrier
+	}
+	<-p.run
+	if p.eng.dead { // p.eng is the NEW home once the barrier re-homed us
+		panic(killed{})
+	}
+}
+
+// deliver merges all pending cross-partition traffic into the destination
+// heaps: first process transfers, then each partition's inbox, each sorted
+// by the canonical (timestamp, source partition, source sequence) key so
+// local sequence numbers — and with them all tie-breaks — are assigned
+// identically on every run. Runs only between windows, on the coordinator.
+func (g *Group) deliver() {
+	g.mu.Lock()
+	tr := g.transfers
+	g.transfers = nil
+	g.mu.Unlock()
+	sortExt(tr)
+	for _, t := range tr {
+		g.fence(t.at, t.srcPid)
+		t.srcEng.nprocs--
+		t.dst.nprocs++
+		t.proc.eng = t.dst
+		t.dst.schedule(t.at, nil, nil, t.proc)
+	}
+	for _, e := range g.parts {
+		e.inbox.mu.Lock()
+		evs := e.inbox.evs
+		e.inbox.evs = nil
+		e.inbox.mu.Unlock()
+		sortExt(evs)
+		for _, ev := range evs {
+			g.fence(ev.at, ev.srcPid)
+			e.schedule(ev.at, ev.fn, ev.tm, nil)
+		}
+	}
+}
+
+// fence asserts an arriving cross event lands strictly after the committed
+// global time — the always-on half of the lookahead invariant.
+func (g *Group) fence(at Duration, srcPid int) {
+	if at <= g.now && g.now > 0 {
+		panic(fmt.Sprintf("sim: cross-partition event from partition %d arrives at %v, inside committed window (global time %v)",
+			srcPid, at, g.now))
+	}
+}
+
+// drained reports whether every partition's queues are empty (transfers and
+// inboxes were merged by the deliver that just ran). Signal-parked processes
+// with no event that could ever wake them do not keep the group alive —
+// matching a serial Run returning on an exhausted heap.
+func (g *Group) drained() bool {
+	for _, e := range g.parts {
+		if len(e.events) > 0 || e.nowQHead < len(e.nowQ) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortExt(evs []extEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.srcPid != b.srcPid {
+			return a.srcPid < b.srcPid
+		}
+		return a.srcSeq < b.srcSeq
+	})
+}
+
+// window computes the next conservative window end: the committed time
+// plus the smallest declared cross-partition latency, tightened or relaxed
+// by mobile-process state, capped at the deadline. Window ends are
+// inclusive (RunUntil executes events at the boundary), so lookahead
+// bounds subtract one tick to keep arrivals strictly outside the window.
+func (g *Group) window(deadline Duration) Duration {
+	wend := deadline
+	if g.lookahead != MaxTime {
+		if b := g.now + g.lookahead - 1; b < wend {
+			wend = b
+		}
+	}
+	g.mu.Lock()
+	for p := range g.mobile {
+		earliest := g.now
+		if p.blockedIdx == -1 && p.hasWake {
+			// Parked on a pure timer: provably inert until wakeAt. A
+			// signal-parked or runnable mobile process may act any time, so
+			// it pins the bound at the committed time.
+			earliest = p.wakeAt
+		}
+		if b := earliest + g.mobileLat - 1; b < wend {
+			wend = b
+		}
+	}
+	g.mu.Unlock()
+	if wend < g.now {
+		wend = g.now
+	}
+	return wend
+}
+
+// RunUntil advances every partition to the deadline through the barrier
+// loop: deliver pending cross events, compute the conservative window, run
+// each partition's ordinary serial loop to the window end on its own
+// goroutine, repeat. A one-partition group delegates directly to the
+// engine — byte-for-byte the serial loop.
+func (g *Group) RunUntil(deadline Duration) Duration {
+	if g.running {
+		panic("sim: Group.RunUntil called re-entrantly")
+	}
+	if len(g.parts) == 0 {
+		panic("sim: group has no partitions")
+	}
+	g.running = true
+	defer func() { g.running = false }()
+	if len(g.parts) == 1 {
+		g.parts[0].RunUntil(deadline)
+		g.now = g.parts[0].now
+		return g.now
+	}
+	for {
+		g.deliver()
+		if g.now >= deadline {
+			return g.now
+		}
+		if deadline == MaxTime && g.drained() {
+			// Open-ended run and every queue is empty: the simulation is
+			// over, exactly as a serial Run returns on an exhausted heap.
+			return g.now
+		}
+		wend := g.window(deadline)
+		if wend <= g.now {
+			panic(fmt.Sprintf("sim: window collapsed at %v (lookahead %v, mobile latency %v)", g.now, g.lookahead, g.mobileLat))
+		}
+		var wg sync.WaitGroup
+		for _, e := range g.parts {
+			if e.nowQHead >= len(e.nowQ) && (len(e.events) == 0 || e.events[0].at > wend) {
+				// Idle window: nothing to execute, just commit the clock.
+				if wend != MaxTime && e.now < wend {
+					e.now = wend
+				}
+				continue
+			}
+			e.windowStart = e.now
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.RunUntil(wend)
+			}(e)
+		}
+		wg.Wait()
+		if wend == MaxTime {
+			// Unbounded window (no cross couplings left): partitions drained
+			// at their own final times; commit to the latest real one.
+			for _, e := range g.parts {
+				if e.now > g.now {
+					g.now = e.now
+				}
+			}
+			continue
+		}
+		g.now = wend
+	}
+}
+
+// Run executes until every partition drains or the clock never advances —
+// partitioned simulations are usually driven with an explicit deadline, so
+// Run is a convenience for tests.
+func (g *Group) Run() Duration { return g.RunUntil(MaxTime) }
+
+// Shutdown terminates the whole group: every partition's processes unwind
+// (including mobile processes caught mid-hop) and pending events drop.
+// Must not be called while RunUntil is executing a window.
+func (g *Group) Shutdown() {
+	if g.running {
+		panic("sim: Group.Shutdown called during a window")
+	}
+	g.mu.Lock()
+	tr := g.transfers
+	g.transfers = nil
+	g.mu.Unlock()
+	for _, e := range g.parts {
+		e.Shutdown()
+	}
+	// In-flight mobile processes belong to no heap and no blocked list;
+	// unwind them exactly as Shutdown's victim loop would.
+	for _, t := range tr {
+		e := t.srcEng
+		if t.proc.done {
+			continue
+		}
+		e.unwinding = true
+		t.proc.run <- struct{}{}
+		<-e.ack
+		e.unwinding = false
+	}
+}

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trace is a simulation-visible event log. Identical traces mean identical
+// executions — every assertion in this file ultimately reduces to "the
+// trace is byte-identical".
+type trace struct{ lines []string }
+
+func (t *trace) log(now Duration, format string, args ...any) {
+	t.lines = append(t.lines, fmt.Sprintf("%12d %s", now, fmt.Sprintf(format, args...)))
+}
+func (t *trace) String() string { return strings.Join(t.lines, "\n") }
+
+// pingWorkload drives one engine through a representative mix of the
+// engine's scheduling shapes: timers, same-instant events, process sleeps,
+// yields, and signal handoffs.
+func pingWorkload(e *Engine, tr *trace, tag string) {
+	s := NewSignal(e)
+	e.Go(tag+"-producer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(Duration(i%5) * 100)
+			tr.log(p.Now(), "%s produce %d", tag, i)
+			s.Broadcast()
+			p.Yield()
+		}
+	})
+	e.Go(tag+"-consumer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			s.Wait(p)
+			tr.log(p.Now(), "%s consume %d", tag, i)
+		}
+	})
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(Duration(i)*137, func() { tr.log(e.Now(), "%s timer %d", tag, i) })
+	}
+}
+
+// A one-partition group must reduce to the serial loop byte-for-byte: same
+// trace, same final clock, same live-process count at every step.
+func TestDegenerateGroupMatchesSerial(t *testing.T) {
+	serial := &trace{}
+	se := New()
+	pingWorkload(se, serial, "w")
+	sEnd := se.RunUntil(5 * time.Microsecond)
+
+	part := &trace{}
+	g := NewGroup()
+	pe := g.AddPartition()
+	pingWorkload(pe, part, "w")
+	pEnd := g.RunUntil(5 * time.Microsecond)
+
+	if serial.String() != part.String() {
+		t.Fatalf("degenerate partition diverged from serial:\n--- serial ---\n%s\n--- partitioned ---\n%s", serial, part)
+	}
+	if sEnd != pEnd {
+		t.Fatalf("final clock: serial %v, partitioned %v", sEnd, pEnd)
+	}
+	if se.Procs() != pe.Procs() {
+		t.Fatalf("live procs: serial %d, partitioned %d", se.Procs(), pe.Procs())
+	}
+}
+
+// crossWorkload builds an N-partition simulation where every partition runs
+// a local workload and periodically fires events into its ring neighbor
+// through a CrossLink. Returns the merged trace (sorted by construction:
+// each partition logs into its own shard, shards are concatenated in
+// partition order, and every line carries its virtual time).
+func crossWorkload(nparts int, deadline Duration) string {
+	g := NewGroup()
+	const lat = 500 * time.Nanosecond
+	engs := make([]*Engine, nparts)
+	traces := make([]*trace, nparts)
+	for i := range engs {
+		engs[i] = g.AddPartition()
+		traces[i] = &trace{}
+	}
+	links := make([]*CrossLink, nparts)
+	for i := range engs {
+		links[i] = g.Link(engs[i], engs[(i+1)%nparts], lat)
+	}
+	for i := range engs {
+		i := i
+		e, tr, link := engs[i], traces[i], links[i]
+		pingWorkload(e, tr, fmt.Sprintf("p%d", i))
+		e.Go(fmt.Sprintf("p%d-crosser", i), func(p *Proc) {
+			for n := 0; n < 15; n++ {
+				p.Sleep(Duration(300+i*37) * time.Nanosecond)
+				at := p.Now() + lat
+				n := n
+				link.Send(at, func() {
+					dst := (i + 1) % nparts
+					traces[dst].log(engs[dst].Now(), "p%d cross-recv from p%d msg %d", dst, i, n)
+				})
+			}
+		})
+	}
+	g.RunUntil(deadline)
+	g.Shutdown()
+	var all []string
+	for i, tr := range traces {
+		all = append(all, fmt.Sprintf("== partition %d ==", i))
+		all = append(all, tr.lines...)
+	}
+	return strings.Join(all, "\n")
+}
+
+// Cross-partition events must merge deterministically: the trace is
+// byte-identical across repeated runs and across GOMAXPROCS settings.
+func TestCrossLinkDeterministic(t *testing.T) {
+	ref := crossWorkload(4, 20*time.Microsecond)
+	if !strings.Contains(ref, "cross-recv") {
+		t.Fatal("workload produced no cross-partition deliveries")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			got := crossWorkload(4, 20*time.Microsecond)
+			if got != ref {
+				t.Fatalf("GOMAXPROCS=%d rep %d diverged:\n--- reference ---\n%s\n--- got ---\n%s", procs, rep, ref, got)
+			}
+		}
+	}
+}
+
+// hopWorkload: a mobile process visits every partition in turn, doing local
+// work on each; static local workloads run everywhere. In serial mode
+// (parts == 1) the same code runs on one engine and every Hop degenerates
+// to Sleep(mobileLat), so the mobile process's virtual timeline — and the
+// work it interleaves with — must be identical.
+func hopWorkload(parts int, counters []int64, tr *trace) Duration {
+	g := NewGroup()
+	g.SetMobileLatency(2 * time.Microsecond)
+	engs := make([]*Engine, parts)
+	for i := range engs {
+		engs[i] = g.AddPartition()
+	}
+	for i := range counters {
+		e := engs[i%parts]
+		slot := &counters[i]
+		e.Go(fmt.Sprintf("worker%d", i), func(p *Proc) {
+			for p.Now() < 40*time.Microsecond {
+				p.Sleep(700 * time.Nanosecond)
+				atomic.AddInt64(slot, 1)
+			}
+		})
+	}
+	g.GoMobile(engs[0], "visitor", func(p *Proc) {
+		for round := 0; round < 3; round++ {
+			for i := 0; i < len(counters); i++ {
+				g.Hop(p, engs[i%parts])
+				tr.log(p.Now(), "visit worker %d round %d (count %d)", i, round, atomic.LoadInt64(&counters[i]))
+				p.Sleep(1500 * time.Nanosecond)
+			}
+		}
+	})
+	end := g.RunUntil(50 * time.Microsecond)
+	g.Shutdown()
+	return end
+}
+
+// A mobile process's observed timeline must not depend on how partitions
+// are drawn: 1 (serial), 2, and 4 partitions all yield the same trace.
+func TestHopMatchesSerialSleep(t *testing.T) {
+	const nworkers = 4
+	run := func(parts int) (string, Duration, []int64) {
+		counters := make([]int64, nworkers)
+		tr := &trace{}
+		end := hopWorkload(parts, counters, tr)
+		return tr.String(), end, counters
+	}
+	refTrace, refEnd, refCounts := run(1)
+	if !strings.Contains(refTrace, "visit worker") {
+		t.Fatal("mobile visitor logged nothing")
+	}
+	for _, parts := range []int{2, 4} {
+		got, end, counts := run(parts)
+		if got != refTrace {
+			t.Fatalf("%d partitions diverged from serial:\n--- serial ---\n%s\n--- partitioned ---\n%s", parts, refTrace, got)
+		}
+		if end != refEnd {
+			t.Fatalf("%d partitions: final clock %v, serial %v", parts, end, refEnd)
+		}
+		for i := range counts {
+			if counts[i] != refCounts[i] {
+				t.Fatalf("%d partitions: worker %d did %d iterations, serial did %d", parts, i, counts[i], refCounts[i])
+			}
+		}
+	}
+}
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+// The timestamp fence is the soundness guarantee of the declared lookahead:
+// sending earlier than now+MinLatency must panic, not reorder.
+func TestCrossLinkTimestampFence(t *testing.T) {
+	g := NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	link := g.Link(a, b, 1*time.Microsecond)
+	mustPanic(t, "timestamp fence", func() {
+		link.Send(500*time.Nanosecond, func() {})
+	})
+}
+
+// Zero-lookahead cross edges are a modeling error, not a tuning knob.
+func TestCrossLinkLatencyFloor(t *testing.T) {
+	g := NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	mustPanic(t, "lookahead floor", func() { g.Link(a, b, 10) })
+	mustPanic(t, "lookahead floor", func() { g.SetMobileLatency(10) })
+}
+
+// Inbox overflow means a partition is outrunning the barrier — panic
+// rather than hide unbounded queueing.
+func TestCrossLinkInboxBound(t *testing.T) {
+	g := NewGroup()
+	g.SetInboxBound(8)
+	a, b := g.AddPartition(), g.AddPartition()
+	link := g.Link(a, b, 1*time.Microsecond)
+	mustPanic(t, "inbox overflow", func() {
+		for i := 0; i < 100; i++ {
+			link.Send(2*time.Microsecond, func() {})
+		}
+	})
+}
+
+// OASIS_SIMCHECK: scheduling into the past of a partition's committed
+// window start is a lookahead bug and must trip immediately.
+func TestSimCheckPastWindow(t *testing.T) {
+	old := simCheck
+	simCheck = true
+	defer func() { simCheck = old }()
+	e := New()
+	e.windowStart = 100
+	mustPanic(t, "in the past of partition", func() { e.At(50, func() {}) })
+}
+
+// Group.Shutdown must unwind blocked processes on every partition,
+// including a mobile process parked on a signal away from home.
+func TestGroupShutdownUnwinds(t *testing.T) {
+	g := NewGroup()
+	g.SetMobileLatency(1 * time.Microsecond)
+	a, b := g.AddPartition(), g.AddPartition()
+	g.Link(a, b, 1*time.Microsecond) // bound the window so both sides advance
+	stuck := NewSignal(b)
+	b.Go("never-signaled", func(p *Proc) { stuck.Wait(p) })
+	g.GoMobile(a, "migrant", func(p *Proc) {
+		g.Hop(p, b)
+		stuck.Wait(p) // parked on b forever
+	})
+	a.Go("ticker", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	g.RunUntil(10 * time.Microsecond)
+	if g.Procs() == 0 {
+		t.Fatal("expected blocked processes to still be live before shutdown")
+	}
+	g.Shutdown()
+	if n := g.Procs(); n != 0 {
+		t.Fatalf("%d processes leaked through Group.Shutdown", n)
+	}
+}
+
+// Run (no deadline) must terminate once every partition drains even though
+// conservative windows are finite.
+func TestGroupRunDrains(t *testing.T) {
+	g := NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	link := g.Link(a, b, 1*time.Microsecond)
+	var got Duration
+	a.Go("oneshot", func(p *Proc) {
+		p.Sleep(3 * time.Microsecond)
+		link.Send(p.Now()+time.Microsecond, func() { got = b.Now() })
+	})
+	end := g.Run()
+	if got != 4*time.Microsecond {
+		t.Fatalf("cross event ran at %v, want 4µs", got)
+	}
+	if end < got {
+		t.Fatalf("group finished at %v, before its last event at %v", end, got)
+	}
+	g.Shutdown()
+}

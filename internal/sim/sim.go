@@ -92,6 +92,14 @@ type Engine struct {
 	ack       chan struct{}
 	unwinding bool  // inside Shutdown's victim loop
 	cur       *Proc // process currently holding the token, nil if the host is
+
+	// Partitioned execution (see partition.go). A standalone engine has
+	// group == nil and behaves exactly as before; a partition is an
+	// ordinary engine whose windows are driven by its Group.
+	group       *Group
+	pid         int      // partition index within the group
+	windowStart Duration // committed global time at window entry (SIMCHECK)
+	inbox       inbox    // cross-partition events awaiting barrier delivery
 }
 
 // New returns an Engine with the clock at zero and no pending events.
@@ -132,12 +140,21 @@ func (e *Engine) recycle(ev *event) {
 
 // schedule inserts an event at absolute time at (clamped to now).
 func (e *Engine) schedule(at Duration, fn func(), tm Timer, p *Proc) {
+	if simCheck && at < e.windowStart {
+		panic(fmt.Sprintf("sim: event scheduled at %v, in the past of partition %d's window start %v",
+			at, e.pid, e.windowStart))
+	}
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	ev := e.newEvent()
 	ev.at, ev.seq, ev.fn, ev.tm, ev.proc = at, e.seq, fn, tm, p
+	if p != nil {
+		// A parked process's next wakeup time feeds the group's conservative
+		// window bound for mobile processes (see Group.window).
+		p.hasWake, p.wakeAt = true, at
+	}
 	if e.running && at == e.now {
 		e.nowQ = append(e.nowQ, ev)
 		return
@@ -317,6 +334,7 @@ func (e *Engine) drive(owner *Proc) driveResult {
 		switch {
 		case next.proc != nil:
 			q := next.proc
+			q.hasWake = false
 			e.recycle(next)
 			if q == owner {
 				return driveOwnerWakeup
@@ -453,6 +471,15 @@ type Proc struct {
 	started    bool
 	done       bool
 	blockedIdx int // slot in eng.blocked, -1 when not parked on a primitive
+
+	// Mobile-process bookkeeping (see Group). hasWake/wakeAt mirror the
+	// process's pending wake event so the barrier can classify a parked
+	// mobile process without scanning the heap: parked on a pure timer
+	// (hasWake, blockedIdx == -1) means it provably cannot act before
+	// wakeAt; parked on a signal means it may act anywhere in the next
+	// window.
+	hasWake bool
+	wakeAt  Duration
 }
 
 // main runs the process body, handling unwind-on-shutdown. On a normal

@@ -76,6 +76,7 @@ import (
 	"oasis/internal/sim"
 	"oasis/internal/ssd"
 	"oasis/internal/storengine"
+	"oasis/internal/topo"
 )
 
 // Re-exported simulation handles so applications only import this package.
@@ -147,6 +148,15 @@ type Pod struct {
 // names, local fault targets).
 func NewPod(cfg Config) *Pod {
 	return &Pod{Topology: NewTopology(cfg)}
+}
+
+// NewPodOnEngine creates an empty standalone pod driven by a
+// caller-supplied engine — typically a partition of a sim.Group — instead
+// of a private one. Identity stays flat (unscoped) like NewPod; lifecycle
+// calls on the pod delegate to the given engine, but in a group the
+// group's own RunUntil/Shutdown drive the clock.
+func NewPodOnEngine(eng *sim.Engine, cfg Config) *Pod {
+	return &Pod{Topology: newTopology(eng, cfg, topo.Unscoped, false)}
 }
 
 // Snapshot is the structured result of Pod.Stats: a sorted, deterministic

@@ -33,10 +33,28 @@ go test ./...
 # race overhead without touching any additional concurrency.
 echo "== go test -race (concurrent-facing packages) =="
 go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par ./internal/faults ./internal/topo
+# internal/sim now carries real intra-run concurrency: partitioned groups
+# run one goroutine per partition inside conservative windows. Its whole
+# test suite (partition windows, cross-links, mobile hops, group shutdown)
+# runs under the detector, as do the cluster-level partitioned tests.
+go test -race ./internal/sim
+go test -race -run 'TestPartitionedCluster|TestClusterFaultPlanMidMigration' .
 # -short: one chaos run (invariants only) — the byte-identical rerun is
 # asserted by the non-race tier above; doubling it under the detector's
 # ~10x overhead buys no extra race coverage.
 go test -race -short -run 'Parallel|Chaos' ./internal/experiments
+
+# Intra-run determinism: the same experiment serial vs partitioned (one
+# partition per pod) must produce byte-identical report bodies, and the OS
+# thread count must be invisible — the conservative-window barriers plus
+# the (timestamp, source partition, source seq) merge order are the only
+# schedule. Swept at GOMAXPROCS=1 (everything time-slices one thread), 2
+# (real preemption between partitions), and 8 (full fan-out).
+echo "== intra-run partitioned determinism (GOMAXPROCS=1,2,8) =="
+for n in 1 2 8; do
+    echo "-- GOMAXPROCS=$n"
+    GOMAXPROCS=$n go test -count=1 -run TestIntraRunPartitionedMatchesSerial ./internal/experiments
+done
 
 # Smoke the full parallel fan-out end to end: every experiment at tiny
 # scale with GOMAXPROCS workers. Output determinism vs the serial path is
@@ -51,10 +69,12 @@ go run ./cmd/oasis-bench -run all -scale 0.05 -parallel > /dev/null
 echo "== chaos campaign smoke =="
 go run ./cmd/oasis-bench -run chaos | grep -q "invariants: OK"
 
-# Rack smoke: the 200+ host multi-pod cluster must place, hot-spot, and
-# rebalance with cross-pod migrations on one engine. (Byte-identity across
-# reruns and -parallel is asserted by TestRacksweepDeterministic...)
-echo "== racksweep cluster smoke =="
+# Rack smoke: the 512-host multi-pod cluster must place, hot-spot, and
+# rebalance with cross-pod migrations — serially and in partitioned
+# execution (one sim partition per pod). (Byte-identity across reruns,
+# -parallel, and execution modes is asserted by the determinism tests.)
+echo "== racksweep cluster smoke (serial + partitioned) =="
 go run ./cmd/oasis-bench -run racksweep -scale 0.05 | grep -q "cross-pod migrations"
+go run ./cmd/oasis-bench -run racksweep-par -scale 0.05 | grep -q "cross-pod migrations"
 
 echo "verify: OK"
