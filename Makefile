@@ -24,7 +24,7 @@ RACE_PKGS = ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal
 race:
 	$(GO) test -race $(RACE_PKGS) ./internal/par ./internal/sim
 	$(GO) test -race -short -run 'Parallel|Chaos' ./internal/experiments
-	$(GO) test -race -run 'TestPartitionedCluster|TestClusterFaultPlanMidMigration' .
+	$(GO) test -race -run 'TestPartitionedCluster|TestClusterFaultPlanMidMigration|TestPerHost' .
 
 verify:
 	./scripts/verify.sh

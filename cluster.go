@@ -46,6 +46,11 @@ type Cluster struct {
 	// pod runs on its own partition engine and Eng is the control
 	// partition hosting cluster-level processes.
 	group *sim.Group
+	// perHostClients additionally gives every pod client a partition of
+	// its own (NewPerHostCluster): the pods' topologies carry the group,
+	// so AddClient attaches through a RemotePort exactly as in a
+	// standalone per-host pod.
+	perHostClients bool
 
 	// MigrationCopyBudget bounds how long a migration waits for the source
 	// volume to quiesce and for the destination volume to register.
@@ -94,8 +99,24 @@ func NewPartitionedCluster() *Cluster {
 	return c
 }
 
+// NewPerHostCluster creates a partitioned cluster that also splits out
+// every pod client onto a partition of its own: pods execute in parallel
+// with each other AND with their load generators. Client attachment goes
+// through a switch RemotePort (one extra cable hop each way, declared as
+// lookahead), so the modeled topology — and with it the virtual timeline —
+// differs from NewCluster/NewPartitionedCluster; the per-host timeline is
+// itself byte-identical across reruns and GOMAXPROCS settings.
+func NewPerHostCluster() *Cluster {
+	c := NewPartitionedCluster()
+	c.perHostClients = true
+	return c
+}
+
 // Partitioned reports whether the cluster runs in partitioned mode.
 func (c *Cluster) Partitioned() bool { return c.group != nil }
+
+// PerHost reports whether pod clients get partitions of their own.
+func (c *Cluster) PerHost() bool { return c.perHostClients }
 
 // Partitions returns the number of sim partitions backing the cluster
 // (1 + one per pod in partitioned mode, 1 in serial mode).
@@ -133,6 +154,12 @@ func (c *Cluster) AddPodErr(cfg Config) (*Pod, error) {
 		eng = c.group.AddPartition()
 	}
 	p := &Pod{Topology: newTopology(eng, cfg, idx, false)}
+	if c.perHostClients {
+		// Per-host mode: hand the pod's topology the group so AddClient
+		// (and AddGuest) split out partitions of their own. ownEngine
+		// stays false — the cluster drives the group's lifecycle.
+		p.Topology.group = c.group
+	}
 	c.pods = append(c.pods, p)
 	return p, nil
 }

@@ -10,9 +10,17 @@ import "oasis/internal/sim"
 // Wiring code calls this when a channel it builds over the pool spans
 // partitions; the returned link carries the events.
 func (p *Pool) DeclareCrossLink(g *sim.Group, dst *sim.Engine) *sim.CrossLink {
+	return g.Link(p.eng, dst, p.CrossLatency())
+}
+
+// CrossLatency returns the pool's intrinsic minimum cross-host event
+// latency — the cheaper of a line load and a posted write. Per-host
+// partitioning uses it as the declared lookahead for host-compute
+// partitions coupled through pool memory channels.
+func (p *Pool) CrossLatency() sim.Duration {
 	min := p.params.LoadLatency
 	if p.params.WriteLatency < min {
 		min = p.params.WriteLatency
 	}
-	return g.Link(p.eng, dst, min)
+	return min
 }

@@ -40,7 +40,7 @@ import (
 func Chaos(scale float64) *Report {
 	_ = clampScale(scale) // validated for interface symmetry; timeline is fixed
 	r := newReport("chaos", "chaos campaign: all fault kinds + recovery invariants (2.6 s run)")
-	return chaosRun(r, false)
+	return chaosRun(r, chaosSerial)
 }
 
 // ChaosPartitioned runs the identical campaign with the pod mounted on a
@@ -50,10 +50,32 @@ func Chaos(scale float64) *Report {
 func ChaosPartitioned(scale float64) *Report {
 	_ = clampScale(scale)
 	r := newReport("chaos-par", "chaos campaign on a one-partition group (must match chaos byte-for-byte)")
-	return chaosRun(r, true)
+	return chaosRun(r, chaosOnePartition)
 }
 
-func chaosRun(r *Report, partitioned bool) *Report {
+// ChaosPerHost runs the campaign on a per-host partitioned pod: the pod
+// core on one partition, the probe client on a partition of its own behind
+// a switch RemotePort. The remote attachment adds real cable latency, so
+// this report is NOT byte-comparable to chaos — the acceptance is that
+// every recovery invariant still holds with the client advancing in
+// parallel, and that the per-host timeline is itself byte-identical across
+// reruns and GOMAXPROCS settings (verify.sh sweeps it at 1/2/8).
+func ChaosPerHost(scale float64) *Report {
+	_ = clampScale(scale)
+	r := newReport("chaos-perhost", "chaos campaign on a per-host partitioned pod (probe client on its own partition)")
+	return chaosRun(r, chaosPerHost)
+}
+
+// chaosMode selects the execution shape of the chaos pod.
+type chaosMode int
+
+const (
+	chaosSerial       chaosMode = iota // one private engine
+	chaosOnePartition                  // degenerate one-partition group
+	chaosPerHost                       // per-host pod: client partitioned out
+)
+
+func chaosRun(r *Report, mode chaosMode) *Report {
 	const (
 		span        = 2600 * time.Millisecond
 		writerStop  = span - 200*time.Millisecond
@@ -81,10 +103,13 @@ func chaosRun(r *Report, partitioned bool) *Report {
 	cfg.RaftReplicas = 3
 	var group *sim.Group
 	var pod *oasis.Pod
-	if partitioned {
+	switch mode {
+	case chaosOnePartition:
 		group = sim.NewGroup()
 		pod = oasis.NewPodOnEngine(group.AddPartition(), cfg)
-	} else {
+	case chaosPerHost:
+		pod = oasis.NewPerHostPod(cfg)
+	default:
 		pod = oasis.NewPod(cfg)
 	}
 	host0 := pod.AddHost() // allocator + raft replica 0
@@ -215,7 +240,10 @@ func chaosRun(r *Report, partitioned bool) *Report {
 		sent, lost int
 		lossTimes  []oasis.Duration
 	)
-	pod.Go("chaos-prober", func(p *oasis.Proc) {
+	// Spawned in the client's execution domain: the pod engine in serial
+	// and one-partition modes (identical to pod.Go there), the client's own
+	// partition in per-host mode.
+	client.Go("chaos-prober", func(p *oasis.Proc) {
 		conn, err := client.Stack.ListenUDP(0)
 		if err != nil {
 			return
@@ -248,10 +276,14 @@ func chaosRun(r *Report, partitioned bool) *Report {
 		}
 	})
 
-	if partitioned {
+	if group != nil {
 		group.RunUntil(span + time.Second)
 		group.Shutdown()
 	} else {
+		// Serial engine, or the per-host pod's own group (Pod.Run drives
+		// it); either way the run is fixed-length with an external
+		// Shutdown — in group mode a mid-window Shutdown from inside a
+		// partition would not be a single global instant.
 		pod.Run(span + time.Second)
 		pod.Shutdown()
 	}

@@ -138,3 +138,44 @@ func TestIntraRunPartitionedMatchesSerial(t *testing.T) {
 		}
 	})
 }
+
+// TestPerHostPartitionedDeterministic is the acceptance gate for per-host
+// partitioned execution. Per-host mode splits every client onto a
+// partition of its own behind a switch RemotePort, which adds real modeled
+// cable latency — a different physical topology, so its reports are NOT
+// compared against the serial runners. The promise is the per-host
+// timeline itself: byte-identical report bodies across reruns, with every
+// chaos recovery invariant intact. verify.sh re-runs this test at
+// GOMAXPROCS=1, 2, and 8 — with a partition per client, the thread count
+// must still be invisible in the virtual timeline.
+func TestPerHostPartitionedDeterministic(t *testing.T) {
+	if testing.Short() {
+		// Same rationale as the serial-vs-partitioned sweep above: race-mode
+		// coverage of the partition goroutines comes from internal/sim and
+		// the root-package per-host tests.
+		t.Skip("skipping per-host byte-identity sweep in -short mode")
+	}
+	t.Run("racksweep", func(t *testing.T) {
+		a := RacksweepPerHost(0.05)
+		b := reportBody(RacksweepPerHost(0.05))
+		if reportBody(a) != b {
+			t.Fatalf("racksweep-perhost diverges across reruns:\n--- first ---\n%s--- second ---\n%s", reportBody(a), b)
+		}
+		if a.Values["echoes"] == 0 {
+			t.Fatal("no traffic completed with clients on their own partitions")
+		}
+		if a.Values["migrations"] == 0 {
+			t.Fatal("hot-spot rebalance performed no cross-pod migrations in per-host mode")
+		}
+	})
+	t.Run("chaos", func(t *testing.T) {
+		a := ChaosPerHost(1.0)
+		b := reportBody(ChaosPerHost(1.0))
+		if reportBody(a) != b {
+			t.Fatalf("chaos-perhost diverges across reruns:\n--- first ---\n%s--- second ---\n%s", reportBody(a), b)
+		}
+		if a.Values["violations"] != 0 {
+			t.Fatalf("chaos-perhost violated %v recovery invariants", a.Values["violations"])
+		}
+	})
+}

@@ -78,8 +78,10 @@ func Registry() []struct {
 		{"abl-storage", AblStorage},
 		{"chaos", Chaos},
 		{"chaos-par", ChaosPartitioned},
+		{"chaos-perhost", ChaosPerHost},
 		{"racksweep", Racksweep},
 		{"racksweep-par", RacksweepPartitioned},
+		{"racksweep-perhost", RacksweepPerHost},
 	}
 }
 

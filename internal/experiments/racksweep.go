@@ -35,7 +35,18 @@ var racksweepPhaseHook func(string)
 // post-run Shutdown, so the virtual timeline — and with it every counter —
 // is identical whether the pods execute serially on a shared engine or in
 // parallel as partitions of a sim.Group.
-func racksweepSim(scale float64, partitioned bool) rackSimResult {
+// Execution shapes for the sweep. Serial and per-pod modes are
+// byte-comparable (same modeled topology, different execution); per-host
+// mode additionally splits every client onto a partition of its own behind
+// a RemotePort, which is a different modeled topology — its timeline is
+// compared only against itself (reruns, GOMAXPROCS settings).
+const (
+	rackSerial  = "serial"
+	rackPerPod  = "perpod"
+	rackPerHost = "perhost"
+)
+
+func racksweepSim(scale float64, mode string) rackSimResult {
 	mark := func(s string) {
 		if racksweepPhaseHook != nil {
 			racksweepPhaseHook(s)
@@ -60,9 +71,12 @@ func racksweepSim(scale float64, partitioned bool) rackSimResult {
 	deadline := window + 8*time.Millisecond
 
 	var c *oasis.Cluster
-	if partitioned {
+	switch mode {
+	case rackPerPod:
 		c = oasis.NewPartitionedCluster()
-	} else {
+	case rackPerHost:
+		c = oasis.NewPerHostCluster()
+	default:
 		c = oasis.NewCluster()
 	}
 	clients := make([]*oasis.Client, pods*flowsPerPod)
@@ -138,7 +152,10 @@ func racksweepSim(scale float64, partitioned bool) rackSimResult {
 					}
 				}
 			})
-			c.GoPod(i, fmt.Sprintf("rack-client%d-%d", i, f), func(p *oasis.Proc) {
+			// Spawned in the client's execution domain: the pod's engine in
+			// serial/per-pod mode (identical to GoPod there), the client's
+			// own partition in per-host mode.
+			client.Go(fmt.Sprintf("rack-client%d-%d", i, f), func(p *oasis.Proc) {
 				conn, err := client.Stack.ListenUDP(0)
 				if err != nil {
 					return
@@ -265,7 +282,7 @@ func renderRacksweep(r *Report, sim rackSimResult, scale float64) *Report {
 func Racksweep(scale float64) *Report {
 	scale = clampScale(scale)
 	r := newReport("racksweep", "Rack-scale utilization sweep (multi-pod cluster + pooling model)")
-	return renderRacksweep(r, racksweepSim(scale, false), scale)
+	return renderRacksweep(r, racksweepSim(scale, rackSerial), scale)
 }
 
 // RacksweepSimTimed runs just the simulated rack (no analytic Part 2) and
@@ -277,6 +294,17 @@ func Racksweep(scale float64) *Report {
 // available cores; even on one core the per-pod heap split wins ~1.5×
 // (see DESIGN.md §8, partitioned execution).
 func RacksweepSimTimed(scale float64, partitioned bool) (runSeconds float64, partitions int, values map[string]float64) {
+	mode := rackSerial
+	if partitioned {
+		mode = rackPerPod
+	}
+	return RacksweepSimTimedMode(scale, mode)
+}
+
+// RacksweepSimTimedMode is RacksweepSimTimed with the execution shape
+// named explicitly: "serial", "perpod" (one partition per pod), or
+// "perhost" (per-pod plus one partition per client).
+func RacksweepSimTimedMode(scale float64, mode string) (runSeconds float64, partitions int, values map[string]float64) {
 	var t0 time.Time
 	racksweepPhaseHook = func(s string) {
 		switch s {
@@ -287,7 +315,7 @@ func RacksweepSimTimed(scale float64, partitioned bool) (runSeconds float64, par
 		}
 	}
 	defer func() { racksweepPhaseHook = nil }()
-	res := racksweepSim(clampScale(scale), partitioned)
+	res := racksweepSim(clampScale(scale), mode)
 	return runSeconds, res.partitions, res.values
 }
 
@@ -298,5 +326,17 @@ func RacksweepSimTimed(scale float64, partitioned bool) (runSeconds float64, par
 func RacksweepPartitioned(scale float64) *Report {
 	scale = clampScale(scale)
 	r := newReport("racksweep-par", "Rack-scale utilization sweep (partitioned: one sim partition per pod)")
-	return renderRacksweep(r, racksweepSim(scale, true), scale)
+	return renderRacksweep(r, racksweepSim(scale, rackPerPod), scale)
+}
+
+// RacksweepPerHost is the sweep in per-host partitioned mode: one
+// partition per pod AND one per client (33 partitions at the default
+// shape), so load generation advances in parallel with the pods it
+// drives. The remote client attachment adds real cable latency, so this
+// report is not byte-comparable to the serial runner; the per-host
+// timeline itself is byte-identical across reruns and GOMAXPROCS.
+func RacksweepPerHost(scale float64) *Report {
+	scale = clampScale(scale)
+	r := newReport("racksweep-perhost", "Rack-scale utilization sweep (per-host: pods and clients on own partitions)")
+	return renderRacksweep(r, racksweepSim(scale, rackPerHost), scale)
 }

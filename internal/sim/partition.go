@@ -4,11 +4,11 @@
 // A Group splits a simulation into N partitions — each an ordinary Engine
 // with its own clock, heap, and token-passing loop — and advances them in
 // conservative time windows on separate goroutines. The window width is
-// derived from the minimum latency any cross-partition interaction can
-// have: if every event one partition can send another arrives at least L
-// in the future, then all partitions can safely execute a window of L in
-// parallel without ever receiving an event in their committed past. That
-// minimum is declared up front:
+// derived from the minimum latency cross-partition interactions can have:
+// if every event one partition can send another arrives at least L in the
+// future, the destination can safely execute a window of L without ever
+// receiving an event in its committed past. Those minima are declared up
+// front:
 //
 //   - CrossLink{MinLatency}: a registered cross-partition event channel
 //     (core.LinkSet, cxl, and netsw declare one when a channel spans
@@ -25,6 +25,29 @@
 //     mobile processes are parked on pure timers, windows extend to their
 //     next wake + latency; with none left, windows open to the deadline.
 //
+// Window ends are per partition, not global: the declarations form a
+// lookahead matrix L[src][dst], and each barrier solves the standard
+// conservative-PDES fixpoint over it. EOT(j) is the earliest virtual time
+// partition j could still execute anything — its own horizon if it has
+// pending events, else the earliest arrival that could wake it (which is
+// itself a sum of some other partition's EOT and an edge latency, so the
+// bound is transitive through relays). EIT(i), the earliest time anything
+// can reach i, is the minimum of EOT(src)+L[src][i] over incoming edges
+// plus the mobile-process bound; partition i's window then runs to
+// EIT(i)−1. Partitions coupled only through slow paths — or not coupled
+// at all — advance in wide windows while tight CXL neighbors stay in
+// lockstep, and each partition commits its own clock at its own pace (the
+// group time is the minimum commit). When a partition has received no
+// cross traffic for several consecutive barriers, the fixpoint swaps its
+// sources' conservative "could act at their committed time" vector for
+// the exact event-horizon vector, extending the window toward the next
+// event that actually exists; the first delivery drops it back.
+//
+// Windows execute on persistent per-partition workers: one long-lived
+// goroutine per partition parked on a wake channel, with an atomic
+// counter + sense-reversing completion barrier — no per-window goroutine
+// spawns and no WaitGroup churn.
+//
 // Zero-lookahead couplings (shared-core hosts, intra-pod links) are not
 // expressible as CrossLinks — the affected processes must share one
 // partition. A degenerate one-partition group delegates RunUntil straight
@@ -36,6 +59,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // simCheck enables the scheduling-in-the-past invariant guard
@@ -54,6 +78,13 @@ const minCrossLatency Duration = 100
 // Overflow panics: a partition flooding another faster than the barrier
 // drains is a model bug (unbounded hidden queueing), not backpressure.
 const DefaultInboxBound = 1 << 14
+
+// quietWindows is the adaptive-window hysteresis: after this many
+// consecutive barriers with zero deliveries to a partition, its window
+// bound switches from the conservative committed-time vector to the exact
+// event-horizon vector. Any delivery resets the counter, so a partition
+// under cross traffic always runs conservative windows.
+const quietWindows = 4
 
 // extEvent is a cross-partition event awaiting barrier delivery: a
 // callback or timer sent through a CrossLink, or a mobile process transfer
@@ -76,6 +107,14 @@ type inbox struct {
 	evs []extEvent
 }
 
+// windowOrder is one window assignment handed to a partition's persistent
+// worker: run to wend, then report completion on the barrier channel the
+// sense bit selects.
+type windowOrder struct {
+	wend  Duration
+	sense uint32
+}
+
 // Group coordinates partitioned execution. Build one with NewGroup, add
 // partitions, register cross-partition couplings (Link, SetMobileLatency),
 // then drive the whole simulation with RunUntil. Methods on Group must be
@@ -83,25 +122,42 @@ type inbox struct {
 // documented otherwise.
 type Group struct {
 	parts     []*Engine
-	now       Duration // committed global time (last barrier)
-	lookahead Duration // min over registered CrossLinks; MaxTime if none
-	mobileLat Duration // hop latency for mobile processes; 0 = none set
+	now       Duration     // committed group time: min over partition commits
+	la        [][]Duration // la[src][dst]: min declared latency, MaxTime if no edge
+	mobileLat Duration     // hop latency for mobile processes; 0 = none set
 	inboxCap  int
 
-	mu        sync.Mutex // guards transfers + mobile during windows
+	mu        sync.Mutex // guards transfers + mobile + la during windows
 	transfers []extEvent
 	mobile    map[*Proc]bool
+
+	// Persistent window workers (see RunUntil): an atomic countdown of
+	// in-flight partitions plus a pair of completion channels indexed by a
+	// sense bit that flips every window.
+	pending atomic.Int32
+	barrier [2]chan struct{}
+	sense   uint32
+
+	// Barrier scratch, reused across windows (see windows / deliver).
+	wend       []Duration
+	busy       []bool
+	quiet      []int // consecutive barriers with zero deliveries, per partition
+	ndeliv     []int
+	actC, actH []Duration
+	eotC, eitC []Duration
+	eotH, eitH []Duration
+	extFree    [][]extEvent // recycled extEvent slices (deliver swaps them in)
 
 	running bool
 }
 
 // NewGroup returns an empty group with no partitions.
 func NewGroup() *Group {
-	return &Group{lookahead: MaxTime, inboxCap: DefaultInboxBound, mobile: make(map[*Proc]bool)}
+	return &Group{inboxCap: DefaultInboxBound, mobile: make(map[*Proc]bool)}
 }
 
 // AddPartition creates a new partition engine. Partitions added after the
-// group has advanced start at the committed global time, matching the
+// group has advanced start at the committed group time, matching the
 // clamp-to-now semantics a late-built component sees on a shared engine.
 func (g *Group) AddPartition() *Engine {
 	e := New()
@@ -109,6 +165,14 @@ func (g *Group) AddPartition() *Engine {
 	e.pid = len(g.parts)
 	e.now = g.now
 	g.parts = append(g.parts, e)
+	for i := range g.la {
+		g.la[i] = append(g.la[i], MaxTime)
+	}
+	row := make([]Duration, len(g.parts))
+	for i := range row {
+		row[i] = MaxTime
+	}
+	g.la = append(g.la, row)
 	return e
 }
 
@@ -123,8 +187,8 @@ func (g *Group) Partition(i int) *Engine {
 // Partitions returns the number of partitions.
 func (g *Group) Partitions() int { return len(g.parts) }
 
-// Now returns the committed global time: every partition has executed all
-// events up to and including it.
+// Now returns the committed group time — the minimum partition commit:
+// every partition has executed all events up to and including it.
 func (g *Group) Now() Duration { return g.now }
 
 // Procs returns the number of live processes across all partitions.
@@ -159,9 +223,9 @@ func (g *Group) MobileLatency() Duration { return g.mobileLat }
 
 // CrossLink is a declared cross-partition event channel. Every event sent
 // through it must carry a timestamp at least MinLatency after the sender's
-// clock — the conservative lookahead that lets partitions run a window of
-// MinLatency in parallel. core.LinkSet, cxl, and netsw declare one
-// whenever a channel they wire spans partitions.
+// clock — the conservative lookahead that lets the destination run a
+// window of MinLatency in parallel. core.LinkSet, cxl, and netsw declare
+// one whenever a channel they wire spans partitions.
 type CrossLink struct {
 	g        *Group
 	src, dst *Engine
@@ -169,9 +233,11 @@ type CrossLink struct {
 }
 
 // Link registers a cross-partition channel from src to dst with the given
-// minimum event latency and returns it. The group's window shrinks to the
-// smallest registered latency. src == dst is allowed (the link degenerates
-// to local scheduling), letting callers wire uniformly and only pay for
+// minimum event latency and returns it. The declaration tightens exactly
+// one entry of the pairwise lookahead matrix — only dst's window shrinks,
+// and only relative to src's progress; unrelated partition pairs keep
+// their own wider bounds. src == dst is allowed (the link degenerates to
+// local scheduling), letting callers wire uniformly and only pay for
 // spans that exist.
 func (g *Group) Link(src, dst *Engine, min Duration) *CrossLink {
 	if src.group != g || dst.group != g {
@@ -180,8 +246,12 @@ func (g *Group) Link(src, dst *Engine, min Duration) *CrossLink {
 	if min < minCrossLatency {
 		panic(fmt.Sprintf("sim: cross-partition latency %v below the %v lookahead floor (zero-lookahead edges must share a partition)", min, minCrossLatency))
 	}
-	if src != dst && min < g.lookahead {
-		g.lookahead = min
+	if src != dst {
+		g.mu.Lock()
+		if min < g.la[src.pid][dst.pid] {
+			g.la[src.pid][dst.pid] = min
+		}
+		g.mu.Unlock()
 	}
 	return &CrossLink{g: g, src: src, dst: dst, min: min}
 }
@@ -310,43 +380,90 @@ func (p *Proc) parkDetached() {
 	}
 }
 
+// getExt pops a recycled extEvent slice (zero length, retained capacity),
+// or returns nil and lets append allocate. Coordinator-only.
+func (g *Group) getExt() []extEvent {
+	if n := len(g.extFree); n > 0 {
+		s := g.extFree[n-1]
+		g.extFree[n-1] = nil
+		g.extFree = g.extFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putExt recycles a drained extEvent slice, dropping the element payloads
+// so pooled slices never pin callbacks, frames, or processes.
+func (g *Group) putExt(evs []extEvent) {
+	if cap(evs) == 0 {
+		return
+	}
+	for i := range evs {
+		evs[i] = extEvent{}
+	}
+	g.extFree = append(g.extFree, evs[:0])
+}
+
 // deliver merges all pending cross-partition traffic into the destination
 // heaps: first process transfers, then each partition's inbox, each sorted
 // by the canonical (timestamp, source partition, source sequence) key so
 // local sequence numbers — and with them all tie-breaks — are assigned
-// identically on every run. Runs only between windows, on the coordinator.
+// identically on every run. It also counts deliveries per destination for
+// the adaptive-window hysteresis. The drained slices are recycled; senders
+// get a pooled replacement. Runs only between windows, on the coordinator.
 func (g *Group) deliver() {
+	if len(g.ndeliv) != len(g.parts) {
+		g.growScratch()
+	}
+	for i := range g.ndeliv {
+		g.ndeliv[i] = 0
+	}
+	repl := g.getExt()
 	g.mu.Lock()
 	tr := g.transfers
-	g.transfers = nil
+	g.transfers = repl
 	g.mu.Unlock()
 	sortExt(tr)
 	for _, t := range tr {
-		g.fence(t.at, t.srcPid)
+		g.fence(t.at, t.srcPid, t.dst)
 		t.srcEng.nprocs--
 		t.dst.nprocs++
 		t.proc.eng = t.dst
 		t.dst.schedule(t.at, nil, nil, t.proc)
+		g.ndeliv[t.dst.pid]++
 	}
+	g.putExt(tr)
 	for _, e := range g.parts {
+		repl := g.getExt()
 		e.inbox.mu.Lock()
 		evs := e.inbox.evs
-		e.inbox.evs = nil
+		e.inbox.evs = repl
 		e.inbox.mu.Unlock()
 		sortExt(evs)
 		for _, ev := range evs {
-			g.fence(ev.at, ev.srcPid)
+			g.fence(ev.at, ev.srcPid, e)
 			e.schedule(ev.at, ev.fn, ev.tm, nil)
+		}
+		g.ndeliv[e.pid] += len(evs)
+		g.putExt(evs)
+	}
+	for i := range g.parts {
+		if g.ndeliv[i] == 0 {
+			g.quiet[i]++
+		} else {
+			g.quiet[i] = 0
 		}
 	}
 }
 
-// fence asserts an arriving cross event lands strictly after the committed
-// global time — the always-on half of the lookahead invariant.
-func (g *Group) fence(at Duration, srcPid int) {
-	if at <= g.now && g.now > 0 {
-		panic(fmt.Sprintf("sim: cross-partition event from partition %d arrives at %v, inside committed window (global time %v)",
-			srcPid, at, g.now))
+// fence asserts an arriving cross event lands strictly after the
+// destination's committed time — the always-on half of the lookahead
+// invariant, now per destination: a partition that committed far ahead
+// must never have been reachable by this event.
+func (g *Group) fence(at Duration, srcPid int, dst *Engine) {
+	if at <= dst.now && dst.now > 0 {
+		panic(fmt.Sprintf("sim: cross-partition event from partition %d arrives at %v, inside partition %d's committed window (commit %v)",
+			srcPid, at, dst.pid, dst.now))
 	}
 }
 
@@ -363,56 +480,222 @@ func (g *Group) drained() bool {
 	return true
 }
 
-func sortExt(evs []extEvent) {
-	sort.Slice(evs, func(i, j int) bool {
-		a, b := evs[i], evs[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.srcPid != b.srcPid {
-			return a.srcPid < b.srcPid
-		}
-		return a.srcSeq < b.srcSeq
-	})
+func extLess(a, b *extEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.srcPid != b.srcPid {
+		return a.srcPid < b.srcPid
+	}
+	return a.srcSeq < b.srcSeq
 }
 
-// window computes the next conservative window end: the committed time
-// plus the smallest declared cross-partition latency, tightened or relaxed
-// by mobile-process state, capped at the deadline. Window ends are
-// inclusive (RunUntil executes events at the boundary), so lookahead
-// bounds subtract one tick to keep arrivals strictly outside the window.
-func (g *Group) window(deadline Duration) Duration {
-	wend := deadline
-	if g.lookahead != MaxTime {
-		if b := g.now + g.lookahead - 1; b < wend {
-			wend = b
+// sortExt orders by the canonical merge key. Typical barrier batches are a
+// handful of events, where insertion sort beats sort.Slice and — unlike it —
+// allocates nothing (the closure and reflect header escape); large batches
+// fall back.
+func sortExt(evs []extEvent) {
+	if len(evs) <= 32 {
+		for i := 1; i < len(evs); i++ {
+			ev := evs[i]
+			j := i - 1
+			for j >= 0 && extLess(&ev, &evs[j]) {
+				evs[j+1] = evs[j]
+				j--
+			}
+			evs[j+1] = ev
+		}
+		return
+	}
+	sort.Slice(evs, func(i, j int) bool { return extLess(&evs[i], &evs[j]) })
+}
+
+// growScratch sizes the per-barrier scratch vectors to the partition count,
+// preserving the adaptive counters for existing partitions.
+func (g *Group) growScratch() {
+	n := len(g.parts)
+	grow := func(s []Duration) []Duration {
+		if cap(s) >= n {
+			return s[:n]
+		}
+		return make([]Duration, n)
+	}
+	g.wend = grow(g.wend)
+	g.actC = grow(g.actC)
+	g.actH = grow(g.actH)
+	g.eotC = grow(g.eotC)
+	g.eitC = grow(g.eitC)
+	g.eotH = grow(g.eotH)
+	g.eitH = grow(g.eitH)
+	for len(g.quiet) < n {
+		g.quiet = append(g.quiet, 0)
+	}
+	g.quiet = g.quiet[:n]
+	if cap(g.ndeliv) >= n {
+		g.ndeliv = g.ndeliv[:n]
+	} else {
+		g.ndeliv = make([]int, n)
+	}
+	if cap(g.busy) >= n {
+		g.busy = g.busy[:n]
+	} else {
+		g.busy = make([]bool, n)
+	}
+}
+
+// eitFixpoint solves the conservative EOT/EIT system over the lookahead
+// matrix for one "earliest action" vector act:
+//
+//	eot[j] = min(act[j], max(eit[j], commit[j]+1))
+//	eit[j] = min over incoming edges (eot[src] + L[src][j]), and the
+//	         mobile-process bound mob (a mobile may hop anywhere)
+//
+// starting from the top (eit = MaxTime) and iterating to the greatest
+// fixpoint: every finite bound traces back to a real pending event through
+// edges of at least the 100 ns floor, so relayed influence — a drained
+// partition woken next barrier and then emitting — is bounded transitively.
+// Values only decrease and each pass propagates bounds one more hop, so it
+// converges within len(parts) passes.
+func (g *Group) eitFixpoint(act, eot, eit []Duration, mob Duration) {
+	n := len(g.parts)
+	for j := 0; j < n; j++ {
+		eot[j] = act[j]
+		eit[j] = MaxTime
+	}
+	for changed := true; changed; {
+		changed = false
+		for dst := 0; dst < n; dst++ {
+			m := mob
+			for src := 0; src < n; src++ {
+				l := g.la[src][dst]
+				if l == MaxTime || eot[src] == MaxTime {
+					continue
+				}
+				if a := eot[src] + l; a < m {
+					m = a
+				}
+			}
+			if m < eit[dst] {
+				eit[dst] = m
+				changed = true
+			}
+			o := eit[dst]
+			if lo := g.parts[dst].now + 1; o != MaxTime && o < lo {
+				o = lo
+			}
+			if act[dst] < o {
+				o = act[dst]
+			}
+			if o < eot[dst] {
+				eot[dst] = o
+				changed = true
+			}
 		}
 	}
+}
+
+// windows computes each partition's next conservative window end into
+// g.wend. Two action vectors feed the fixpoint: the conservative one (a
+// partition with pending events could act from its committed time) and the
+// horizon one (it provably cannot act before its earliest pending event).
+// A destination that has seen cross traffic recently is bounded by the
+// conservative solution; after quietWindows delivery-free barriers it
+// switches to the horizon solution, extending its window toward the next
+// event that actually exists. Both solutions derive purely from virtual
+// state, so window shapes — and with them all merge orders — are identical
+// at any GOMAXPROCS. Window ends are inclusive (RunUntil executes events at
+// the boundary), so bounds subtract one tick to keep arrivals strictly
+// outside the window.
+func (g *Group) windows(deadline Duration) {
+	if len(g.wend) != len(g.parts) {
+		g.growScratch()
+	}
+	for i, e := range g.parts {
+		pending := len(e.events) > 0 || e.nowQHead < len(e.nowQ)
+		if !pending {
+			g.actC[i], g.actH[i] = MaxTime, MaxTime
+			continue
+		}
+		g.actC[i] = e.now
+		h := e.now
+		if e.nowQHead >= len(e.nowQ) && len(e.events) > 0 {
+			h = e.events[0].at
+		}
+		g.actH[i] = h
+	}
+	mob := MaxTime
 	g.mu.Lock()
 	for p := range g.mobile {
-		earliest := g.now
+		earliest := p.eng.now
 		if p.blockedIdx == -1 && p.hasWake {
 			// Parked on a pure timer: provably inert until wakeAt. A
 			// signal-parked or runnable mobile process may act any time, so
-			// it pins the bound at the committed time.
+			// it pins the bound at its partition's committed time.
 			earliest = p.wakeAt
 		}
-		if b := earliest + g.mobileLat - 1; b < wend {
-			wend = b
+		if earliest >= MaxTime-g.mobileLat {
+			continue
+		}
+		if b := earliest + g.mobileLat; b < mob {
+			mob = b
 		}
 	}
 	g.mu.Unlock()
-	if wend < g.now {
-		wend = g.now
+	g.eitFixpoint(g.actC, g.eotC, g.eitC, mob)
+	g.eitFixpoint(g.actH, g.eotH, g.eitH, mob)
+	for i, e := range g.parts {
+		eit := g.eitC[i]
+		if g.quiet[i] >= quietWindows {
+			eit = g.eitH[i]
+		}
+		w := deadline
+		if eit != MaxTime && eit-1 < w {
+			w = eit - 1
+		}
+		if w < e.now {
+			w = e.now // held: this partition legally sits this round out
+		}
+		g.wend[i] = w
 	}
-	return wend
+}
+
+// ensureWorkers lazily starts the persistent window workers: one goroutine
+// per partition, parked on its wake channel until the coordinator assigns
+// it a window. Workers live until Shutdown closes the channels.
+func (g *Group) ensureWorkers() {
+	if g.barrier[0] == nil {
+		g.barrier[0] = make(chan struct{}, 1)
+		g.barrier[1] = make(chan struct{}, 1)
+	}
+	for _, e := range g.parts {
+		if e.wake == nil {
+			e.wake = make(chan windowOrder, 1)
+			go g.worker(e, e.wake)
+		}
+	}
+}
+
+// worker is one partition's persistent window loop: run each assigned
+// window with the ordinary serial engine loop, then count down the barrier;
+// the last partition to finish releases the coordinator on the channel the
+// window's sense bit selects. The wake channel is passed by value so only
+// the coordinator ever touches the Engine field (Shutdown nils it).
+func (g *Group) worker(e *Engine, wake <-chan windowOrder) {
+	for w := range wake {
+		e.RunUntil(w.wend)
+		if g.pending.Add(-1) == 0 {
+			g.barrier[w.sense] <- struct{}{}
+		}
+	}
 }
 
 // RunUntil advances every partition to the deadline through the barrier
-// loop: deliver pending cross events, compute the conservative window, run
-// each partition's ordinary serial loop to the window end on its own
-// goroutine, repeat. A one-partition group delegates directly to the
-// engine — byte-for-byte the serial loop.
+// loop: deliver pending cross events, solve the pairwise windows, dispatch
+// each partition with work to its persistent worker (partitions whose
+// window is empty just commit their clock; partitions already at their
+// bound sit the round out), wait on the completion barrier, repeat. A
+// one-partition group delegates directly to the engine — byte-for-byte the
+// serial loop.
 func (g *Group) RunUntil(deadline Duration) Duration {
 	if g.running {
 		panic("sim: Group.RunUntil called re-entrantly")
@@ -427,48 +710,66 @@ func (g *Group) RunUntil(deadline Duration) Duration {
 		g.now = g.parts[0].now
 		return g.now
 	}
+	g.ensureWorkers()
 	for {
 		g.deliver()
+		g.now = g.parts[0].now
+		for _, e := range g.parts[1:] {
+			if e.now < g.now {
+				g.now = e.now
+			}
+		}
 		if g.now >= deadline {
 			return g.now
 		}
 		if deadline == MaxTime && g.drained() {
 			// Open-ended run and every queue is empty: the simulation is
 			// over, exactly as a serial Run returns on an exhausted heap.
-			return g.now
-		}
-		wend := g.window(deadline)
-		if wend <= g.now {
-			panic(fmt.Sprintf("sim: window collapsed at %v (lookahead %v, mobile latency %v)", g.now, g.lookahead, g.mobileLat))
-		}
-		var wg sync.WaitGroup
-		for _, e := range g.parts {
-			if e.nowQHead >= len(e.nowQ) && (len(e.events) == 0 || e.events[0].at > wend) {
-				// Idle window: nothing to execute, just commit the clock.
-				if wend != MaxTime && e.now < wend {
-					e.now = wend
-				}
-				continue
-			}
-			e.windowStart = e.now
-			wg.Add(1)
-			go func(e *Engine) {
-				defer wg.Done()
-				e.RunUntil(wend)
-			}(e)
-		}
-		wg.Wait()
-		if wend == MaxTime {
-			// Unbounded window (no cross couplings left): partitions drained
-			// at their own final times; commit to the latest real one.
+			// Commit to the latest partition time — the last event anywhere.
 			for _, e := range g.parts {
 				if e.now > g.now {
 					g.now = e.now
 				}
 			}
+			return g.now
+		}
+		g.windows(deadline)
+		nbusy := 0
+		progress := false
+		for i, e := range g.parts {
+			g.busy[i] = false
+			wend := g.wend[i]
+			if wend <= e.now {
+				continue // held
+			}
+			if e.nowQHead >= len(e.nowQ) && (len(e.events) == 0 || e.events[0].at > wend) {
+				// Idle window: nothing to execute, just commit the clock.
+				if wend != MaxTime {
+					e.now = wend
+					progress = true
+				}
+				continue
+			}
+			g.busy[i] = true
+			nbusy++
+			progress = true
+			e.windowStart = e.now
+		}
+		if !progress {
+			panic(fmt.Sprintf("sim: window collapsed at %v (no partition can advance; mobile latency %v)", g.now, g.mobileLat))
+		}
+		if nbusy == 0 {
 			continue
 		}
-		g.now = wend
+		s := g.sense
+		g.pending.Store(int32(nbusy))
+		for i, e := range g.parts {
+			if g.busy[i] {
+				e.wake <- windowOrder{wend: g.wend[i], sense: s}
+			}
+		}
+		<-g.barrier[s]
+		g.sense ^= 1
 	}
 }
 
@@ -477,12 +778,19 @@ func (g *Group) RunUntil(deadline Duration) Duration {
 // Run is a convenience for tests.
 func (g *Group) Run() Duration { return g.RunUntil(MaxTime) }
 
-// Shutdown terminates the whole group: every partition's processes unwind
-// (including mobile processes caught mid-hop) and pending events drop.
-// Must not be called while RunUntil is executing a window.
+// Shutdown terminates the whole group: the persistent workers exit, every
+// partition's processes unwind (including mobile processes caught mid-hop)
+// and pending events drop. Must not be called while RunUntil is executing
+// a window.
 func (g *Group) Shutdown() {
 	if g.running {
 		panic("sim: Group.Shutdown called during a window")
+	}
+	for _, e := range g.parts {
+		if e.wake != nil {
+			close(e.wake)
+			e.wake = nil
+		}
 	}
 	g.mu.Lock()
 	tr := g.transfers

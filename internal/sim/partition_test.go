@@ -305,3 +305,120 @@ func TestGroupRunDrains(t *testing.T) {
 	}
 	g.Shutdown()
 }
+
+// countTimer is a pooled, closure-free cross-event payload for the alloc
+// regression below; each partition gets its own so Fire never races.
+type countTimer struct{ n int }
+
+func (c *countTimer) Fire() { c.n++ }
+
+// The barrier loop is the partitioned mode's hot path: once warm, a steady
+// cross-traffic workload must run whole windows — deliver (pooled slices,
+// insertion-sorted merges), the pairwise-window fixpoint, worker wakeups,
+// and the sense-reversing completion barrier — without allocating.
+func TestGroupBarrierAllocFree(t *testing.T) {
+	g := NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	const lat = time.Microsecond
+	ab := g.Link(a, b, lat)
+	ba := g.Link(b, a, lat)
+	toB, toA := &countTimer{}, &countTimer{}
+	pinger := func(e *Engine, l *CrossLink, tm *countTimer) {
+		e.Go("pinger", func(p *Proc) {
+			for {
+				p.Sleep(700 * time.Nanosecond)
+				l.SendTimer(p.Now()+lat, tm)
+			}
+		})
+	}
+	pinger(a, ab, toB)
+	pinger(b, ba, toA)
+	next := 200 * time.Microsecond
+	g.RunUntil(next) // warm: event free lists, ext pools, persistent workers
+	allocs := testing.AllocsPerRun(20, func() {
+		next += 100 * time.Microsecond
+		g.RunUntil(next)
+	})
+	g.Shutdown()
+	if toB.n == 0 || toA.n == 0 {
+		t.Fatal("workload produced no cross deliveries")
+	}
+	if allocs > 2 {
+		t.Fatalf("barrier loop allocated %.1f objects per ~100 windows, want ~0", allocs)
+	}
+}
+
+// The SendTimer path shares the overflow guard with Send, and the panic
+// must name both the flooded and the flooding partition.
+func TestInboxOverflowSendTimer(t *testing.T) {
+	g := NewGroup()
+	g.SetInboxBound(4)
+	a, b := g.AddPartition(), g.AddPartition()
+	link := g.Link(a, b, 1*time.Microsecond)
+	tm := &countTimer{}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected inbox overflow panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"partition 1 inbox overflow", "bound 4", "partition 0 is flooding"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		link.SendTimer(2*time.Microsecond, tm)
+	}
+}
+
+// The window-collapse panic is the barrier loop's no-progress invariant:
+// it must be unreachable through correct lookahead accounting, so the test
+// forges the kind of bug it exists to catch — a stale mobile registration
+// whose wake bound pins every partition's window into its committed past
+// while work remains.
+func TestWindowCollapsePanics(t *testing.T) {
+	g := NewGroup()
+	g.SetMobileLatency(minCrossLatency)
+	a, b := g.AddPartition(), g.AddPartition()
+	g.Link(a, b, 200)
+	a.Go("tick", func(p *Proc) { p.Sleep(time.Microsecond) })
+	g.RunUntil(2 * time.Microsecond) // both partitions commit to 2µs
+	forged := &Proc{eng: a, name: "forged", hasWake: true, wakeAt: 0, blockedIdx: -1, run: make(chan struct{})}
+	g.mobile[forged] = true
+	a.After(5*time.Microsecond, func() {}) // pending work that can never run
+	mustPanic(t, "window collapsed", func() { g.RunUntil(10 * time.Microsecond) })
+	delete(g.mobile, forged)
+	g.Shutdown()
+}
+
+// Adaptive window sizing: a partition that receives no cross traffic for
+// quietWindows consecutive barriers switches to horizon-bound windows, and
+// the first delivery drops it straight back to conservative ones.
+func TestAdaptiveQuietCounter(t *testing.T) {
+	g := NewGroup()
+	a, b := g.AddPartition(), g.AddPartition()
+	link := g.Link(a, b, time.Microsecond)
+	g.Link(b, a, time.Microsecond) // bound a's windows so many barriers run
+	busy := func(e *Engine) {
+		e.Go("local", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(500 * time.Nanosecond)
+			}
+		})
+	}
+	busy(a)
+	busy(b)
+	g.RunUntil(100 * time.Microsecond)
+	if g.quiet[b.pid] < quietWindows {
+		t.Fatalf("partition %d saw no deliveries but quiet counter is %d, want >= %d",
+			b.pid, g.quiet[b.pid], quietWindows)
+	}
+	link.Send(a.Now()+2*time.Microsecond, func() {})
+	g.deliver()
+	if g.quiet[b.pid] != 0 {
+		t.Fatalf("delivery did not reset the quiet counter (got %d)", g.quiet[b.pid])
+	}
+	g.Shutdown()
+}

@@ -97,9 +97,10 @@ type Engine struct {
 	// group == nil and behaves exactly as before; a partition is an
 	// ordinary engine whose windows are driven by its Group.
 	group       *Group
-	pid         int      // partition index within the group
-	windowStart Duration // committed global time at window entry (SIMCHECK)
-	inbox       inbox    // cross-partition events awaiting barrier delivery
+	pid         int              // partition index within the group
+	windowStart Duration         // partition commit at window entry (SIMCHECK)
+	inbox       inbox            // cross-partition events awaiting barrier delivery
+	wake        chan windowOrder // persistent window worker's assignment channel
 }
 
 // New returns an Engine with the clock at zero and no pending events.

@@ -159,6 +159,29 @@ func NewPodOnEngine(eng *sim.Engine, cfg Config) *Pod {
 	return &Pod{Topology: newTopology(eng, cfg, topo.Unscoped, false)}
 }
 
+// NewPerHostPod creates an empty standalone pod in per-host partitioned
+// execution mode: the pod core — hosts, CXL pool, ToR switch, devices,
+// instances — runs on partition 0 of a private sim.Group, every AddClient
+// gets a partition of its own behind a switch RemotePort (the cable
+// extension is the declared lookahead), and AddGuest adds host-compute
+// partitions coupled through the pool at its intrinsic cross-host latency.
+// Pod.Run/Shutdown/Now drive the whole group, so single-pod experiments
+// exploit multiple cores: load generation and guest compute advance in
+// parallel with the pod under the group's conservative windows.
+//
+// The remote attachment adds real modeled latency (one extra cable hop
+// each way), so a per-host run's virtual timeline differs from the same
+// pod built with NewPod — per-host mode is a different physical topology,
+// not a different execution of the same one. What partitioned execution
+// guarantees is that the per-host timeline itself is byte-identical across
+// reruns and GOMAXPROCS settings.
+func NewPerHostPod(cfg Config) *Pod {
+	g := sim.NewGroup()
+	t := newTopology(g.AddPartition(), cfg, topo.Unscoped, true)
+	t.group = g
+	return &Pod{Topology: t}
+}
+
 // Snapshot is the structured result of Pod.Stats: a sorted, deterministic
 // view of every registered series plus the retained trace events. It
 // marshals to stable JSON and renders to Prometheus text via PromText.

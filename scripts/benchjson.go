@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -30,16 +31,21 @@ type benchmark struct {
 }
 
 type results struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Execution-environment shape: partitioned-execution rows (the
+	// RacksweepSim family) scale with available parallelism, so a snapshot
+	// is only comparable to another taken at the same width.
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
 	Benchmarks []benchmark `json:"benchmarks"`
 	Raw        []string    `json:"raw"`
 }
 
 func main() {
-	out := results{}
+	out := results{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

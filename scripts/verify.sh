@@ -35,10 +35,13 @@ echo "== go test -race (concurrent-facing packages) =="
 go test -race ./internal/memalloc ./internal/metrics ./internal/obs/... ./internal/core/... ./internal/par ./internal/faults ./internal/topo
 # internal/sim now carries real intra-run concurrency: partitioned groups
 # run one goroutine per partition inside conservative windows. Its whole
-# test suite (partition windows, cross-links, mobile hops, group shutdown)
-# runs under the detector, as do the cluster-level partitioned tests.
+# test suite (partition windows, pairwise lookahead, persistent workers,
+# barrier alloc regression, inbox-overflow/window-collapse panics, mobile
+# hops, group shutdown) runs under the detector, as do the cluster-level
+# partitioned tests and the per-host pod tests (client/guest partitions
+# behind RemotePorts and pool channels).
 go test -race ./internal/sim
-go test -race -run 'TestPartitionedCluster|TestClusterFaultPlanMidMigration' .
+go test -race -run 'TestPartitionedCluster|TestClusterFaultPlanMidMigration|TestPerHost' .
 # -short: one chaos run (invariants only) — the byte-identical rerun is
 # asserted by the non-race tier above; doubling it under the detector's
 # ~10x overhead buys no extra race coverage.
@@ -49,11 +52,17 @@ go test -race -short -run 'Parallel|Chaos' ./internal/experiments
 # thread count must be invisible — the conservative-window barriers plus
 # the (timestamp, source partition, source seq) merge order are the only
 # schedule. Swept at GOMAXPROCS=1 (everything time-slices one thread), 2
-# (real preemption between partitions), and 8 (full fan-out).
+# (real preemption between partitions), and 8 (full fan-out). Per-host
+# mode (clients and guests on partitions of their own) is swept in the
+# same loop: its timeline is not comparable to serial — the RemotePort
+# attachment adds real cable latency — but must itself be byte-identical
+# across reruns at every thread count (chaos campaign + racksweep app
+# runs in internal/experiments, echo flow in the root package).
 echo "== intra-run partitioned determinism (GOMAXPROCS=1,2,8) =="
 for n in 1 2 8; do
     echo "-- GOMAXPROCS=$n"
-    GOMAXPROCS=$n go test -count=1 -run TestIntraRunPartitionedMatchesSerial ./internal/experiments
+    GOMAXPROCS=$n go test -count=1 -run 'TestIntraRunPartitionedMatchesSerial|TestPerHostPartitionedDeterministic' ./internal/experiments
+    GOMAXPROCS=$n go test -count=1 -run 'TestPerHostPodDeterministic' .
 done
 
 # Smoke the full parallel fan-out end to end: every experiment at tiny
@@ -65,16 +74,21 @@ go run ./cmd/oasis-bench -run all -scale 0.05 -parallel > /dev/null
 
 # Chaos smoke: the seeded fault campaign must end with every recovery
 # invariant intact (no acked-write loss, bounded loss windows, bounded
-# control-plane recovery). The report says so in one grep-able line.
-echo "== chaos campaign smoke =="
+# control-plane recovery) — in serial mode and in per-host mode, where the
+# probe client advances on a partition of its own. The report says so in
+# one grep-able line.
+echo "== chaos campaign smoke (serial + per-host) =="
 go run ./cmd/oasis-bench -run chaos | grep -q "invariants: OK"
+go run ./cmd/oasis-bench -run chaos-perhost | grep -q "invariants: OK"
 
 # Rack smoke: the 512-host multi-pod cluster must place, hot-spot, and
-# rebalance with cross-pod migrations — serially and in partitioned
-# execution (one sim partition per pod). (Byte-identity across reruns,
-# -parallel, and execution modes is asserted by the determinism tests.)
-echo "== racksweep cluster smoke (serial + partitioned) =="
+# rebalance with cross-pod migrations — serially, in partitioned execution
+# (one sim partition per pod), and per-host (plus one per client).
+# (Byte-identity across reruns, -parallel, and execution modes is asserted
+# by the determinism tests.)
+echo "== racksweep cluster smoke (serial + partitioned + per-host) =="
 go run ./cmd/oasis-bench -run racksweep -scale 0.05 | grep -q "cross-pod migrations"
 go run ./cmd/oasis-bench -run racksweep-par -scale 0.05 | grep -q "cross-pod migrations"
+go run ./cmd/oasis-bench -run racksweep-perhost -scale 0.05 | grep -q "cross-pod migrations"
 
 echo "verify: OK"

@@ -136,11 +136,22 @@ func (i *Instance) WaitReady(p *Proc, timeout Duration) bool {
 }
 
 // Client is a load-generator node outside the pod, attached directly to
-// the ToR switch (the paper's "network load driver", §5).
+// the ToR switch (the paper's "network load driver", §5). In a per-host
+// partitioned pod (NewPerHostPod) each client is a simulation partition of
+// its own, attached through a netsw.RemotePort — the cable extension is
+// the declared cross-partition lookahead — so client-side load generation
+// runs in parallel with the pod core.
 type Client struct {
 	Stack  *netstack.Stack
 	SwPort *netsw.Port
 	mac    netsw.MAC
+	// eng is the engine the client's stack and application processes run
+	// on: the pod engine normally, the client's own partition in per-host
+	// mode.
+	eng *sim.Engine
+	// remote is the cross-partition attachment in per-host mode (nil when
+	// the client shares the pod engine).
+	remote *netsw.RemotePort
 }
 
 // Transmit implements netstack.Endpoint for the raw client.
@@ -149,11 +160,28 @@ func (c *Client) Transmit(p *Proc, frame []byte) {
 	copy(f.Dst[:], frame[0:6])
 	copy(f.Src[:], frame[6:12])
 	f.Bytes = frame
+	if c.remote != nil {
+		c.remote.Send(&f)
+		return
+	}
 	c.SwPort.Send(&f)
 }
 
 // DeliverFrame implements netsw.Sink for the raw client.
 func (c *Client) DeliverFrame(f *netsw.Frame) { c.Stack.DeliverFrame(f.Bytes) }
+
+// Go spawns an application process in the client's execution domain: its
+// own partition in per-host mode, the pod engine otherwise (where this is
+// identical to Topology.Go). Processes that touch the client's stack must
+// be spawned here — in per-host mode the stack lives on the client's
+// partition and may not be driven from the pod's.
+func (c *Client) Go(name string, fn func(p *Proc)) { c.eng.Go(name, fn) }
+
+// Eng returns the engine the client executes on.
+func (c *Client) Eng() *sim.Engine { return c.eng }
+
+// Remote reports whether the client runs on a partition of its own.
+func (c *Client) Remote() bool { return c.remote != nil }
 
 // Topology is the incremental node graph behind a pod: the engine, the CXL
 // pool, the ToR switch, and every host, device, instance, and client node.
@@ -192,6 +220,16 @@ type Topology struct {
 	scope    string
 	// ownEngine is false for cluster pods sharing the cluster's engine.
 	ownEngine bool
+
+	// group is non-nil in per-host partitioned mode (NewPerHostPod, or a
+	// per-host cluster): the pod core — hosts, pool, switch, devices,
+	// instances — runs on Eng, while every AddClient gets a partition of
+	// its own behind a RemotePort and AddGuest adds host-compute
+	// partitions coupled through the CXL pool. Lifecycle calls drive the
+	// group when the topology owns its engine.
+	group *sim.Group
+	// guests are the per-host compute partitions added with AddGuest.
+	guests []*Guest
 
 	// nodes is the graph's id set — one canonical topo-grammar key per
 	// node — used to reject double-adds of the same id.
@@ -583,12 +621,23 @@ func (t *Topology) AddInstance(on *Host, ip netstack.IP) *Instance {
 }
 
 // AddClientErr attaches a raw load-generator node to the switch. After
-// Start its stack is started immediately.
+// Start its stack is started immediately. In per-host mode the client
+// becomes a simulation partition of its own: the switch attachment is a
+// RemotePort (one extra cable hop each way, declared as lookahead) and the
+// client's stack — plus anything spawned with Client.Go — executes on the
+// new partition, in parallel with the pod core.
 func (t *Topology) AddClientErr(ip netstack.IP) (*Client, error) {
-	c := &Client{mac: t.allocMAC()}
-	c.SwPort = t.Switch.AttachPort(t.scope+fmt.Sprintf("client-%v", ip), c)
+	name := t.scope + fmt.Sprintf("client-%v", ip)
+	c := &Client{mac: t.allocMAC(), eng: t.Eng}
+	if t.group != nil {
+		c.eng = t.group.AddPartition()
+		c.remote = t.Switch.AttachRemotePort(t.group, name, c.eng, c, 0)
+		c.SwPort = c.remote.Port()
+	} else {
+		c.SwPort = t.Switch.AttachPort(name, c)
+	}
 	mac := c.mac
-	c.Stack = netstack.NewStack(t.Eng, t.scope+fmt.Sprintf("client-%v", ip), ip,
+	c.Stack = netstack.NewStack(c.eng, name, ip,
 		func() netsw.MAC { return mac }, c, t.cfg.Stack)
 	t.clients = append(t.clients, c)
 	if t.started {
@@ -604,6 +653,52 @@ func (t *Topology) AddClient(ip netstack.IP) *Client {
 		panic(err)
 	}
 	return c
+}
+
+// Guest is a per-host compute partition (per-host mode only): application
+// code that runs on a pod host's spare cores but is coupled to the pod
+// only through channels over the CXL pool, so it can execute on a
+// simulation partition of its own. The pool's intrinsic minimum cross-host
+// event latency (cxl.Pool.CrossLatency — the cheaper of a line load and a
+// posted write) is the declared lookahead in both directions.
+type Guest struct {
+	Eng *sim.Engine
+	// Chan is the guest side of the duplex message channel to the pod
+	// partition; PodChan is the pod side. Poll each end only from its own
+	// partition's processes.
+	Chan    *core.CrossEnd
+	PodChan *core.CrossEnd
+	host    *Host
+}
+
+// Host returns the pod host whose spare cores the guest models.
+func (g *Guest) Host() *Host { return g.host }
+
+// Go spawns an application process on the guest's partition.
+func (g *Guest) Go(name string, fn func(p *Proc)) { g.Eng.Go(name, fn) }
+
+// AddGuestErr adds a guest-compute partition on host h. Only per-host
+// topologies (NewPerHostPod) can host guests: the guest needs a partition
+// group to join. The returned guest's channel ends carry its RPCs to the
+// pod at CXL-pool latency.
+func (t *Topology) AddGuestErr(h *Host) (*Guest, error) {
+	if t.group == nil {
+		return nil, fmt.Errorf("oasis: AddGuest on %s needs a per-host pod (NewPerHostPod)", h.H.Name)
+	}
+	ge := t.group.AddPartition()
+	gEnd, pEnd := core.NewCrossChannel(t.group, ge, t.Eng, t.Pool.CrossLatency())
+	g := &Guest{Eng: ge, Chan: gEnd, PodChan: pEnd, host: h}
+	t.guests = append(t.guests, g)
+	return g, nil
+}
+
+// AddGuest is the panic-on-error wrapper around AddGuestErr.
+func (t *Topology) AddGuest(h *Host) *Guest {
+	g, err := t.AddGuestErr(h)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // nicIDs returns the pooled NIC ids in ascending order, so pod wiring and
@@ -827,18 +922,47 @@ func (t *Topology) Start() {
 	t.registerObs()
 }
 
-// Go spawns an application process.
+// Go spawns an application process on the pod partition. Per-host client
+// workloads spawn with Client.Go, guest workloads with Guest.Go.
 func (t *Topology) Go(name string, fn func(p *Proc)) { t.Eng.Go(name, fn) }
 
-// Run executes d of virtual time and returns the clock. Cluster pods share
-// the cluster engine; drive them with Cluster.Run instead.
-func (t *Topology) Run(d Duration) Duration { return t.Eng.RunUntil(d) }
+// Run executes d of virtual time and returns the clock — the whole
+// partition group's in per-host mode. Cluster pods share the cluster
+// engine; drive them with Cluster.Run instead.
+func (t *Topology) Run(d Duration) Duration {
+	if t.group != nil && t.ownEngine {
+		return t.group.RunUntil(d)
+	}
+	return t.Eng.RunUntil(d)
+}
 
-// Shutdown unwinds all processes (end of an experiment).
-func (t *Topology) Shutdown() { t.Eng.Shutdown() }
+// Shutdown unwinds all processes (end of an experiment) — on every
+// partition in per-host mode. In group mode call it only from outside the
+// simulation, between Run calls.
+func (t *Topology) Shutdown() {
+	if t.group != nil && t.ownEngine {
+		t.group.Shutdown()
+		return
+	}
+	t.Eng.Shutdown()
+}
 
-// Now returns the virtual clock.
-func (t *Topology) Now() Duration { return t.Eng.Now() }
+// Now returns the virtual clock: the committed (barrier) time in per-host
+// mode.
+func (t *Topology) Now() Duration {
+	if t.group != nil && t.ownEngine {
+		return t.group.Now()
+	}
+	return t.Eng.Now()
+}
+
+// Group returns the partition group behind a per-host topology, or nil
+// for the ordinary single-engine (or cluster-driven) forms.
+func (t *Topology) Group() *sim.Group { return t.group }
+
+// PerHost reports whether clients (and guests) get partitions of their
+// own.
+func (t *Topology) PerHost() bool { return t.group != nil }
 
 // FailNICPort injects the paper's §5.3 failure: the switch port connected
 // to the NIC is disabled.
