@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench fmt chaos
+.PHONY: all build vet test race verify bench fmt chaos grayfail blackout fuzz
 
 all: verify
 
@@ -47,3 +47,18 @@ fmt:
 # injection log, recovery histograms, invariant verdict).
 chaos:
 	$(GO) run ./cmd/oasis-bench -run chaos
+
+# Run the seeded gray-failure campaign: four degraded-mode faults, health
+# scorer evacuations, hard failovers silent.
+grayfail:
+	$(GO) run ./cmd/oasis-bench -run grayfail
+
+# Measure the migration write-blackout, pre-copy vs stop-the-world, across
+# the write-rate grid.
+blackout:
+	$(GO) run ./cmd/oasis-bench -run blackout
+
+# Replay the FuzzParsePlan seed corpus as a plain regression test (no long
+# fuzzing); run `go test -fuzz=FuzzParsePlan ./internal/faults` to explore.
+fuzz:
+	$(GO) test -run FuzzParsePlan -v ./internal/faults

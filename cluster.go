@@ -56,6 +56,29 @@ type Cluster struct {
 	// volume to quiesce and for the destination volume to register.
 	MigrationCopyBudget Duration
 
+	// StopTheWorldMigration reverts MigrateInstance to the freeze-first
+	// protocol: writes are frozen for the entire volume copy instead of
+	// only the final dirty flush. Kept for comparison — the blackout
+	// experiment runs both modes side by side.
+	StopTheWorldMigration bool
+
+	// PrecopyRounds bounds the iterative dirty-flush rounds a pre-copy
+	// migration runs before freezing: each round re-copies the blocks
+	// dirtied during the previous one, so the set shrinks geometrically
+	// when the copy outruns the writer. More rounds shrink the final
+	// freeze window at the cost of total migration time.
+	PrecopyRounds int
+
+	// PrecopyFlushBlocks stops the iterative rounds early: once a round
+	// begins with at most this many dirty blocks, the migration freezes
+	// and flushes the remainder inside the blackout window.
+	PrecopyFlushBlocks int
+
+	// LastBlackout is the length of the write-blackout window (freeze to
+	// cutover) of the most recent successful volume-backed
+	// MigrateInstance.
+	LastBlackout Duration
+
 	// HopLatency is the modeled control-plane RPC cost a cluster-level
 	// operation pays each time it moves between pods (placement probe,
 	// migration step). Charged identically in serial and partitioned mode
@@ -76,7 +99,13 @@ const DefaultHopLatency = 20 * time.Microsecond
 // NewCluster creates an empty cluster on a fresh shared engine: every pod
 // shares one serial event loop.
 func NewCluster() *Cluster {
-	return &Cluster{Eng: sim.New(), MigrationCopyBudget: 500 * time.Millisecond, HopLatency: DefaultHopLatency}
+	return &Cluster{
+		Eng:                 sim.New(),
+		MigrationCopyBudget: 500 * time.Millisecond,
+		HopLatency:          DefaultHopLatency,
+		PrecopyRounds:       4,
+		PrecopyFlushBlocks:  16,
+	}
 }
 
 // NewPartitionedCluster creates an empty cluster in partitioned execution
@@ -94,6 +123,8 @@ func NewPartitionedCluster() *Cluster {
 		group:               g,
 		MigrationCopyBudget: 500 * time.Millisecond,
 		HopLatency:          DefaultHopLatency,
+		PrecopyRounds:       4,
+		PrecopyFlushBlocks:  16,
 	}
 	g.SetMobileLatency(c.HopLatency)
 	return c
@@ -355,34 +386,50 @@ func (c *Cluster) PlaceInstance(ip netstack.IP) *Instance {
 // MigrateInstance moves an instance — and its volume, if it has one — to
 // pod dst. It must run inside a simulation process (use Cluster.Go).
 //
-// The protocol reuses the storage engine's epoch/fencing machinery so no
-// acked write is ever lost, even when the fault injector is tearing at
-// both pods:
+// The default protocol is a pre-copy migration: the bulk of the volume is
+// copied while the instance keeps writing, and only the final dirty-set
+// flush runs inside the write-freeze window, so the blackout is bounded by
+// the write rate rather than the volume size. It reuses the storage
+// engine's epoch/fencing machinery so no acked write is ever lost, even
+// when the fault injector is tearing at both pods:
 //
-//  1. Freeze writes on the source volume. New writes fail fast with
-//     ErrMigrating — they are never acknowledged, so no promise exists.
-//  2. Quiesce: wait for every in-flight request to resolve. Writes acked
-//     before or during the freeze are now durable on the source drive.
-//  3. Epoch fence: the quiesce bumps the volume's fencing epoch, so a
-//     wedged backend's late completion is rejected (StaleRejected) rather
-//     than applied after the cutover — the same zombie defense the SSD
-//     failover path uses.
-//  4. Copy: read the volume image through the ordinary read path and
-//     write it into a fresh volume on the destination pod.
-//  5. Cutover: re-place the instance on the destination (new frontend
+//  1. Track: arm dirty-block tracking on the source volume. Every write
+//     acked from here on has its blocks recorded.
+//  2. Copy: read the full volume image through the ordinary read path —
+//     writes still flowing — and write it into a fresh volume on the
+//     destination pod. Blocks written during the copy are stale in the
+//     image but present in the dirty set.
+//  3. Iterate: re-copy the blocks dirtied during the previous pass, up to
+//     PrecopyRounds times or until at most PrecopyFlushBlocks remain. The
+//     set shrinks geometrically whenever the copy outruns the writer.
+//  4. Fence: freeze writes (new writes fail fast with ErrMigrating — they
+//     are never acknowledged, so no promise exists) and quiesce. The
+//     quiesce bumps the volume's fencing epoch, so a wedged backend's
+//     late completion is rejected (StaleRejected) rather than applied
+//     after the cutover — the same zombie defense the SSD failover path
+//     uses. Acked writes are now durable and all marked dirty-or-copied.
+//  5. Flush: copy the remaining dirty blocks to the destination. This is
+//     the only copy work inside the blackout window.
+//  6. Cutover: re-place the instance on the destination (new frontend
 //     port, allocator assignment) and remove the source instance, volume,
-//     and placement.
+//     and placement. LastBlackout records freeze→cutover.
+//
+// StopTheWorldMigration selects the old protocol — freeze and quiesce
+// first, then copy everything inside the blackout — for comparison.
 //
 // On any failure the source instance is left intact with writes unfrozen
-// (the epoch bump is harmless) and ErrMigrationFailed is returned.
+// and tracking disarmed (the epoch bump is harmless) and
+// ErrMigrationFailed is returned.
 //
 // The driver executes against one pod at a time, paying a HopLatency
-// control RPC to move between them: source for freeze/quiesce/copy-read,
+// control RPC to move between them: source for track/copy-read/fence,
 // destination for placement and copy-write, source again for the cutover
-// removal. In partitioned mode each hop re-homes the (mobile) process onto
-// that pod's partition, which is also what makes the pod-local state it
-// touches race-free; serial mode charges the identical virtual time as a
-// sleep. Call it only from processes spawned with Cluster.Go.
+// removal; each pre-copy round pays one more round trip. In partitioned
+// mode each hop re-homes the (mobile) process onto that pod's partition,
+// which is also what makes the pod-local state it touches race-free;
+// serial mode charges the identical virtual time as a sleep (hopping to
+// the current pod charges the same, keeping the modes byte-identical).
+// Call it only from processes spawned with Cluster.Go.
 func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, error) {
 	dstPod := c.Pod(dst)
 	if dstPod == nil {
@@ -404,28 +451,53 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	if sfe := inst.host.SFE; sfe != nil {
 		vol = sfe.Volume(ip)
 	}
+	precopy := vol != nil && !c.StopTheWorldMigration
+	var frozeAt Duration // zero until the freeze begins
+	// readChunks reads [lba, lba+nblocks) via the ordinary read path,
+	// honoring the per-request block limit. Runs in the source pod domain.
+	srcChunk := srcPod.cfg.Storage.MaxBlocksPerRequest()
+	readChunks := func(lba, nblocks uint64, dst []byte) error {
+		for off := uint64(0); off < nblocks; off += uint64(srcChunk) {
+			n := srcChunk
+			if rem := nblocks - off; uint64(n) > rem {
+				n = int(rem)
+			}
+			data, err := vol.Read(p, lba+off, n)
+			if err != nil {
+				return err
+			}
+			copy(dst[(off)*uint64(ssd.BlockSize):], data)
+		}
+		return nil
+	}
+	// cleanupSrc disarms the migration machinery on the source volume; it
+	// must only run in the source pod domain.
+	cleanupSrc := func() {
+		if vol == nil {
+			return
+		}
+		vol.UnfreezeWrites()
+		vol.StopDirtyTracking()
+	}
+
 	var image []byte
 	var blocks uint64
 	if vol != nil {
-		vol.FreezeWrites()
-		// A quiesce timeout is safe to proceed past: the epoch bump fences
-		// the wedged request, so it can only end StaleRejected — never
-		// acked, never applied after the copy reads below.
-		vol.Quiesce(p, c.MigrationCopyBudget)
+		if precopy {
+			vol.StartDirtyTracking()
+		} else {
+			frozeAt = p.Now()
+			vol.FreezeWrites()
+			// A quiesce timeout is safe to proceed past: the epoch bump
+			// fences the wedged request, so it can only end StaleRejected —
+			// never acked, never applied after the copy reads below.
+			vol.Quiesce(p, c.MigrationCopyBudget)
+		}
 		blocks = vol.Blocks()
-		image = make([]byte, 0, blocks*uint64(ssd.BlockSize))
-		chunk := srcPod.cfg.Storage.MaxBlocksPerRequest()
-		for lba := uint64(0); lba < blocks; lba += uint64(chunk) {
-			n := chunk
-			if rem := blocks - lba; uint64(n) > rem {
-				n = int(rem)
-			}
-			data, err := vol.Read(p, lba, n)
-			if err != nil {
-				vol.UnfreezeWrites()
-				return nil, fmt.Errorf("oasis: %w: copy read at lba %d: %v", ErrMigrationFailed, lba, err)
-			}
-			image = append(image, data...)
+		image = make([]byte, blocks*uint64(ssd.BlockSize))
+		if err := readChunks(0, blocks, image); err != nil {
+			cleanupSrc()
+			return nil, fmt.Errorf("oasis: %w: copy read: %v", ErrMigrationFailed, err)
 		}
 	}
 
@@ -434,9 +506,7 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	// volume is source-pod state and must only be touched from there.
 	unwind := func(reason error) (*Instance, error) {
 		c.hop(p, srcPod)
-		if vol != nil {
-			vol.UnfreezeWrites()
-		}
+		cleanupSrc()
 		return nil, fmt.Errorf("oasis: %w: %v", ErrMigrationFailed, reason)
 	}
 	dstHost := leastLoadedHost(dstPod)
@@ -447,6 +517,8 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	if err != nil {
 		return unwind(err)
 	}
+	// abort tears the half-built destination down; it must only run in the
+	// destination pod domain.
 	abort := func(reason error) (*Instance, error) {
 		_ = dstPod.RemoveInstanceErr(newInst)
 		return unwind(reason)
@@ -454,6 +526,7 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	if dstPod.Started() && dstPod.Alloc != nil {
 		newInst.RequestAllocation()
 	}
+	var newVol *storengine.Volume
 	if vol != nil {
 		dstSSD := uint16(0)
 		for _, id := range dstPod.ssdIDs() {
@@ -465,22 +538,66 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 		if dstSSD == 0 {
 			return abort(fmt.Errorf("pod%d has no usable SSD for the volume", dst))
 		}
-		newVol, err := dstPod.AddVolumeErr(newInst, dstSSD, blocks)
+		newVol, err = dstPod.AddVolumeErr(newInst, dstSSD, blocks)
 		if err != nil {
 			return abort(err)
 		}
 		if !newVol.WaitReady(p, c.MigrationCopyBudget) {
 			return abort(fmt.Errorf("destination volume on %s never became ready", dstPod.ssdName(dstSSD)))
 		}
-		chunk := dstPod.cfg.Storage.MaxBlocksPerRequest()
-		for lba := uint64(0); lba < blocks; lba += uint64(chunk) {
-			n := chunk
-			if rem := blocks - lba; uint64(n) > rem {
-				n = int(rem)
+		dstChunk := dstPod.cfg.Storage.MaxBlocksPerRequest()
+		writeChunks := func(lba, nblocks uint64, src []byte) error {
+			for off := uint64(0); off < nblocks; off += uint64(dstChunk) {
+				n := dstChunk
+				if rem := nblocks - off; uint64(n) > rem {
+					n = int(rem)
+				}
+				data := src[off*uint64(ssd.BlockSize) : (off+uint64(n))*uint64(ssd.BlockSize)]
+				if err := newVol.Write(p, lba+off, data); err != nil {
+					return err
+				}
 			}
-			data := image[lba*uint64(ssd.BlockSize) : (lba+uint64(n))*uint64(ssd.BlockSize)]
-			if err := newVol.Write(p, lba, data); err != nil {
-				return abort(fmt.Errorf("copy write at lba %d: %v", lba, err))
+			return nil
+		}
+		if err := writeChunks(0, blocks, image); err != nil {
+			return abort(fmt.Errorf("copy write: %v", err))
+		}
+		if precopy {
+			// Iterative dirty flushes, then the fenced final flush. Each
+			// round drains the dirty set at the source and replays it at
+			// the destination; the last round runs frozen.
+			for round := 0; ; round++ {
+				c.hop(p, srcPod)
+				final := round >= c.PrecopyRounds || vol.DirtyCount() <= c.PrecopyFlushBlocks
+				if final {
+					frozeAt = p.Now()
+					vol.FreezeWrites()
+					vol.Quiesce(p, c.MigrationCopyBudget)
+				}
+				dirty := vol.TakeDirty()
+				var flush []byte
+				for _, r := range dirty {
+					buf := make([]byte, r.Blocks*uint64(ssd.BlockSize))
+					if err := readChunks(r.LBA, r.Blocks, buf); err != nil {
+						c.hop(p, dstPod)
+						return abort(fmt.Errorf("dirty read at lba %d: %v", r.LBA, err))
+					}
+					flush = append(flush, buf...)
+				}
+				if final {
+					vol.StopDirtyTracking()
+				}
+				c.hop(p, dstPod)
+				off := uint64(0)
+				for _, r := range dirty {
+					if err := writeChunks(r.LBA, r.Blocks, flush[off*uint64(ssd.BlockSize):]); err != nil {
+						return abort(fmt.Errorf("dirty write at lba %d: %v", r.LBA, err))
+					}
+					off += r.Blocks
+				}
+				if final {
+					break
+				}
 			}
 		}
 	}
@@ -488,6 +605,9 @@ func (c *Cluster) MigrateInstance(p *Proc, ip netstack.IP, dst int) (*Instance, 
 	if err := srcPod.RemoveInstanceErr(inst); err != nil {
 		c.hop(p, dstPod)
 		return abort(err)
+	}
+	if vol != nil {
+		c.LastBlackout = p.Now() - frozeAt
 	}
 	c.Migrations++
 	return newInst, nil

@@ -241,6 +241,143 @@ func TestClusterMigrationUnderChaosNoAckedWriteLost(t *testing.T) {
 	}
 }
 
+// TestClusterMigrationAbortsOnDestinationSSDFail kills the destination
+// pod's only SSD while a pre-copy migration is mid-flight (writer still
+// streaming, dirty rounds in progress). The migration must abort cleanly:
+// ErrMigrationFailed comes back, the half-built destination instance and
+// volume are torn down, and the source volume is left intact — unfrozen,
+// tracking disarmed, every previously-acked write still readable and new
+// writes succeeding. Pod1 has no backup SSD, so the dirty-flush writes on
+// the destination fail outright rather than failing over.
+func TestClusterMigrationAbortsOnDestinationSSDFail(t *testing.T) {
+	const lbaCount = 16
+	c, p0, _ := twoPodCluster(t)
+	ip := IP(10, 0, 0, 10)
+	inst := p0.AddInstance(p0.Hosts[0], ip)
+	vol := p0.AddVolume(inst, 1, lbaCount)
+	c.Start()
+
+	// No heal: the destination SSD stays dead for the rest of the run.
+	plan := faults.Plan{
+		Name: "migration-dest-ssd-fail",
+		Seed: 11,
+		Events: []faults.Event{
+			{At: 8100 * time.Microsecond, Kind: faults.SSDFail, Target: "pod1/ssd1"},
+		},
+	}
+	if err := c.RunFaultPlan(plan); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+
+	fill := func(blk []byte, seq, lba uint64) {
+		binary.BigEndian.PutUint64(blk, seq)
+		pat := byte(seq) ^ byte(lba)
+		for i := 8; i < len(blk); i++ {
+			blk[i] = pat
+		}
+	}
+	var (
+		acked       [lbaCount]uint64
+		failedAfter [lbaCount][]uint64
+		ackedWrites int
+		writerDone  bool
+	)
+	c.Go("writer", func(p *Proc) {
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			t.Error("volume not ready")
+			return
+		}
+		blk := make([]byte, ssd.BlockSize)
+		for seq := uint64(1); p.Now() < 16*time.Millisecond; seq++ {
+			lba := seq % lbaCount
+			fill(blk, seq, lba)
+			if err := vol.Write(p, lba, blk); err == nil {
+				acked[lba] = seq
+				failedAfter[lba] = failedAfter[lba][:0]
+				ackedWrites++
+			} else {
+				failedAfter[lba] = append(failedAfter[lba], seq)
+			}
+			p.Sleep(40 * time.Microsecond)
+		}
+		writerDone = true
+	})
+
+	verified := false
+	c.Go("migrator", func(p *Proc) {
+		defer c.Shutdown()
+		p.Sleep(8 * time.Millisecond) // start the copy just before the fault
+		_, err := c.MigrateInstance(p, ip, 1)
+		if !errors.Is(err, ErrMigrationFailed) {
+			t.Errorf("migrate: got %v, want ErrMigrationFailed", err)
+			return
+		}
+		// The failure must come from the destination copy path, not from
+		// volume setup — that is what makes this an abort mid-pre-copy.
+		if !strings.Contains(err.Error(), "write") {
+			t.Errorf("migrate failed outside the copy-write phase: %v", err)
+		}
+		t.Logf("migration aborted at %v: %v", p.Now(), err)
+		// Source placement and volume must be intact, destination gone.
+		if pod, _ := c.findInstance(ip); pod != p0 {
+			t.Error("instance no longer registered on source pod")
+		}
+		if p0.Hosts[0].SFE.Volume(ip) == nil {
+			t.Error("source volume gone after aborted migration")
+		}
+		if vol.Migrating() {
+			t.Error("source volume still frozen after abort")
+		}
+		if vol.DirtyCount() != 0 {
+			t.Error("dirty tracking still armed after abort")
+		}
+		// The copy-write stalls on the dead destination SSD until its
+		// request timeout, so by the time the abort returns the writer has
+		// long finished — its acked state is frozen and safe to verify.
+		for lba := uint64(0); lba < lbaCount; lba++ {
+			want := acked[lba]
+			if want == 0 {
+				continue
+			}
+			got, err := vol.Read(p, lba, 1)
+			if err != nil {
+				t.Errorf("lba %d: read: %v", lba, err)
+				continue
+			}
+			seq := binary.BigEndian.Uint64(got)
+			ok := seq == want
+			for _, f := range failedAfter[lba] {
+				ok = ok || seq == f
+			}
+			pat := byte(seq) ^ byte(lba)
+			for i := 8; ok && i < len(got); i++ {
+				ok = got[i] == pat
+			}
+			if !ok {
+				t.Errorf("lba %d: holds seq %d, want acked seq %d (acked write lost)", lba, seq, want)
+			}
+		}
+		// A fresh write against the recovered source volume must be acked:
+		// the abort left it unfrozen and fully serviceable.
+		blk := make([]byte, ssd.BlockSize)
+		fill(blk, 1<<32, 0)
+		if err := vol.Write(p, 0, blk); err != nil {
+			t.Errorf("post-abort write on source: %v", err)
+		}
+		verified = true
+	})
+	c.Run(time.Second)
+	if !verified || !writerDone {
+		t.Fatalf("scenario incomplete: writerDone=%v verified=%v", writerDone, verified)
+	}
+	if ackedWrites == 0 {
+		t.Fatal("writer never got an ack; scenario vacuous")
+	}
+	if c.Migrations != 0 {
+		t.Fatalf("Migrations = %d after a failed migration, want 0", c.Migrations)
+	}
+}
+
 func TestClusterFaultPlanRouting(t *testing.T) {
 	c, _, _ := twoPodCluster(t)
 	c.Start()

@@ -17,10 +17,11 @@ import (
 // Targets use the internal/topo grammar (the same strings the cluster
 // placement layer uses), per kind:
 //
-//	host-crash, cxl-degrade:  "host<N>"            (pod host index)
-//	engine-stall:             a driver core name    ("host2/storage-be1", "host0/fe", …)
-//	nic-link-down, port-flap: "nic<N>"             (pooled NIC id)
-//	ssd-fail:                 "ssd<N>"             (pooled SSD id)
+//	host-crash, cxl-degrade, cxl-jitter:   "host<N>"  (pod host index)
+//	engine-stall:                          a driver core name ("host2/storage-be1", "host0/fe", …)
+//	nic-link-down, port-flap, nic-lossy,
+//	link-flaky:                            "nic<N>"   (pooled NIC id)
+//	ssd-fail, ssd-slow:                    "ssd<N>"   (pooled SSD id)
 //
 // Any form may carry a "pod<P>/" scope; a pod injector accepts it only if P
 // is its own pod index (Cluster.RunFaultPlan routes scoped events to the
@@ -160,6 +161,113 @@ func (t *Topology) BindFaults() *faults.Injector {
 				return fmt.Errorf("oasis: %s has no CXL port", ev.Target)
 			}
 			ph.H.CXLPort.SetDegraded(1, 1)
+			return nil
+		},
+	})
+
+	in.Handle(faults.SSDSlow, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			d, err := t.faultSSD(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Dev.SetSlow(ev.LatMult)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			d, err := t.faultSSD(ev.Target)
+			if err != nil {
+				return err
+			}
+			d.Dev.SetSlow(1)
+			return nil
+		},
+	})
+	in.Handle(faults.NICLossy, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			n, err := t.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			// The drop sequence's seed is derived from the event itself so a
+			// replayed plan drops the exact same frames.
+			seed := int64(ev.At)
+			for _, c := range ev.Target {
+				seed = seed*131 + int64(c)
+			}
+			n.Dev.SetLossy(ev.Drop, seed)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			n, err := t.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			n.Dev.ClearLossy()
+			return nil
+		},
+	})
+	in.Handle(faults.CXLJitter, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			ph, _, err := t.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			if ph.H.CXLPort == nil {
+				return fmt.Errorf("oasis: %s has no CXL port", ev.Target)
+			}
+			ph.H.CXLPort.SetJitter(ev.Jitter)
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			ph, _, err := t.faultHost(ev.Target)
+			if err != nil {
+				return err
+			}
+			if ph.H.CXLPort == nil {
+				return fmt.Errorf("oasis: %s has no CXL port", ev.Target)
+			}
+			ph.H.CXLPort.SetJitter(0)
+			return nil
+		},
+	})
+	// link-flaky pulses a switch port down for Stall every Period. A pulse
+	// shorter than the NIC's PHY debounce never reaches the link-status
+	// register, so the backend sees a link that is "up" while frames stall
+	// intermittently — detectable only by its effects. The generation map
+	// stops the pulse train at heal time without leaving the port down.
+	flakyGen := make(map[string]int)
+	in.Handle(faults.LinkFlaky, faults.Handler{
+		Inject: func(ev faults.Event) error {
+			n, err := t.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			flakyGen[ev.Target]++
+			gen := flakyGen[ev.Target]
+			var pulse func()
+			pulse = func() {
+				if flakyGen[ev.Target] != gen {
+					return
+				}
+				n.SwPort.SetEnabled(false)
+				t.Eng.After(ev.Stall, func() {
+					n.SwPort.SetEnabled(true)
+					if flakyGen[ev.Target] == gen {
+						t.Eng.After(ev.Period-ev.Stall, pulse)
+					}
+				})
+			}
+			pulse()
+			return nil
+		},
+		Heal: func(ev faults.Event) error {
+			n, err := t.faultNIC(ev.Target)
+			if err != nil {
+				return err
+			}
+			flakyGen[ev.Target]++
+			n.SwPort.SetEnabled(true)
 			return nil
 		},
 	})

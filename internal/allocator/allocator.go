@@ -62,6 +62,30 @@ type Config struct {
 	// as failing and proactively failed over — before the link even drops.
 	// 0 disables the policy.
 	AERFailThreshold uint16
+
+	// Health enables the gray-failure scorer: per-telemetry-window
+	// peer-relative outlier detection on the soft signals fail-stop
+	// machinery never sees — a NIC's soft error/drop count, a drive's mean
+	// request service latency. A device whose metric exceeds HealthFactor
+	// times the mean of its healthy peers (and an absolute floor, so idle
+	// pods don't flag noise) for HealthWindows consecutive windows is
+	// quarantined and proactively evacuated: volumes re-bind off a suspect
+	// drive under a bumped epoch, instances migrate off a suspect NIC.
+	// The link stays up throughout — this is the degraded-mode complement
+	// to the fail-stop lease/link-down paths.
+	Health bool
+	// HealthWindows is how many consecutive suspect windows are required
+	// before evacuation (debounce against one-window blips).
+	HealthWindows int
+	// HealthFactor is the outlier multiplier over the healthy-peer mean.
+	HealthFactor float64
+	// HealthErrFloor is the minimum per-window soft error count for a NIC
+	// to be considered suspect at all.
+	HealthErrFloor uint16
+	// HealthLatFloorUs is the minimum mean service latency (µs) for a
+	// drive to be considered suspect at all; set it above the loaded
+	// latency of a healthy drive.
+	HealthLatFloorUs uint16
 }
 
 // DefaultConfig returns production-flavoured defaults (§3.5: telemetry
@@ -75,6 +99,12 @@ func DefaultConfig() Config {
 		RebalanceLow:     0.50,
 		RebalanceEvery:   500 * time.Millisecond,
 		AERFailThreshold: 16,
+		// Gray-failure scoring is opt-in (Health: false): the floors below
+		// are sane defaults for deployments that switch it on.
+		HealthWindows:    3,
+		HealthFactor:     4,
+		HealthErrFloor:   8,
+		HealthLatFloorUs: 400,
 	}
 }
 
@@ -103,6 +133,9 @@ type nicState struct {
 	loadBps    float64 // from telemetry
 	queueDepth uint16  // from telemetry
 	demand     float64 // sum of placed instances' demands
+	errs       uint16  // last window's soft error/drop count (gray signal)
+	suspect    int     // consecutive windows the health scorer flagged this NIC
+	quarantine bool    // health scorer evacuated this NIC; skip for placement
 }
 
 type ssdState struct {
@@ -111,6 +144,9 @@ type ssdState struct {
 	lastSeen   sim.Duration
 	loadBps    float64
 	queueDepth uint16
+	latUs      uint16 // last window's mean service latency in µs (gray signal)
+	suspect    int    // consecutive windows the health scorer flagged this drive
+	quarantine bool   // health scorer evacuated this drive
 	// epoch fences a drive's generation of ownership: it is bumped on every
 	// failover away from the drive, and storage frontends stamp it into
 	// requests so a zombie backend's late completions are rejected.
@@ -172,6 +208,8 @@ type Allocator struct {
 	Migrations           int64
 	Rebalances           int64
 	AERFailovers         int64
+	HealthNICEvacs       int64
+	HealthSSDEvacs       int64
 	HostDeaths           int64
 	LeaseReconstructions int64
 	ProposeRetries       int64
@@ -542,6 +580,7 @@ func (a *Allocator) handleNIC(p *sim.Proc, nicID uint16, payload []byte) {
 		ns.lastSeen = p.Now()
 		ns.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
 		ns.queueDepth = m.QueueDepth
+		ns.errs = uint16(m.Errs)
 		ns.up = m.LinkUp
 		if a.cfg.AERFailThreshold > 0 && m.AER >= a.cfg.AERFailThreshold && ns.up && !ns.info.Backup {
 			// A burst of uncorrectable PCIe errors: the device is dying.
@@ -551,6 +590,7 @@ func (a *Allocator) handleNIC(p *sim.Proc, nicID uint16, payload []byte) {
 			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("aer burst on nic%d: proactive failover", nicID))
 			a.failNIC(p, nicID)
 		}
+		a.scoreNIC(p, nicID, ns)
 	case core.CtlLinkDown:
 		ns.lastSeen = p.Now()
 		if ns.up {
@@ -578,12 +618,14 @@ func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
 		ds.lastSeen = p.Now()
 		ds.loadBps = float64(m.Load) * float64(time.Second) / float64(a.leaseWindow())
 		ds.queueDepth = m.QueueDepth
+		ds.latUs = m.AER // the per-kind health slot: mean service latency, µs
 		wasUp := ds.up
 		ds.up = m.LinkUp
 		if wasUp && !ds.up {
 			a.events.Emit(p.Now(), "alloc", fmt.Sprintf("ssd%d reported failed", ssdID))
 			a.failSSD(p, ssdID)
 		}
+		a.scoreSSD(p, ssdID, ds)
 	case core.CtlLinkDown:
 		ds.lastSeen = p.Now()
 		if ds.up {
@@ -597,6 +639,162 @@ func (a *Allocator) handleSSD(p *sim.Proc, ssdID uint16, payload []byte) {
 }
 
 func (a *Allocator) leaseWindow() sim.Duration { return 100 * time.Millisecond }
+
+// scoreNIC runs one window of the gray-failure scorer over a NIC's soft
+// error/drop count. The metric is judged peer-relative — an outlier vs. the
+// mean of the pod's other healthy NICs — because absolute thresholds can't
+// separate "the workload is bursty" from "this device is sick"; a floor
+// keeps idle pods from flagging noise. HealthWindows consecutive suspect
+// windows quarantine the NIC and steer its instances away.
+func (a *Allocator) scoreNIC(p *sim.Proc, nicID uint16, ns *nicState) {
+	if !a.cfg.Health || ns.quarantine || ns.info.Backup || !ns.up {
+		return
+	}
+	metric := float64(ns.errs)
+	var peerSum float64
+	peers := 0
+	for _, id := range a.beOrder {
+		ps := a.nics[id]
+		if id == nicID || ps.info.Backup || !ps.up || ps.quarantine || ps.lastSeen == 0 {
+			continue
+		}
+		peerSum += float64(ps.errs)
+		peers++
+	}
+	suspect := metric >= float64(a.cfg.HealthErrFloor)
+	if suspect && peers > 0 {
+		suspect = metric > a.cfg.HealthFactor*(peerSum/float64(peers))
+	}
+	if !suspect {
+		ns.suspect = 0
+		return
+	}
+	ns.suspect++
+	if ns.suspect < a.cfg.HealthWindows {
+		return
+	}
+	ns.quarantine = true
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health: nic%d gray (errs=%d/window, %d windows): evacuating", nicID, ns.errs, ns.suspect))
+	a.evacuateNICAttempt(p, nicID, 0)
+}
+
+// evacuateNICAttempt gracefully migrates every instance off a quarantined
+// NIC. Unlike failNIC this is not a failover: the link is up, in-flight
+// traffic still flows, and each instance moves via the ordinary §3.3.4
+// migration path. The target is the least-loaded healthy NIC with headroom,
+// falling back to the pod's backup NIC.
+func (a *Allocator) evacuateNICAttempt(p *sim.Proc, suspect uint16, attempt int) {
+	ns := a.nics[suspect]
+	if ns == nil {
+		return
+	}
+	target := uint16(0)
+	var best *nicState
+	for _, id := range a.beOrder {
+		cand := a.nics[id]
+		if id == suspect || cand.info.Backup || !cand.up || cand.quarantine {
+			continue
+		}
+		if best == nil || cand.demand < best.demand {
+			best = cand
+		}
+	}
+	if best != nil {
+		target = best.info.ID
+	} else if b := a.BackupNIC(); b != 0 && b != suspect && a.nics[b].up {
+		target = b
+	}
+	if target == 0 {
+		// Nowhere to go: stay quarantined (no new placements land here) but
+		// keep serving — a degraded NIC beats no NIC.
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health: nic%d has no evacuation target; serving degraded", suspect))
+		return
+	}
+	if !a.rep.Propose(p, encodeCmd('E', uint32(suspect), target)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.evacuateNICAttempt(p, suspect, attempt) })
+		return
+	}
+	a.HealthNICEvacs++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health evacuation nic%d -> nic%d", suspect, target))
+	var ips []netstack.IP
+	for ip, st := range a.insts {
+		if st.primary == suspect {
+			ips = append(ips, ip)
+		}
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		a.migrateAttempt(p, ip, target, 0)
+	}
+}
+
+// scoreSSD runs one window of the gray-failure scorer over a drive's mean
+// request service latency (the storage health slot). Same peer-relative
+// outlier rule as scoreNIC; HealthWindows consecutive suspect windows
+// quarantine the drive and re-bind its volumes onto the pod's backup.
+func (a *Allocator) scoreSSD(p *sim.Proc, ssdID uint16, ds *ssdState) {
+	if !a.cfg.Health || ds.quarantine || ds.info.Backup || !ds.up {
+		return
+	}
+	metric := float64(ds.latUs)
+	var peerSum float64
+	peers := 0
+	for _, id := range a.ssdOrder {
+		ps := a.ssds[id]
+		if id == ssdID || ps.info.Backup || !ps.up || ps.quarantine || ps.lastSeen == 0 {
+			continue
+		}
+		peerSum += float64(ps.latUs)
+		peers++
+	}
+	suspect := metric >= float64(a.cfg.HealthLatFloorUs)
+	if suspect && peers > 0 {
+		suspect = metric > a.cfg.HealthFactor*(peerSum/float64(peers))
+	}
+	if !suspect {
+		ds.suspect = 0
+		return
+	}
+	ds.suspect++
+	if ds.suspect < a.cfg.HealthWindows {
+		return
+	}
+	ds.quarantine = true
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health: ssd%d gray (lat=%dµs/req, %d windows): evacuating", ssdID, ds.latUs, ds.suspect))
+	a.evacuateSSDAttempt(p, ssdID, 0)
+}
+
+// evacuateSSDAttempt re-binds a quarantined drive's volumes onto the pod's
+// backup drive under a bumped fencing epoch — the failSSD machinery aimed at
+// a drive that is still alive. Crucially, with no healthy backup it does
+// NOT declare volumes lost (the drive still serves, just slowly): it leaves
+// the quarantine in place and keeps going.
+func (a *Allocator) evacuateSSDAttempt(p *sim.Proc, suspect uint16, attempt int) {
+	ds := a.ssds[suspect]
+	if ds == nil {
+		return
+	}
+	target := a.BackupSSD()
+	if target == suspect || (target != 0 && (!a.ssds[target].up || a.ssds[target].quarantine)) {
+		target = 0
+	}
+	if target == 0 {
+		a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health: ssd%d has no evacuation target; serving degraded", suspect))
+		return
+	}
+	if !a.rep.Propose(p, encodeCmd('V', uint32(suspect), target)) {
+		a.deferRetry(attempt, func(p *sim.Proc, attempt int) { a.evacuateSSDAttempt(p, suspect, attempt) })
+		return
+	}
+	ds.epoch++
+	a.HealthSSDEvacs++
+	a.events.Emit(p.Now(), "alloc", fmt.Sprintf("health evacuation ssd%d -> ssd%d epoch=%d", suspect, target, ds.epoch))
+	for _, hostID := range a.sfeOrder {
+		a.sendToSFE(p, hostID, ctlMsg{
+			op: core.CtlFailover, kind: core.DeviceSSD, dev: suspect, aux: target, epoch: ds.epoch,
+		})
+	}
+}
 
 // place picks a primary NIC for a new instance: host-local first, then the
 // least-loaded NIC with spare capacity (§3.5 "Device allocation"). A repeat
@@ -619,10 +817,11 @@ func (a *Allocator) placeAttempt(p *sim.Proc, hostID int, ip netstack.IP, attemp
 	}
 	backup := a.BackupNIC()
 	pick := uint16(0)
-	// Host-local NICs first.
+	// Host-local NICs first. Quarantined NICs (gray-failure scorer) are
+	// skipped everywhere but the overcommit fallback: degraded beats none.
 	for _, id := range a.beOrder {
 		ns := a.nics[id]
-		if ns.info.HostID == hostID && ns.up && !ns.info.Backup && ns.demand+demand <= ns.info.CapacityBps {
+		if ns.info.HostID == hostID && ns.up && !ns.info.Backup && !ns.quarantine && ns.demand+demand <= ns.info.CapacityBps {
 			pick = id
 			break
 		}
@@ -632,7 +831,7 @@ func (a *Allocator) placeAttempt(p *sim.Proc, hostID int, ip netstack.IP, attemp
 		var best *nicState
 		for _, id := range a.beOrder {
 			ns := a.nics[id]
-			if !ns.up || ns.info.Backup {
+			if !ns.up || ns.info.Backup || ns.quarantine {
 				continue
 			}
 			if ns.demand+demand > ns.info.CapacityBps {
@@ -648,16 +847,26 @@ func (a *Allocator) placeAttempt(p *sim.Proc, hostID int, ip netstack.IP, attemp
 	}
 	if pick == 0 {
 		// Overcommit the least-loaded non-backup NIC rather than refuse:
-		// the paper oversubscribes deliberately (§2.2).
-		var best *nicState
+		// the paper oversubscribes deliberately (§2.2). Prefer healthy
+		// NICs; fall back to quarantined ones only when nothing else is up.
+		var best, bestQuar *nicState
 		for _, id := range a.beOrder {
 			ns := a.nics[id]
 			if !ns.up || ns.info.Backup {
 				continue
 			}
+			if ns.quarantine {
+				if bestQuar == nil || ns.demand < bestQuar.demand {
+					bestQuar = ns
+				}
+				continue
+			}
 			if best == nil || ns.demand < best.demand {
 				best = ns
 			}
+		}
+		if best == nil {
+			best = bestQuar
 		}
 		if best == nil {
 			return // no usable NICs at all
@@ -765,7 +974,7 @@ func (a *Allocator) rebalance(p *sim.Proc) {
 	var hot, cold *nicState
 	for _, id := range a.beOrder {
 		ns := a.nics[id]
-		if !ns.up || ns.info.Backup || ns.info.CapacityBps <= 0 {
+		if !ns.up || ns.info.Backup || ns.quarantine || ns.info.CapacityBps <= 0 {
 			continue
 		}
 		util := ns.loadBps / ns.info.CapacityBps
@@ -957,6 +1166,38 @@ func (a *Allocator) SSDUp(id uint16) bool {
 		return ds.up
 	}
 	return false
+}
+
+// NICQuarantined reports whether the health scorer has quarantined a NIC.
+func (a *Allocator) NICQuarantined(id uint16) bool {
+	if ns := a.nics[id]; ns != nil {
+		return ns.quarantine
+	}
+	return false
+}
+
+// SSDQuarantined reports whether the health scorer has quarantined a drive.
+func (a *Allocator) SSDQuarantined(id uint16) bool {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.quarantine
+	}
+	return false
+}
+
+// SSDServiceLatUs returns the drive's last-reported mean service latency µs.
+func (a *Allocator) SSDServiceLatUs(id uint16) uint16 {
+	if ds := a.ssds[id]; ds != nil {
+		return ds.latUs
+	}
+	return 0
+}
+
+// NICErrs returns the NIC's last-reported per-window soft error count.
+func (a *Allocator) NICErrs(id uint16) uint16 {
+	if ns := a.nics[id]; ns != nil {
+		return ns.errs
+	}
+	return 0
 }
 
 // SSDEpoch returns the drive's current fencing epoch (bumped per failover).

@@ -408,3 +408,119 @@ func TestSSDLeaseExpiryMarksDriveDown(t *testing.T) {
 		t.Fatalf("SSD expiry must not trigger failover, got %d", r.a.Failovers)
 	}
 }
+
+func TestHealthScorerEvacuatesLossyNIC(t *testing.T) {
+	// A NIC whose soft-error count is a sustained outlier vs. its peers is
+	// quarantined and its instances are gracefully migrated away, even
+	// though its link never goes down (gray failure).
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9},
+		{ID: 3, HostID: 2, CapacityBps: 12.5e9, Backup: true},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.a.cfg.Health = true
+	ip := netstack.IPv4(10, 0, 0, 1)
+	r.eng.Go("driver", func(p *sim.Proc) {
+		sendCtl(p, r.fe[1], core.ControlMsg{Op: core.CtlAllocRequest, IP: ip})
+		if m, ok := expectMsg(p, r.fe[1], 50*time.Millisecond); !ok || m.Dev != 1 {
+			t.Errorf("placement: %+v ok=%v", m, ok)
+		}
+		// Three windows of outlier drops on NIC 1; NIC 2 stays clean.
+		for i := 0; i < r.a.cfg.HealthWindows; i++ {
+			sendCtl(p, r.be[2], core.ControlMsg{Op: core.CtlTelemetry, Dev: 2, Load: 100, LinkUp: true, Errs: 1})
+			sendCtl(p, r.be[1], core.ControlMsg{Op: core.CtlTelemetry, Dev: 1, Load: 100, LinkUp: true, Errs: 40})
+			p.Sleep(5 * time.Millisecond)
+		}
+		m, ok := expectMsg(p, r.fe[1], 100*time.Millisecond)
+		if !ok || m.Op != core.CtlMigrate || m.IP != ip || m.Dev != 2 {
+			t.Errorf("expected migrate off lossy NIC to NIC 2, got %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.HealthNICEvacs != 1 {
+		t.Fatalf("health NIC evacs = %d, want 1", r.a.HealthNICEvacs)
+	}
+	if !r.a.NICQuarantined(1) {
+		t.Fatal("lossy NIC not quarantined")
+	}
+	if !r.a.NICUp(1) {
+		t.Fatal("gray NIC must stay up (no fail-stop)")
+	}
+	if r.a.Failovers != 0 {
+		t.Fatalf("health evacuation must not count as failover, got %d", r.a.Failovers)
+	}
+	if got, _ := r.a.PrimaryOf(ip); got != 2 {
+		t.Fatalf("instance still on NIC %d", got)
+	}
+}
+
+func TestHealthScorerIgnoresUniformNoise(t *testing.T) {
+	// When every NIC sees the same soft-error rate (a lossy workload, not a
+	// sick device), the peer-relative rule keeps the scorer quiet even
+	// though the absolute floor is exceeded.
+	nics := []NICInfo{
+		{ID: 1, HostID: 1, CapacityBps: 12.5e9},
+		{ID: 2, HostID: 2, CapacityBps: 12.5e9},
+	}
+	r := newAllocRig(t, 3, nics)
+	r.a.cfg.Health = true
+	r.eng.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			sendCtl(p, r.be[1], core.ControlMsg{Op: core.CtlTelemetry, Dev: 1, Load: 100, LinkUp: true, Errs: 30})
+			sendCtl(p, r.be[2], core.ControlMsg{Op: core.CtlTelemetry, Dev: 2, Load: 100, LinkUp: true, Errs: 30})
+			p.Sleep(5 * time.Millisecond)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.HealthNICEvacs != 0 || r.a.NICQuarantined(1) || r.a.NICQuarantined(2) {
+		t.Fatalf("uniform noise flagged: evacs=%d q1=%v q2=%v",
+			r.a.HealthNICEvacs, r.a.NICQuarantined(1), r.a.NICQuarantined(2))
+	}
+}
+
+func TestHealthScorerEvacuatesSlowSSD(t *testing.T) {
+	// A drive whose mean service latency is a sustained outlier is
+	// quarantined: its volumes re-bind onto the backup under a bumped epoch
+	// while the drive itself stays up.
+	r := newAllocRig(t, 3, []NICInfo{{ID: 1, HostID: 1, CapacityBps: 12.5e9}})
+	ssd1 := r.addSSD(t, SSDInfo{ID: 1, HostID: 1})
+	ssd2 := r.addSSD(t, SSDInfo{ID: 2, HostID: 2})
+	bk, sfeEnd, err := core.NewDuplexLink(r.pool, r.hosts[0], r.hosts[1], msgchan.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.AddStorageFrontend(1, bk)
+	r.addSSD(t, SSDInfo{ID: 3, HostID: 2, Backup: true})
+	r.a.cfg.Health = true
+	r.eng.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < r.a.cfg.HealthWindows; i++ {
+			sendCtl(p, ssd2, core.ControlMsg{Op: core.CtlTelemetry, Kind: core.DeviceSSD, Dev: 2, Load: 100, LinkUp: true, AER: 120})
+			sendCtl(p, ssd1, core.ControlMsg{Op: core.CtlTelemetry, Kind: core.DeviceSSD, Dev: 1, Load: 100, LinkUp: true, AER: 2500})
+			p.Sleep(5 * time.Millisecond)
+		}
+		m, ok := expectMsg(p, sfeEnd, 100*time.Millisecond)
+		if !ok || m.Op != core.CtlFailover || m.Kind != core.DeviceSSD || m.Dev != 1 || m.Aux != 3 || m.Epoch != 1 {
+			t.Errorf("expected epoch-fenced evacuation ssd1 -> ssd3, got %+v ok=%v", m, ok)
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+	if r.a.HealthSSDEvacs != 1 {
+		t.Fatalf("health SSD evacs = %d, want 1", r.a.HealthSSDEvacs)
+	}
+	if !r.a.SSDQuarantined(1) {
+		t.Fatal("slow drive not quarantined")
+	}
+	if !r.a.SSDUp(1) {
+		t.Fatal("gray drive must stay up (no fail-stop)")
+	}
+	if r.a.SSDFailovers != 0 {
+		t.Fatalf("health evacuation must not count as SSD failover, got %d", r.a.SSDFailovers)
+	}
+	if r.a.SSDEpoch(1) != 1 {
+		t.Fatalf("epoch = %d, want bump to 1", r.a.SSDEpoch(1))
+	}
+}

@@ -14,6 +14,8 @@ func (a *Allocator) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/placements", func() int64 { return a.Placements })
 	r.Counter(prefix+"/failovers", func() int64 { return a.Failovers })
 	r.Counter(prefix+"/aer_failovers", func() int64 { return a.AERFailovers })
+	r.Counter(prefix+"/health/nic_evacs", func() int64 { return a.HealthNICEvacs })
+	r.Counter(prefix+"/health/ssd_evacs", func() int64 { return a.HealthSSDEvacs })
 	r.Counter(prefix+"/migrations", func() int64 { return a.Migrations })
 	r.Counter(prefix+"/rebalances", func() int64 { return a.Rebalances })
 	r.Counter(prefix+"/lease_expiries", func() int64 { return a.LeaseExpiries })
@@ -30,12 +32,14 @@ func (a *Allocator) RegisterObs(r *obs.Registry, prefix string) {
 		npfx := fmt.Sprintf("%s/nic/nic%d", prefix, id)
 		r.Gauge(npfx+"/load_bps", func() float64 { return a.NICLoad(id) })
 		r.Gauge(npfx+"/up", func() float64 { return boolGauge(a.NICUp(id)) })
+		r.Gauge(npfx+"/quarantined", func() float64 { return boolGauge(a.NICQuarantined(id)) })
 	}
 	for _, id := range a.ssdOrder {
 		id := id
 		spfx := fmt.Sprintf("%s/ssd/ssd%d", prefix, id)
 		r.Gauge(spfx+"/up", func() float64 { return boolGauge(a.SSDUp(id)) })
 		r.Gauge(spfx+"/queue_depth", func() float64 { return float64(a.SSDQueueDepth(id)) })
+		r.Gauge(spfx+"/quarantined", func() float64 { return boolGauge(a.SSDQuarantined(id)) })
 	}
 	for _, hostID := range a.feOrder {
 		if h := a.feLinks[hostID].InLatency(); h != nil {

@@ -67,19 +67,24 @@ type ControlMsg struct {
 	Epoch uint16
 
 	// Telemetry fields.
-	Load       uint64 // bytes served in the last window (48-bit on the wire)
-	LinkUp     bool
-	AER        uint16 // uncorrectable PCIe AER errors in the window
+	Load   uint64 // bytes served in the last window (40-bit on the wire)
+	LinkUp bool
+	// AER is the per-kind health metric slot (§3.5 "health metrics"): NIC
+	// backends report uncorrectable PCIe AER errors in the window, storage
+	// backends their mean request service latency in µs — the scalar each
+	// device class is best judged by.
+	AER        uint16
+	Errs       uint8  // soft error/drop events in the window (rx drops, carrier errors)
 	QueueDepth uint16 // device queue occupancy at the window close
 }
 
-const maxLoad48 = (1 << 48) - 1
+const maxLoad40 = (1 << 40) - 1
 
 // EncodeControl packs m into a 15-byte channel payload (reusing buf).
 //
 // Layout after the opcode byte: kind (1), dev (2), then either
-// aux (2) + ip (4) + epoch (2) for commands, or load (6) + linkup (1) +
-// aer (2) + queue depth (2) for telemetry.
+// aux (2) + ip (4) + epoch (2) for commands, or load (5) + errs (1) +
+// linkup (1) + aer (2) + queue depth (2) for telemetry.
 func EncodeControl(buf []byte, m ControlMsg) []byte {
 	buf = buf[:0]
 	buf = append(buf, m.Op)
@@ -88,12 +93,13 @@ func EncodeControl(buf []byte, m ControlMsg) []byte {
 	binary.LittleEndian.PutUint16(b[1:3], m.Dev)
 	if m.Op == CtlTelemetry {
 		load := m.Load
-		if load > maxLoad48 {
-			load = maxLoad48
+		if load > maxLoad40 {
+			load = maxLoad40
 		}
 		var l [8]byte
 		binary.LittleEndian.PutUint64(l[:], load)
-		copy(b[3:9], l[:6])
+		copy(b[3:8], l[:5])
+		b[8] = m.Errs
 		if m.LinkUp {
 			b[9] = 1
 		}
@@ -116,8 +122,9 @@ func DecodeControl(payload []byte) ControlMsg {
 	m.Dev = binary.LittleEndian.Uint16(b[1:3])
 	if m.Op == CtlTelemetry {
 		var l [8]byte
-		copy(l[:6], b[3:9])
+		copy(l[:5], b[3:8])
 		m.Load = binary.LittleEndian.Uint64(l[:])
+		m.Errs = b[8]
 		m.LinkUp = b[9] != 0
 		m.AER = binary.LittleEndian.Uint16(b[10:12])
 		m.QueueDepth = binary.LittleEndian.Uint16(b[12:14])

@@ -10,7 +10,7 @@ func TestControlCodecRoundTrip(t *testing.T) {
 	msgs := []ControlMsg{
 		{Op: CtlLinkDown, Kind: DeviceNIC, Dev: 3},
 		{Op: CtlLinkUp, Kind: DeviceNIC, Dev: 9},
-		{Op: CtlTelemetry, Kind: DeviceNIC, Dev: 2, Load: 123456789012, LinkUp: true, AER: 17, QueueDepth: 31},
+		{Op: CtlTelemetry, Kind: DeviceNIC, Dev: 2, Load: 123456789012, LinkUp: true, AER: 17, Errs: 200, QueueDepth: 31},
 		{Op: CtlTelemetry, Kind: DeviceSSD, Dev: 1, Load: 0, LinkUp: false, QueueDepth: 65535},
 		{Op: CtlFailover, Kind: DeviceNIC, Dev: 1, Aux: 2},
 		{Op: CtlBorrowMAC, Kind: DeviceNIC, Dev: 4},
@@ -48,12 +48,12 @@ func TestControlPayloadFitsChannelSlot(t *testing.T) {
 }
 
 func TestControlTelemetryLoadClamped(t *testing.T) {
-	// Loads beyond 48 bits saturate on the wire rather than wrapping.
+	// Loads beyond 40 bits saturate on the wire rather than wrapping.
 	var buf [15]byte
 	m := ControlMsg{Op: CtlTelemetry, Kind: DeviceNIC, Dev: 1, Load: 1 << 60}
 	got := DecodeControl(EncodeControl(buf[:], m))
-	if got.Load != (1<<48)-1 {
-		t.Fatalf("load = %d, want clamp to 2^48-1", got.Load)
+	if got.Load != (1<<40)-1 {
+		t.Fatalf("load = %d, want clamp to 2^40-1", got.Load)
 	}
 }
 

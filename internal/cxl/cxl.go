@@ -304,6 +304,9 @@ type Port struct {
 	// healthy (multiplier 1).
 	latMult float64
 	bwFrac  float64
+	// jitter is a flat added latency per transaction (cxl-jitter gray
+	// fault): a marginal retimer adding delay without shrinking bandwidth.
+	jitter sim.Duration
 }
 
 type classLink struct {
@@ -338,17 +341,32 @@ func (pt *Port) SetDegraded(latMult, bwFrac float64) {
 	pt.latMult, pt.bwFrac = latMult, bwFrac
 }
 
-// Degraded reports whether a degradation fault is active.
-func (pt *Port) Degraded() bool {
-	return (pt.latMult != 0 && pt.latMult != 1) || (pt.bwFrac != 0 && pt.bwFrac != 1)
+// SetJitter injects (or, with 0, clears) a flat added latency on every
+// transaction through this port — the cxl-jitter gray fault. Unlike
+// SetDegraded's multiplier it is independent of the nominal latency term,
+// so even cache-speed operations pay it.
+func (pt *Port) SetJitter(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("cxl: SetJitter(%v) requires a non-negative delay", d))
+	}
+	pt.jitter = d
 }
 
-// scaleLat stretches a latency term by the active degradation multiplier.
+// Jitter reports the active injected per-transaction latency (0 = none).
+func (pt *Port) Jitter() sim.Duration { return pt.jitter }
+
+// Degraded reports whether a degradation fault is active.
+func (pt *Port) Degraded() bool {
+	return (pt.latMult != 0 && pt.latMult != 1) || (pt.bwFrac != 0 && pt.bwFrac != 1) || pt.jitter != 0
+}
+
+// scaleLat stretches a latency term by the active degradation multiplier
+// and adds the active jitter.
 func (pt *Port) scaleLat(d sim.Duration) sim.Duration {
 	if pt.latMult != 0 && pt.latMult != 1 {
-		return sim.Duration(float64(d) * pt.latMult)
+		d = sim.Duration(float64(d) * pt.latMult)
 	}
-	return d
+	return d + pt.jitter
 }
 
 // scaleSer stretches a serialization term by the active bandwidth fraction.

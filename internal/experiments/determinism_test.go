@@ -137,6 +137,13 @@ func TestIntraRunPartitionedMatchesSerial(t *testing.T) {
 			t.Fatalf("chaos diverges between serial and one-partition group execution:\n--- serial ---\n%s--- partitioned ---\n%s", serial, part)
 		}
 	})
+	t.Run("grayfail", func(t *testing.T) {
+		serial := reportBody(Grayfail(1.0))
+		part := reportBody(GrayfailPartitioned(1.0))
+		if serial != part {
+			t.Fatalf("grayfail diverges between serial and one-partition group execution:\n--- serial ---\n%s--- partitioned ---\n%s", serial, part)
+		}
+	})
 }
 
 // TestPerHostPartitionedDeterministic is the acceptance gate for per-host
@@ -176,6 +183,16 @@ func TestPerHostPartitionedDeterministic(t *testing.T) {
 		}
 		if a.Values["violations"] != 0 {
 			t.Fatalf("chaos-perhost violated %v recovery invariants", a.Values["violations"])
+		}
+	})
+	t.Run("grayfail", func(t *testing.T) {
+		a := GrayfailPerHost(1.0)
+		b := reportBody(GrayfailPerHost(1.0))
+		if reportBody(a) != b {
+			t.Fatalf("grayfail-perhost diverges across reruns:\n--- first ---\n%s--- second ---\n%s", reportBody(a), b)
+		}
+		if a.Values["violations"] != 0 {
+			t.Fatalf("grayfail-perhost violated %v health-scorer invariants", a.Values["violations"])
 		}
 	})
 }

@@ -79,6 +79,10 @@ func Registry() []struct {
 		{"chaos", Chaos},
 		{"chaos-par", ChaosPartitioned},
 		{"chaos-perhost", ChaosPerHost},
+		{"grayfail", Grayfail},
+		{"grayfail-par", GrayfailPartitioned},
+		{"grayfail-perhost", GrayfailPerHost},
+		{"blackout", Blackout},
 		{"racksweep", Racksweep},
 		{"racksweep-par", RacksweepPartitioned},
 		{"racksweep-perhost", RacksweepPerHost},

@@ -1,6 +1,7 @@
 // Package faults is the pod's deterministic fault-injection subsystem: a
-// typed vocabulary of failures (host crashes, engine stalls, link drops,
-// drive failures, switch-port flaps, CXL-port degradation), a replayable
+// typed vocabulary of failures — fail-stop (host crashes, engine stalls,
+// link drops, drive failures, switch-port flaps) and degraded-mode gray
+// failures (slow drives, lossy NICs, CXL jitter, flaky links) — a replayable
 // Plan that schedules them on the simulation clock, and an Injector that
 // executes the plan through per-kind handlers supplied by the binding
 // layer (the pod). Everything is driven by virtual time and fixed seeds,
@@ -53,6 +54,23 @@ const (
 	// bandwidth to BWFrac of nominal — a degraded retimer/link, the gray
 	// failure between healthy and dead. Healing restores nominal service.
 	CXLDegrade
+	// SSDSlow inflates a drive's media latency by LatMult without failing
+	// it — the classic gray drive: I/O still completes, just late enough to
+	// drag every dependent tail. Healing restores nominal latency.
+	SSDSlow
+	// NICLossy drops a pseudo-random fraction Drop of the NIC's frames
+	// (seeded, deterministic), leaving the link administratively up — loss
+	// the link-state machinery never sees. Healing stops the drops.
+	NICLossy
+	// CXLJitter adds a fixed Jitter to every transaction on a host's CXL
+	// port, on top of nominal latency — a marginal retimer adding delay
+	// without losing bandwidth. Healing removes it.
+	CXLJitter
+	// LinkFlaky pulses a NIC's switch port down for Stall every Period.
+	// Each pulse is meant to undercut the NIC's link debounce so the link
+	// never *reports* down while traffic stalls intermittently — the
+	// gray counterpart of PortFlap. Healing stops the pulse train.
+	LinkFlaky
 )
 
 var kindNames = map[Kind]string{
@@ -62,11 +80,16 @@ var kindNames = map[Kind]string{
 	SSDFail:     "ssd-fail",
 	PortFlap:    "port-flap",
 	CXLDegrade:  "cxl-degrade",
+	SSDSlow:     "ssd-slow",
+	NICLossy:    "nic-lossy",
+	CXLJitter:   "cxl-jitter",
+	LinkFlaky:   "link-flaky",
 }
 
 // Kinds lists every fault kind in declaration order (stable for reports).
 func Kinds() []Kind {
-	return []Kind{HostCrash, EngineStall, NICLinkDown, SSDFail, PortFlap, CXLDegrade}
+	return []Kind{HostCrash, EngineStall, NICLinkDown, SSDFail, PortFlap, CXLDegrade,
+		SSDSlow, NICLossy, CXLJitter, LinkFlaky}
 }
 
 func (k Kind) String() string {
@@ -92,9 +115,13 @@ type Event struct {
 	Kind   Kind
 	Target string       // binding-layer name: "host2", "nic1", "ssd1", a driver loop…
 	Heal   sim.Duration // delay until auto-heal; 0 = never heals
-	// CXLDegrade parameters (ignored by other kinds).
-	LatMult float64 // latency multiplier, >= 1
-	BWFrac  float64 // remaining bandwidth fraction, in (0, 1]
+	// Degradation parameters (each read only by the kinds noted).
+	LatMult float64      // latency multiplier, >= 1 (cxl-degrade, ssd-slow)
+	BWFrac  float64      // remaining bandwidth fraction, in (0, 1] (cxl-degrade)
+	Drop    float64      // dropped-frame fraction, in (0, 1] (nic-lossy)
+	Jitter  sim.Duration // added per-transaction latency, > 0 (cxl-jitter)
+	Period  sim.Duration // stall cadence, > 0 (link-flaky)
+	Stall   sim.Duration // per-pulse stall length, in (0, Period) (link-flaky)
 }
 
 // Plan is a named, seeded schedule of fault events. The seed does not
@@ -133,9 +160,27 @@ func (pl Plan) Validate() error {
 		if ev.Kind == PortFlap && ev.Heal == 0 {
 			return fmt.Errorf("faults: event %d: port-flap on %s must heal (set Heal > 0)", i, ev.Target)
 		}
-		if ev.Kind == CXLDegrade && (ev.LatMult < 1 || ev.BWFrac <= 0 || ev.BWFrac > 1) {
+		if ev.Kind == CXLDegrade && !(ev.LatMult >= 1 && ev.BWFrac > 0 && ev.BWFrac <= 1) {
 			return fmt.Errorf("faults: event %d: cxl-degrade on %s needs LatMult >= 1 and BWFrac in (0,1], got %g/%g",
 				i, ev.Target, ev.LatMult, ev.BWFrac)
+		}
+		if ev.Kind == SSDSlow && !(ev.LatMult >= 1) {
+			return fmt.Errorf("faults: event %d: ssd-slow on %s needs LatMult >= 1, got %g", i, ev.Target, ev.LatMult)
+		}
+		if ev.Kind == NICLossy && !(ev.Drop > 0 && ev.Drop <= 1) {
+			return fmt.Errorf("faults: event %d: nic-lossy on %s needs Drop in (0,1], got %g", i, ev.Target, ev.Drop)
+		}
+		if ev.Kind == CXLJitter && ev.Jitter <= 0 {
+			return fmt.Errorf("faults: event %d: cxl-jitter on %s needs Jitter > 0, got %v", i, ev.Target, ev.Jitter)
+		}
+		if ev.Kind == LinkFlaky {
+			if ev.Period <= 0 || ev.Stall <= 0 || ev.Stall >= ev.Period {
+				return fmt.Errorf("faults: event %d: link-flaky on %s needs 0 < Stall < Period, got %v/%v",
+					i, ev.Target, ev.Stall, ev.Period)
+			}
+			if ev.Heal == 0 {
+				return fmt.Errorf("faults: event %d: link-flaky on %s must heal (set Heal > 0)", i, ev.Target)
+			}
 		}
 	}
 	return nil
@@ -154,8 +199,17 @@ func (pl Plan) Encode() string {
 	fmt.Fprintf(&b, "plan %s seed=%d\n", pl.Name, pl.Seed)
 	for _, ev := range pl.Sorted().Events {
 		fmt.Fprintf(&b, "%v %s %s heal=%v", ev.At, ev.Kind, ev.Target, ev.Heal)
-		if ev.Kind == CXLDegrade {
+		switch ev.Kind {
+		case CXLDegrade:
 			fmt.Fprintf(&b, " lat=%g bw=%g", ev.LatMult, ev.BWFrac)
+		case SSDSlow:
+			fmt.Fprintf(&b, " lat=%g", ev.LatMult)
+		case NICLossy:
+			fmt.Fprintf(&b, " drop=%g", ev.Drop)
+		case CXLJitter:
+			fmt.Fprintf(&b, " jitter=%v", ev.Jitter)
+		case LinkFlaky:
+			fmt.Fprintf(&b, " period=%v stall=%v", ev.Period, ev.Stall)
 		}
 		b.WriteByte('\n')
 	}
@@ -214,6 +268,22 @@ func ParsePlan(s string) (Plan, error) {
 			case "bw":
 				if ev.BWFrac, err = strconv.ParseFloat(v, 64); err != nil {
 					return pl, fmt.Errorf("faults: bad bw in %q: %w", line, err)
+				}
+			case "drop":
+				if ev.Drop, err = strconv.ParseFloat(v, 64); err != nil {
+					return pl, fmt.Errorf("faults: bad drop in %q: %w", line, err)
+				}
+			case "jitter":
+				if ev.Jitter, err = time.ParseDuration(v); err != nil {
+					return pl, fmt.Errorf("faults: bad jitter in %q: %w", line, err)
+				}
+			case "period":
+				if ev.Period, err = time.ParseDuration(v); err != nil {
+					return pl, fmt.Errorf("faults: bad period in %q: %w", line, err)
+				}
+			case "stall":
+				if ev.Stall, err = time.ParseDuration(v); err != nil {
+					return pl, fmt.Errorf("faults: bad stall in %q: %w", line, err)
 				}
 			default:
 				return pl, fmt.Errorf("faults: unknown option %q in %q", opt, line)

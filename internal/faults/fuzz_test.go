@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan drives arbitrary text through the plan grammar and checks
+// the two properties every tool in the repo leans on:
+//
+//  1. ParsePlan never panics, whatever the input (it may error).
+//  2. The canonical form is a fixpoint: for any input that parses, the
+//     first Encode is canonical — re-parsing and re-encoding it must
+//     reproduce it byte for byte. This is what makes plan files reliable
+//     replay artifacts (EXPERIMENTS.md's replay recipes diff encodings).
+//
+// Run the stored corpus as a regression test with ordinary `go test`; run
+// `go test -fuzz=FuzzParsePlan` locally to explore.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"plan empty seed=0\n",
+		"plan crash seed=42\n100ms host-crash pod0/h1 heal=0s\n",
+		"plan flap seed=7\n5ms port-flap pod0/h0 heal=10ms\n",
+		"plan degrade seed=1\n1s cxl-degrade pod0/h2 heal=2s lat=3 bw=0.5\n",
+		"plan gray seed=9\n" +
+			"10ms ssd-slow pod0/ssd1 heal=50ms lat=8\n" +
+			"20ms nic-lossy pod0/nic2 heal=60ms drop=0.25\n" +
+			"30ms cxl-jitter pod0/h1 heal=70ms jitter=2µs\n" +
+			"40ms link-flaky pod0/nic1 heal=80ms period=10ms stall=2ms\n",
+		"plan ssdfail seed=3\n1ms ssd-fail pod1/ssd3 heal=0s\n",
+		"plan nicfail seed=4\n2ms nic-fail pod0/nic1 heal=5ms\n",
+		// Near-misses that must error, not panic.
+		"plan bad seed=x\n",
+		"plan bad seed=1\n-5ms host-crash pod0/h0 heal=0s\n",
+		"plan bad seed=1\n1ms ssd-slow pod0/ssd1 heal=0s lat=NaN\n",
+		"plan bad seed=1\n1ms nic-lossy pod0/nic1 heal=0s drop=2\n",
+		"plan bad seed=1\n1ms link-flaky pod0/nic1 heal=5ms period=1ms stall=1ms\n",
+		"plan bad seed=1\n1ms cxl-jitter pod0/h0 heal=0s jitter=-1ms\n",
+		"no header at all",
+		"plan trailing seed=0\n1ms host-crash pod0/h0 heal=0s extra=1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		pl, err := ParsePlan(s)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		enc := pl.Encode()
+		pl2, err := ParsePlan(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\ninput: %q\nencoded: %q", err, s, enc)
+		}
+		enc2 := pl2.Encode()
+		if enc != enc2 {
+			t.Fatalf("canonical form is not a fixpoint:\nfirst:  %q\nsecond: %q", enc, enc2)
+		}
+		if !strings.HasPrefix(enc, "plan ") {
+			t.Fatalf("encoding lost its header: %q", enc)
+		}
+	})
+}

@@ -64,6 +64,7 @@ type Backend struct {
 	nextTelem  sim.Duration
 	loadSnap   int64
 	aerSnap    int64
+	errsSnap   int64
 	driver     *core.Driver
 
 	suppressBorrow bool
@@ -404,6 +405,15 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 	if aerDelta > 65535 {
 		aerDelta = 65535
 	}
+	// Soft errors — RX drops and TX carrier errors — are the gray-failure
+	// signal: a lossy or flaky link racks these up while the link-status
+	// register still reads "up". The health scorer judges them peer-relative.
+	errs := be.dev.RxLossDropped + be.dev.TxCarrierErrs
+	errsDelta := errs - be.errsSnap
+	be.errsSnap = errs
+	if errsDelta > 255 {
+		errsDelta = 255
+	}
 	qdepth := len(be.cookies)
 	if qdepth > 65535 {
 		qdepth = 65535
@@ -416,6 +426,7 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 		Load:       uint64(delta),
 		LinkUp:     be.dev.LinkUp(),
 		AER:        uint16(aerDelta),
+		Errs:       uint8(errsDelta),
 		QueueDepth: uint16(qdepth),
 	}))
 	be.ctrl.Flush(p)

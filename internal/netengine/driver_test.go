@@ -407,3 +407,42 @@ func TestDuplicateInstanceRejected(t *testing.T) {
 	r.eng.Shutdown()
 	r.eng.Run()
 }
+
+func TestAllocRetryCircuitBreaker(t *testing.T) {
+	// With no allocator answering, the frontend retries under backoff only
+	// until the per-instance budget is spent, then fails fast with a typed
+	// error. A late assignment heals the breaker.
+	r := newEngineRig(t)
+	r.fe.cfg.AllocRetryBudget = 3
+	r.inst.RequestAllocation()
+	var buf [15]byte
+	r.eng.Go("allocator", func(p *sim.Proc) {
+		// Budget 3 at 10/20/40 ms backoff: the breaker trips well within
+		// half a second of allocator silence.
+		p.Sleep(500 * time.Millisecond)
+		if r.fe.AllocRetryExhausted != 1 {
+			t.Errorf("breaker trips = %d, want 1", r.fe.AllocRetryExhausted)
+		}
+		if r.fe.AllocRetries != 3 {
+			t.Errorf("retries = %d, want exactly the budget 3", r.fe.AllocRetries)
+		}
+		if err := r.inst.AllocError(); err != ErrAllocRetryExhausted {
+			t.Errorf("AllocError = %v, want ErrAllocRetryExhausted", err)
+		}
+		// The allocator comes back and answers the original request after
+		// all: the assignment still lands and clears the breaker.
+		r.ctlFE.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
+			Op: core.CtlAssign, Kind: core.DeviceNIC, IP: instIP, Dev: 1,
+		}))
+		r.ctlFE.Flush(p)
+		p.Sleep(50 * time.Millisecond)
+		if err := r.inst.AllocError(); err != nil {
+			t.Errorf("AllocError after late assign = %v, want nil", err)
+		}
+		if !r.inst.Ready() {
+			t.Error("instance not ready after late assign")
+		}
+		r.eng.Shutdown()
+	})
+	r.eng.Run()
+}

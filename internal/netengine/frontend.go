@@ -1,6 +1,7 @@
 package netengine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,6 +13,12 @@ import (
 	"oasis/internal/netsw"
 	"oasis/internal/sim"
 )
+
+// ErrAllocRetryExhausted marks an instance whose allocation-request circuit
+// breaker tripped: AllocRetryBudget consecutive resends went unanswered, so
+// the frontend fails the placement fast instead of retrying forever. A new
+// RequestAllocation re-arms the breaker.
+var ErrAllocRetryExhausted = errors.New("netengine: allocation retry budget exhausted")
 
 // Config sizes the network engine. The paper's values (64 MB TX areas, 4 GB
 // RX areas, 8192-slot channels) are configurable; defaults are scaled so a
@@ -48,6 +55,16 @@ type Config struct {
 	// disables retries (a request is sent exactly once).
 	AllocRetryBase sim.Duration
 
+	// AllocRetryBudget is the circuit breaker on that retry loop: after
+	// this many consecutive unanswered resends the frontend stops
+	// retrying and the instance fails fast with ErrAllocRetryExhausted
+	// (AllocError) instead of hammering a dead allocator forever. The
+	// breaker resets when an assignment finally lands or the instance
+	// re-requests. 0 means unlimited retries. The default is generous —
+	// with the backoff cap it tolerates allocator outages of ~15 s —
+	// because tripping it turns a transient outage into a hard error.
+	AllocRetryBudget int
+
 	// PendingLimit bounds each peer link's queue of messages parked on a
 	// full ring before the link reports backpressure (core.LinkSet).
 	PendingLimit int
@@ -56,19 +73,20 @@ type Config struct {
 // DefaultConfig returns the engine defaults.
 func DefaultConfig() Config {
 	return Config{
-		TxAreaBytes:    4 << 20,
-		RxAreaBytes:    16 << 20,
-		BufSize:        2048,
-		Chan:           msgchan.DefaultConfig(),
-		LoopCost:       60 * time.Nanosecond,
-		Burst:          32,
-		MsgCost:        150 * time.Nanosecond,
-		IdleBackoff:    time.Microsecond,
-		LinkCheckEvery: time.Millisecond,
-		TelemetryEvery: 100 * time.Millisecond,
-		MigrationGrace: 5 * time.Second,
-		PendingLimit:   core.DefaultPendingLimit,
-		AllocRetryBase: 10 * time.Millisecond,
+		TxAreaBytes:      4 << 20,
+		RxAreaBytes:      16 << 20,
+		BufSize:          2048,
+		Chan:             msgchan.DefaultConfig(),
+		LoopCost:         60 * time.Nanosecond,
+		Burst:            32,
+		MsgCost:          150 * time.Nanosecond,
+		IdleBackoff:      time.Microsecond,
+		LinkCheckEvery:   time.Millisecond,
+		TelemetryEvery:   100 * time.Millisecond,
+		MigrationGrace:   5 * time.Second,
+		PendingLimit:     core.DefaultPendingLimit,
+		AllocRetryBase:   10 * time.Millisecond,
+		AllocRetryBudget: 32,
 	}
 }
 
@@ -121,6 +139,7 @@ type Frontend struct {
 	UnknownCompletions       int64
 	FailoversApplied         int64
 	AllocRetries             int64
+	AllocRetryExhausted      int64 // circuit-breaker trips (per instance-request)
 }
 
 // NewFrontend creates the frontend driver for a pod host.
@@ -181,9 +200,14 @@ type InstancePort struct {
 
 	// Allocation-request retry state (timeout + exponential backoff): set by
 	// RequestAllocation, cleared when the allocator's CtlAssign lands.
+	// allocTries counts consecutive unanswered resends toward
+	// AllocRetryBudget; allocErr holds ErrAllocRetryExhausted once the
+	// circuit breaker trips.
 	allocWant    bool
 	allocNext    sim.Duration
 	allocBackoff sim.Duration
+	allocTries   int
+	allocErr     error
 
 	// Stats.
 	TxDropsNoBuffer int64
@@ -309,9 +333,16 @@ func (ip *InstancePort) RequestAllocation() {
 		ip.allocWant = true
 		ip.allocBackoff = fe.cfg.AllocRetryBase
 		ip.allocNext = p.Now() + ip.allocBackoff
+		ip.allocTries = 0
+		ip.allocErr = nil
 		fe.sendAllocRequest(p, ip)
 	})
 }
+
+// AllocError returns ErrAllocRetryExhausted once the instance's allocation
+// circuit breaker has tripped, nil otherwise (including while retries are
+// still in flight).
+func (ip *InstancePort) AllocError() error { return ip.allocErr }
 
 // sendAllocRequest emits one allocation request (best effort: a full ring
 // is recovered by the retry timer, not a park).
@@ -378,11 +409,19 @@ func (fe *Frontend) PollOnce(p *sim.Proc) int {
 		cmd(p)
 		progress++
 	}
-	// Unanswered allocation requests: resend under exponential backoff.
+	// Unanswered allocation requests: resend under exponential backoff,
+	// until the per-instance retry budget trips the circuit breaker.
 	if fe.ctrl != nil && fe.cfg.AllocRetryBase > 0 {
 		for _, ipAddr := range fe.instOrder {
 			inst := fe.insts[ipAddr]
 			if !inst.allocWant || p.Now() < inst.allocNext {
+				continue
+			}
+			if fe.cfg.AllocRetryBudget > 0 && inst.allocTries >= fe.cfg.AllocRetryBudget {
+				inst.allocWant = false
+				inst.allocErr = ErrAllocRetryExhausted
+				fe.AllocRetryExhausted++
+				progress++
 				continue
 			}
 			inst.allocBackoff *= 2
@@ -390,6 +429,7 @@ func (fe *Frontend) PollOnce(p *sim.Proc) int {
 				inst.allocBackoff = allocRetryCap
 			}
 			inst.allocNext = p.Now() + inst.allocBackoff
+			inst.allocTries++
 			fe.AllocRetries++
 			fe.sendAllocRequest(p, inst)
 			progress++
@@ -535,6 +575,8 @@ func (fe *Frontend) handleControlMsg(p *sim.Proc, m core.ControlMsg) {
 			return
 		}
 		inst.allocWant = false
+		inst.allocTries = 0
+		inst.allocErr = nil // a late assign heals a tripped breaker
 		backup := uint16(0)
 		if m.Aux != 0 {
 			backup = m.Aux

@@ -16,6 +16,7 @@ func (fe *Frontend) RegisterObs(r *obs.Registry, prefix string) {
 	r.Counter(prefix+"/unknown_completions", func() int64 { return fe.UnknownCompletions })
 	r.Counter(prefix+"/failovers_applied", func() int64 { return fe.FailoversApplied })
 	r.Counter(prefix+"/alloc_retries", func() int64 { return fe.AllocRetries })
+	r.Counter(prefix+"/retry_exhausted", func() int64 { return fe.AllocRetryExhausted })
 	fe.links.RegisterObs(r, prefix, func(peer uint32) string { return fmt.Sprintf("nic%d", peer) })
 	for _, ip := range fe.instOrder {
 		inst := fe.insts[ip]

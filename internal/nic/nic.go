@@ -129,12 +129,17 @@ type NIC struct {
 	linkUp  bool
 	linkGen int // invalidates stale debounce timers
 
+	lossRate float64 // > 0 while a nic-lossy fault drops RX frames
+	lossRng  uint64  // seeded LCG state driving the drop decisions
+
 	// Stats.
 	TxPackets, RxPackets int64
 	TxBytes, RxBytes     int64
 	RxNoDesc             int64 // frames dropped: RX ring empty
 	TxRingFull           int64 // posts refused
 	Oversize             int64 // frames dropped: larger than the RX buffer
+	RxLossDropped        int64 // frames dropped by an injected nic-lossy fault
+	TxCarrierErrs        int64 // frames transmitted into a disabled port (carrier lost)
 
 	// PCIe Advanced Error Reporting counters (§3.5: backend telemetry
 	// includes "network health metrics (e.g., link status and PCIe AER
@@ -215,6 +220,36 @@ func (n *NIC) InjectAER(uncorrectable bool) {
 // this to detect hardware faults, cable pulls, and switch linecard issues).
 func (n *NIC) LinkUp() bool { return n.linkUp }
 
+// SetLossy makes the NIC silently drop a pseudo-random fraction rate of
+// incoming frames while the link stays administratively up — gray-failure
+// injection (faults.NICLossy). The drop sequence is a seeded LCG stepped
+// once per delivered frame, so a replay is deterministic. SetLossy(0, _)
+// — or ClearLossy — restores lossless delivery.
+func (n *NIC) SetLossy(rate float64, seed int64) {
+	n.lossRate = rate
+	n.lossRng = uint64(seed)*2862933555777941757 + 3037000493
+}
+
+// ClearLossy stops an injected nic-lossy fault.
+func (n *NIC) ClearLossy() { n.lossRate = 0 }
+
+// Lossy reports whether a nic-lossy fault is active.
+func (n *NIC) Lossy() bool { return n.lossRate > 0 }
+
+// dropLossy steps the loss LCG for one incoming frame and reports whether
+// the frame is to be dropped.
+func (n *NIC) dropLossy() bool {
+	if n.lossRate <= 0 {
+		return false
+	}
+	n.lossRng = n.lossRng*6364136223846793005 + 1442695040888963407
+	if float64(n.lossRng>>11)/(1<<53) < n.lossRate {
+		n.RxLossDropped++
+		return true
+	}
+	return false
+}
+
 // SetSnooper configures a CPU cache that may alias DMA buffers; used by the
 // DDIO/inspection ablations.
 func (n *NIC) SetSnooper(s Snooper) { n.snoop = s }
@@ -287,6 +322,12 @@ func (n *NIC) txLoop(p *sim.Proc) {
 			continue
 		}
 		if n.port != nil {
+			// A MAC transmitting into a dead cable records a carrier error —
+			// the counter that makes a sub-debounce flaky link visible to
+			// telemetry while the link-status register still reads "up".
+			if !n.port.Enabled() {
+				n.TxCarrierErrs++
+			}
 			n.port.Send(frame)
 		}
 		n.TxPackets++
@@ -357,6 +398,9 @@ func (n *NIC) SendRaw(f *netsw.Frame) {
 // NIC claims an RX descriptor, DMA-writes the packet, classifies it, and
 // raises an RX completion.
 func (n *NIC) DeliverFrame(f *netsw.Frame) {
+	if n.dropLossy() {
+		return
+	}
 	if len(n.rxFree) == 0 {
 		n.RxNoDesc++
 		return

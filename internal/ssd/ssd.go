@@ -93,6 +93,7 @@ type SSD struct {
 	pipeline    *sim.Resource // serializes per-command controller work (IOPS bound)
 	outstanding int
 	failed      bool
+	slowMult    float64 // > 1 while an ssd-slow fault inflates media latency
 
 	// Stats.
 	Reads, Writes, Errors   int64
@@ -152,6 +153,34 @@ func (d *SSD) Repair() { d.failed = false }
 // Failed reports the failure state (the backend's health check reads it).
 func (d *SSD) Failed() bool { return d.failed }
 
+// SetSlow inflates the drive's media latency by mult (>= 1) without
+// failing it — the gray-failure half of the fault model (faults.SSDSlow):
+// commands still succeed, they just take mult times the nominal media
+// latency. SetSlow(1) restores nominal service.
+func (d *SSD) SetSlow(mult float64) {
+	if mult <= 1 {
+		d.slowMult = 0
+		return
+	}
+	d.slowMult = mult
+}
+
+// SlowMult reports the current latency inflation factor (1 = nominal).
+func (d *SSD) SlowMult() float64 {
+	if d.slowMult == 0 {
+		return 1
+	}
+	return d.slowMult
+}
+
+// mediaLat applies the ssd-slow inflation to a nominal media latency.
+func (d *SSD) mediaLat(lat sim.Duration) sim.Duration {
+	if d.slowMult == 0 {
+		return lat
+	}
+	return sim.Duration(float64(lat) * d.slowMult)
+}
+
 // Submit posts one command to the SQ, charging the doorbell cost to p.
 // It reports false when the queue is full.
 func (d *SSD) Submit(p *sim.Proc, cmd Command) bool {
@@ -207,7 +236,7 @@ func (d *SSD) execute(p *sim.Proc, cmd Command) uint8 {
 	case OpRead:
 		// Media access, then DMA the data to the host buffer.
 		d.media.Use(p, d.streamTime(n))
-		p.Sleep(d.params.ReadLatency)
+		p.Sleep(d.mediaLat(d.params.ReadLatency))
 		buf := make([]byte, n)
 		for b := 0; b < int(cmd.Blocks); b++ {
 			blk := ns.data[cmd.LBA+uint64(b)]
@@ -229,7 +258,7 @@ func (d *SSD) execute(p *sim.Proc, cmd Command) uint8 {
 			p.Sleep(wait)
 		}
 		d.media.Use(p, d.streamTime(n))
-		p.Sleep(d.params.WriteLatency)
+		p.Sleep(d.mediaLat(d.params.WriteLatency))
 		for b := 0; b < int(cmd.Blocks); b++ {
 			blk := make([]byte, BlockSize)
 			copy(blk, buf[b*BlockSize:(b+1)*BlockSize])

@@ -324,6 +324,12 @@ type Volume struct {
 	inflight  int  // submitted requests not yet resolved (Quiesce)
 	sig       *sim.Signal
 
+	// Pre-copy migration support: while tracking is on, the LBA of every
+	// acknowledged write is recorded so a migrator can copy the bulk of the
+	// volume with writes still flowing and later flush only the remainder.
+	tracking bool
+	dirty    map[uint64]struct{} // dirty block numbers since StartDirtyTracking
+
 	// Stats.
 	IOErrors int64
 	Rebinds  int64
@@ -431,6 +437,14 @@ func (v *Volume) Write(p *sim.Proc, lba uint64, data []byte) error {
 		v.IOErrors++
 		return fmt.Errorf("storengine: write failed with NVMe status %#x", req.status)
 	}
+	// Marking at ack time (not submit) means the dirty set is exactly the
+	// acked-durable writes a pre-copy migration must not lose: a write
+	// submitted before tracking began but acked after is still captured.
+	if v.tracking {
+		for b := lba; b < lba+uint64(len(data)/ssd.BlockSize); b++ {
+			v.dirty[b] = struct{}{}
+		}
+	}
 	return nil
 }
 
@@ -472,6 +486,57 @@ func (v *Volume) submit(p *sim.Proc, op byte, lba uint64, nblocks int, data []by
 	}
 	v.inflight--
 	return req, nil
+}
+
+// StartDirtyTracking arms pre-copy migration: from this call on, the block
+// numbers of acknowledged writes are recorded. The migrator copies the full
+// volume concurrently with live writes, then freezes and re-copies only the
+// dirty remainder — bounding the write-blackout window by the write rate
+// instead of the volume size.
+func (v *Volume) StartDirtyTracking() {
+	v.tracking = true
+	v.dirty = make(map[uint64]struct{})
+}
+
+// StopDirtyTracking disarms tracking and discards the dirty set (migration
+// finished or aborted).
+func (v *Volume) StopDirtyTracking() {
+	v.tracking = false
+	v.dirty = nil
+}
+
+// DirtyCount returns the number of distinct blocks dirtied since tracking
+// began.
+func (v *Volume) DirtyCount() int { return len(v.dirty) }
+
+// DirtyRange is a run of consecutive dirty blocks.
+type DirtyRange struct {
+	LBA    uint64
+	Blocks uint64
+}
+
+// TakeDirty drains the dirty set as sorted, coalesced ranges and resets it,
+// so a flush pass can iterate deterministically while tracking continues to
+// capture writes racing the pass.
+func (v *Volume) TakeDirty() []DirtyRange {
+	if len(v.dirty) == 0 {
+		return nil
+	}
+	blocks := make([]uint64, 0, len(v.dirty))
+	for b := range v.dirty {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	v.dirty = make(map[uint64]struct{})
+	var runs []DirtyRange
+	for _, b := range blocks {
+		if n := len(runs); n > 0 && runs[n-1].LBA+runs[n-1].Blocks == b {
+			runs[n-1].Blocks++
+			continue
+		}
+		runs = append(runs, DirtyRange{LBA: b, Blocks: 1})
+	}
+	return runs
 }
 
 // FreezeWrites begins a migration: new writes on the volume fail fast with
@@ -954,9 +1019,10 @@ type svol struct {
 // echoed in the completion so the frontend can fence commands that were in
 // flight across a failover.
 type pendingIO struct {
-	feCID uint16
-	epoch uint16
-	link  *sfeLink
+	feCID     uint16
+	epoch     uint16
+	link      *sfeLink
+	submitted sim.Duration // device submit time, for service-latency telemetry
 }
 
 // Backend is the per-SSD storage backend driver: it translates channel
@@ -982,6 +1048,8 @@ type Backend struct {
 	timersInit bool
 	nextTelem  sim.Duration
 	loadSnap   int64
+	latSum     sim.Duration // summed service latency of IOs completed this window
+	latOps     int64        // IOs completed this window
 	driver     *core.Driver
 
 	// Stats.
@@ -1102,6 +1170,17 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 	if qdepth > 65535 {
 		qdepth = 65535
 	}
+	// The per-kind health slot for storage is the window's mean request
+	// service latency in µs (§3.5): a slow-but-alive drive shows up here
+	// long before it fails its link.
+	var meanUs uint64
+	if be.latOps > 0 {
+		meanUs = uint64(be.latSum/time.Microsecond) / uint64(be.latOps)
+		if meanUs > 65535 {
+			meanUs = 65535
+		}
+	}
+	be.latSum, be.latOps = 0, 0
 	var buf [15]byte
 	be.ctrl.Send(p, core.EncodeControl(buf[:], core.ControlMsg{
 		Op:         core.CtlTelemetry,
@@ -1109,7 +1188,7 @@ func (be *Backend) maybeSendTelemetry(p *sim.Proc) {
 		Dev:        be.ssdID,
 		Load:       uint64(delta),
 		LinkUp:     !be.dev.Failed(),
-		AER:        0,
+		AER:        uint16(meanUs),
 		QueueDepth: uint16(qdepth),
 	}))
 	be.ctrl.Flush(p)
@@ -1152,7 +1231,7 @@ func (be *Backend) handleFrontendMsg(p *sim.Proc, l *sfeLink, m smsg, buf []byte
 		}
 		devCID := be.nextCID
 		be.nextCID++
-		be.inflight[devCID] = pendingIO{feCID: m.cid, epoch: m.epoch, link: l}
+		be.inflight[devCID] = pendingIO{feCID: m.cid, epoch: m.epoch, link: l, submitted: p.Now()}
 		cmd := ssd.Command{
 			Opcode: op, CID: devCID, NSID: 1,
 			LBA: v.base + m.lba, Blocks: m.blocks, Buf: m.buf,
@@ -1175,6 +1254,8 @@ func (be *Backend) handleCompletion(p *sim.Proc, comp ssd.Completion, buf []byte
 	}
 	delete(be.inflight, comp.CID)
 	be.Completed++
+	be.latSum += p.Now() - io.submitted
+	be.latOps++
 	io.link.link.SendOrQueue(p, smsg{op: sOpComplete, cid: io.feCID, status: comp.Status, epoch: io.epoch}.encode(buf))
 }
 

@@ -209,3 +209,73 @@ func TestCodecRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDirtyTrackingMarksAndCoalesces exercises the pre-copy migration
+// primitive: tracking marks exactly the blocks of acked writes, TakeDirty
+// drains them as sorted, coalesced ranges, and stopping the tracker both
+// disarms marking and clears any residue.
+func TestDirtyTrackingMarksAndCoalesces(t *testing.T) {
+	r := newStorRig(t)
+	vol, err := r.fe.AddVolume(netstack.IPv4(10, 0, 0, 1), 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Go("app", func(p *sim.Proc) {
+		defer r.eng.Shutdown()
+		if !vol.WaitReady(p, 100*time.Millisecond) {
+			t.Error("volume never ready")
+			return
+		}
+		blk := bytes.Repeat([]byte{3}, ssd.BlockSize)
+		// Writes before tracking arms must not be recorded.
+		if err := vol.Write(p, 0, blk); err != nil {
+			t.Errorf("pre-tracking write: %v", err)
+		}
+		vol.StartDirtyTracking()
+		if vol.DirtyCount() != 0 {
+			t.Errorf("fresh tracker has %d dirty blocks", vol.DirtyCount())
+		}
+		// 10,11,12 coalesce; 30 stands alone; a two-block write spans 40-41.
+		for _, lba := range []uint64{11, 30, 10, 12} {
+			if err := vol.Write(p, lba, blk); err != nil {
+				t.Errorf("write lba %d: %v", lba, err)
+			}
+		}
+		wide := bytes.Repeat([]byte{4}, 2*ssd.BlockSize)
+		if err := vol.Write(p, 40, wide); err != nil {
+			t.Errorf("write lba 40-41: %v", err)
+		}
+		if got := vol.DirtyCount(); got != 6 {
+			t.Errorf("DirtyCount = %d, want 6", got)
+		}
+		dirty := vol.TakeDirty()
+		want := []DirtyRange{{LBA: 10, Blocks: 3}, {LBA: 30, Blocks: 1}, {LBA: 40, Blocks: 2}}
+		if len(dirty) != len(want) {
+			t.Fatalf("TakeDirty = %v, want %v", dirty, want)
+		}
+		for i := range want {
+			if dirty[i] != want[i] {
+				t.Fatalf("TakeDirty[%d] = %v, want %v", i, dirty[i], want[i])
+			}
+		}
+		// TakeDirty drains: the set restarts empty but tracking stays armed.
+		if vol.DirtyCount() != 0 {
+			t.Errorf("dirty set not drained by TakeDirty: %d left", vol.DirtyCount())
+		}
+		if err := vol.Write(p, 5, blk); err != nil {
+			t.Errorf("post-drain write: %v", err)
+		}
+		if vol.DirtyCount() != 1 {
+			t.Errorf("tracking disarmed by TakeDirty: count = %d, want 1", vol.DirtyCount())
+		}
+		// Stop disarms and clears.
+		vol.StopDirtyTracking()
+		if err := vol.Write(p, 6, blk); err != nil {
+			t.Errorf("post-stop write: %v", err)
+		}
+		if vol.DirtyCount() != 0 {
+			t.Errorf("StopDirtyTracking left %d dirty blocks", vol.DirtyCount())
+		}
+	})
+	r.eng.Run()
+}

@@ -81,6 +81,36 @@ echo "== chaos campaign smoke (serial + per-host) =="
 go run ./cmd/oasis-bench -run chaos | grep -q "invariants: OK"
 go run ./cmd/oasis-bench -run chaos-perhost | grep -q "invariants: OK"
 
+# Gray-failure smoke: all four degraded-mode kinds in one seeded campaign,
+# with the health scorer evacuating both gray devices and the hard-failover
+# machinery silent — and the report byte-identical between the serial run
+# and the -parallel runner (the timeline is absolute, so the bytes must
+# match exactly, modulo the real-clock "wall time" footer line). Serial-vs-
+# partitioned and per-host byte-identity run in the GOMAXPROCS sweep above
+# (grayfail subtests of the same gates).
+echo "== grayfail campaign smoke + determinism (serial vs -parallel + per-host) =="
+gray_a=$(go run ./cmd/oasis-bench -run grayfail | grep -v "wall time")
+echo "$gray_a" | grep -q "invariants: OK"
+gray_b=$(go run ./cmd/oasis-bench -run grayfail -parallel | grep -v "wall time")
+if [ "$gray_a" != "$gray_b" ]; then
+    echo "grayfail report differs between serial and -parallel runs" >&2
+    exit 1
+fi
+go run ./cmd/oasis-bench -run grayfail-perhost | grep -q "invariants: OK"
+
+# Blackout smoke: the pre-copy migration blackout must be strictly smaller
+# than stop-the-world at every write rate, with no acked write lost under
+# either protocol. The report says so in one grep-able line.
+echo "== migration blackout smoke (pre-copy vs stop-the-world) =="
+go run ./cmd/oasis-bench -run blackout | grep -q "invariants: OK"
+
+# Fuzz seed-corpus regression: the stored FuzzParsePlan seeds (every fault
+# kind incl. the gray quartet, plus near-miss invalids) run as ordinary
+# tests — no long fuzzing here; use `go test -fuzz=FuzzParsePlan
+# ./internal/faults` to explore.
+echo "== fault-plan grammar fuzz corpus =="
+go test -run FuzzParsePlan ./internal/faults
+
 # Rack smoke: the 512-host multi-pod cluster must place, hot-spot, and
 # rebalance with cross-pod migrations — serially, in partitioned execution
 # (one sim partition per pod), and per-host (plus one per client).
